@@ -1,0 +1,35 @@
+"""Figure 5 — distribution of dense-subgraph sizes (22K data set).
+
+The paper's histogram is heavily skewed: most dense subgraphs fall in
+the smallest buckets (5-9, 10-14, ...) with a long sparse tail, and the
+largest subgraph (~7K sequences, i.e. ~1/3 of the input) is off-chart.
+"""
+
+from __future__ import annotations
+
+from repro.graph.density import size_histogram
+
+from workloads import pipeline_result_22k, print_banner
+
+
+def test_fig5_histogram(benchmark):
+    result = benchmark.pedantic(pipeline_result_22k, rounds=1, iterations=1)
+    sizes = result.dense.sizes()
+
+    hist = size_histogram([s for s in sizes if s < max(sizes)], bucket=5)
+    print_banner("Figure 5 analogue — dense subgraph size distribution (22k set)")
+    width = max(hist.values()) if hist else 1
+    for bucket, count in hist.items():
+        bar = "#" * int(40 * count / width)
+        print(f"{bucket:>9s} {count:>4d} {bar}")
+    print(f"largest DS: {max(sizes)} sequences (excluded from plot, as in the paper)")
+
+    assert len(sizes) >= 1
+    # Skew: the largest subgraph dwarfs the median, as in the paper where
+    # the 6,828-sequence cluster coexists with mostly-small subgraphs.
+    if len(sizes) >= 3:
+        median = sizes[len(sizes) // 2]
+        assert sizes[0] >= 3 * median
+    # The largest DS holds a sizeable fraction of the single-cluster input
+    # (paper: 6,828 of 21,348 ~ 32%; our subfamily analogue: >= 15%).
+    assert max(sizes) >= 0.15 * result.redundancy.n_nonredundant

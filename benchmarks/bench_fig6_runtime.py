@@ -1,0 +1,81 @@
+"""Figure 6 — RR+CCD run-time versus (a) processors and (b) input size.
+
+Paper shape: (a) for every input size, run-time falls as p grows, with
+the 160K/512-processor point at 3h20m; (b) for fixed p, run-time grows
+superlinearly with input size (worst-case quadratic, tempered by the
+clustering heuristic).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.pace.clustering import parallel_component_detection
+from repro.pace.redundancy import parallel_redundancy_removal
+from repro.parallel.machine import BLUEGENE_L
+from repro.parallel.simulator import VirtualCluster
+
+from workloads import (
+    PROCESSOR_SWEEP,
+    SIZE_SWEEP_LABELS,
+    print_banner,
+    scaling_cache,
+    scaling_subset,
+)
+
+
+@lru_cache(maxsize=None)
+def rr_ccd_time(label: str, p: int) -> float:
+    """Simulated RR+CCD seconds for one (input size, processors) cell."""
+    sequences = scaling_subset(label)
+    cache = scaling_cache()
+    cluster = VirtualCluster(p, BLUEGENE_L)
+    rr = parallel_redundancy_removal(sequences, cluster, psi=10, cache=cache)
+    ccd = parallel_component_detection(sequences, rr.kept, cluster, psi=10, cache=cache)
+    return rr.sim.elapsed + ccd.sim.elapsed
+
+
+def compute_grid():
+    return {
+        (label, p): rr_ccd_time(label, p)
+        for label in SIZE_SWEEP_LABELS
+        for p in PROCESSOR_SWEEP
+    }
+
+
+def test_fig6_runtime_grid(benchmark):
+    grid = benchmark.pedantic(compute_grid, rounds=1, iterations=1)
+
+    print_banner("Figure 6a analogue — RR+CCD seconds vs processors")
+    header = f"{'n':>6s}" + "".join(f"{('p=' + str(p)):>12s}" for p in PROCESSOR_SWEEP)
+    print(header)
+    for label in SIZE_SWEEP_LABELS:
+        row = "".join(f"{grid[(label, p)]:>12.2f}" for p in PROCESSOR_SWEEP)
+        print(f"{label:>6s}" + row)
+
+    print_banner("Figure 6b analogue — RR+CCD seconds vs input size")
+    header = f"{'p':>6s}" + "".join(f"{('n=' + label):>12s}" for label in SIZE_SWEEP_LABELS)
+    print(header)
+    for p in PROCESSOR_SWEEP:
+        row = "".join(f"{grid[(label, p)]:>12.2f}" for label in SIZE_SWEEP_LABELS)
+        print(f"{p:>6d}" + row)
+
+    # (a) big inputs gain a lot from more processors; tiny inputs may
+    # flatten (or mildly degrade from log-p overheads), as in the paper's
+    # flattening small-n curves.
+    for label in SIZE_SWEEP_LABELS:
+        times = [grid[(label, p)] for p in PROCESSOR_SWEEP]
+        assert times[-1] <= 1.3 * times[0]
+    for label in ("80k", "160k"):
+        series = [grid[(label, p)] for p in PROCESSOR_SWEEP]
+        assert series[0] / series[-1] > 2.0
+
+    # (b) run-time grows with input size at every processor count, and
+    # superlinearly from the 10k to the 160k analogue at fixed p=32
+    # (the paper's asymptotic-worst-case-quadratic remark).
+    for p in PROCESSOR_SWEEP:
+        times = [grid[(label, p)] for label in SIZE_SWEEP_LABELS]
+        assert times == sorted(times)
+    p0 = PROCESSOR_SWEEP[0]
+    growth = grid[("160k", p0)] / grid[("10k", p0)]
+    assert growth > 16, f"expected superlinear growth over a 16x input, got {growth:.1f}x"

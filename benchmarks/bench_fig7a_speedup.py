@@ -1,0 +1,53 @@
+"""Figure 7a — speedup of RR+CCD relative to 32 processors.
+
+Paper shape: speedup curves are closer to linear for larger inputs; for
+small inputs the curves flatten early (parallel overheads and the CCD
+master bottleneck dominate).  Paper's example: going 128 -> 512 yields
+only 3.6 -> 6.7 against an ideal 4 -> 16.
+"""
+
+from __future__ import annotations
+
+from bench_fig6_runtime import rr_ccd_time
+
+from workloads import PROCESSOR_SWEEP, SIZE_SWEEP_LABELS, print_banner
+
+
+def compute_speedups():
+    speedups = {}
+    for label in SIZE_SWEEP_LABELS[:-1]:  # paper plots 10k..80k in Fig 7a
+        base = rr_ccd_time(label, PROCESSOR_SWEEP[0])
+        for p in PROCESSOR_SWEEP:
+            speedups[(label, p)] = base / rr_ccd_time(label, p)
+    return speedups
+
+
+def test_fig7a_speedup(benchmark):
+    speedups = benchmark.pedantic(compute_speedups, rounds=1, iterations=1)
+    labels = SIZE_SWEEP_LABELS[:-1]
+
+    print_banner("Figure 7a analogue — RR+CCD speedup relative to p=32")
+    print(f"{'n':>6s}" + "".join(f"{('p=' + str(p)):>9s}" for p in PROCESSOR_SWEEP)
+          + f"{'ideal':>9s}")
+    for label in labels:
+        row = "".join(f"{speedups[(label, p)]:>9.2f}" for p in PROCESSOR_SWEEP)
+        print(f"{label:>6s}" + row + f"{PROCESSOR_SWEEP[-1] // PROCESSOR_SWEEP[0]:>9d}")
+
+    top = PROCESSOR_SWEEP[-1]
+    # Speedups are monotone in p for the larger inputs; tiny inputs may
+    # flatten early (the paper's flattening small-n curves).
+    for label in ("40k", "80k"):
+        series = [speedups[(label, p)] for p in PROCESSOR_SWEEP]
+        assert series[0] == 1.0
+        assert all(b >= 0.95 * a for a, b in zip(series, series[1:]))
+    for label in labels:
+        series = [speedups[(label, p)] for p in PROCESSOR_SWEEP]
+        assert min(series) > 0.3  # never catastrophically worse
+
+    # Larger inputs scale better (paper: curves closer to linear for
+    # larger n).
+    assert speedups[("80k", top)] > speedups[("10k", top)]
+
+    # Sublinear at the top end, as observed on BG/L (6.7 vs ideal 16).
+    ideal = top / PROCESSOR_SWEEP[0]
+    assert speedups[("80k", top)] < ideal

@@ -1,0 +1,56 @@
+"""Table I — qualitative assessment on the 22K and 160K analogues.
+
+Paper row (160K): 138,633 NR | 1,861 CC | 850 DS | 66,083 seq in DS |
+mean degree 26 | mean density 76% | largest DS 13,263.
+Paper row (22K): 21,348 NR | 1 CC | 134 DS | 11,524 seq | degree 20 |
+density 78% | largest 6,828.
+
+At 1:100 scale we check the *shape*: most input survives RR, components
+fragment into multiple dense subgraphs, mean density is high (>= 60%),
+and the largest DS dominates.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import Table1Row
+
+from workloads import (
+    metagenome_160k,
+    metagenome_22k,
+    pipeline_result_160k,
+    pipeline_result_22k,
+    print_banner,
+)
+
+
+def test_table1_rows(benchmark):
+    result_160 = pipeline_result_160k()
+    result_22 = benchmark.pedantic(pipeline_result_22k, rounds=1, iterations=1)
+
+    print_banner("Table I analogue (1:100 scale of the paper's data sets)")
+    print(f"{'set':>6s} " + Table1Row.header())
+    row160 = result_160.table1()
+    row22 = result_22.table1()
+    print(f"{'160k':>6s} " + row160.formatted())
+    print(f"{'22k':>6s} " + row22.formatted())
+    print(
+        "\npaper(160K): NR=138,633 CC=1,861 DS=850 seqInDS=66,083 "
+        "degree=26 density=76% maxDS=13,263"
+    )
+    print(
+        "paper(22K):  NR=21,348 CC=1 DS=134 seqInDS=11,524 "
+        "degree=20 density=78% maxDS=6,828"
+    )
+
+    # Shape assertions ----------------------------------------------------
+    # Most sequences survive redundancy removal (paper: 87% / 96%).
+    assert 0.7 <= row160.n_nonredundant / row160.n_input <= 1.0
+    # Dense subgraphs are found and are high-density (paper: 76-78%).
+    assert row160.n_dense_subgraphs >= 5
+    assert row160.mean_density >= 0.6
+    assert row22.mean_density >= 0.6
+    # The 22K analogue is dominated by one large cluster whose biggest
+    # subfamily is the largest DS.
+    assert row22.largest_ds >= 0.15 * row22.n_nonredundant
+    # DS count >= component count: the shingle pass fragments components.
+    assert row160.n_dense_subgraphs >= row160.n_components

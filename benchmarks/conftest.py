@@ -1,0 +1,11 @@
+"""Benchmark suite configuration.
+
+Benchmarks print the tables/figure series they regenerate; run with
+``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `workloads` importable from every bench module.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,57 @@
+"""Pairwise sequence alignment: scoring, DP kernels, and the paper's
+containment (Definition 1) and overlap (Definition 2) predicates."""
+
+from repro.align.matrices import (
+    BLOSUM62,
+    IDENTITY_MATRIX,
+    ScoringScheme,
+    blosum62_scheme,
+    identity_scheme,
+)
+from repro.align.pairwise import (
+    Alignment,
+    global_align,
+    local_align,
+    semiglobal_align,
+)
+from repro.align.affine import (
+    AffineScheme,
+    affine_global_align,
+    affine_local_align,
+    blosum62_affine,
+)
+from repro.align.banded import banded_global_align
+from repro.align.predicates import (
+    CONTAINMENT_COVERAGE,
+    CONTAINMENT_SIMILARITY,
+    OVERLAP_COVERAGE,
+    OVERLAP_SIMILARITY,
+    containment_test,
+    overlap_test,
+)
+from repro.align.prefilter import KmerPrefilter, shared_kmer_count
+
+__all__ = [
+    "BLOSUM62",
+    "IDENTITY_MATRIX",
+    "ScoringScheme",
+    "blosum62_scheme",
+    "identity_scheme",
+    "Alignment",
+    "global_align",
+    "local_align",
+    "semiglobal_align",
+    "banded_global_align",
+    "AffineScheme",
+    "affine_global_align",
+    "affine_local_align",
+    "blosum62_affine",
+    "CONTAINMENT_COVERAGE",
+    "CONTAINMENT_SIMILARITY",
+    "OVERLAP_COVERAGE",
+    "OVERLAP_SIMILARITY",
+    "containment_test",
+    "overlap_test",
+    "KmerPrefilter",
+    "shared_kmer_count",
+]

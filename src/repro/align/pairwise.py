@@ -1,0 +1,213 @@
+"""Exact pairwise alignment kernels (Needleman-Wunsch / Smith-Waterman).
+
+The DP matrix fill is vectorised over anti-diagonals with NumPy: every
+cell on anti-diagonal ``d`` depends only on diagonals ``d-1`` and ``d-2``,
+so each diagonal is one batched update.  For the paper's workloads
+(sequences of a few hundred residues) this turns an O(l^2) Python loop
+into ~2*l vectorised operations per pair — the "vectorise the inner loop"
+idiom of HPC Python.
+
+Tracebacks are O(alignment length) and yield the exact statistics the
+paper's Definitions 1 and 2 threshold on: identical-column count,
+alignment length, and the aligned span on each sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.matrices import ScoringScheme, blosum62_scheme
+
+_NEG_INF = np.int32(-(1 << 30))
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """Result of one pairwise alignment.
+
+    Spans are half-open on the original sequences: the aligned region of
+    ``a`` is ``a[a_start:a_end]``.  ``length`` counts alignment columns
+    including gap columns; ``matches`` counts identical residue columns.
+    """
+
+    score: int
+    a_start: int
+    a_end: int
+    b_start: int
+    b_end: int
+    matches: int
+    length: int
+    gaps: int
+    mode: str
+
+    @property
+    def identity(self) -> float:
+        """Fraction of alignment columns that are identical residues."""
+        return self.matches / self.length if self.length else 0.0
+
+    def coverage_a(self, a_len: int) -> float:
+        """Fraction of sequence ``a`` included in the aligned region."""
+        return (self.a_end - self.a_start) / a_len if a_len else 0.0
+
+    def coverage_b(self, b_len: int) -> float:
+        """Fraction of sequence ``b`` included in the aligned region."""
+        return (self.b_end - self.b_start) / b_len if b_len else 0.0
+
+
+def _as_encoded(seq: np.ndarray) -> np.ndarray:
+    arr = np.asarray(seq, dtype=np.uint8)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("sequences must be non-empty 1-D encoded arrays")
+    return arr
+
+
+def _fill(
+    a: np.ndarray,
+    b: np.ndarray,
+    scheme: ScoringScheme,
+    mode: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fill the DP matrix; returns (H, sub).
+
+    H has shape (m+1, n+1); sub is the (m, n) substitution profile.
+
+    The fill is vectorised *within each row*: the only serial dependency
+    of the linear-gap recurrence, ``H[i, j-1] + gap``, unrolls to a
+    running maximum — ``H[i, j] = max_k (t[k] + (j - k) * gap)`` over the
+    gap-free candidates ``t`` — which one ``np.maximum.accumulate`` over
+    ``t - j*gap`` computes in a single contiguous pass.
+    """
+    m, n = len(a), len(b)
+    sub = scheme.substitution_profile(a, b).astype(np.int32)
+    gap = np.int32(scheme.gap)
+    H = np.zeros((m + 1, n + 1), dtype=np.int32)
+    if mode == "global":
+        H[:, 0] = gap * np.arange(m + 1, dtype=np.int32)
+        H[0, :] = gap * np.arange(n + 1, dtype=np.int32)
+    # local & semiglobal keep zero boundaries (free end gaps).
+
+    # offs[j] = -j * gap, used to turn the left-gap chain into a prefix max.
+    offs = (-gap) * np.arange(n + 1, dtype=np.int64)
+    local = mode == "local"
+    for i in range(1, m + 1):
+        prev = H[i - 1]
+        row = H[i]
+        # Gap-free candidates for columns 1..n: diagonal and up moves.
+        t = np.maximum(prev[:-1] + sub[i - 1], prev[1:] + gap)
+        if local:
+            np.maximum(t, 0, out=t)
+        # Include the row's own boundary column as chain origin.
+        chain = np.empty(n + 1, dtype=np.int64)
+        chain[0] = int(row[0])
+        chain[1:] = t
+        chain += offs
+        np.maximum.accumulate(chain, out=chain)
+        row[1:] = (chain[1:] - offs[1:]).astype(np.int32)
+    return H, sub
+
+
+def _traceback(
+    H: np.ndarray,
+    sub: np.ndarray,
+    a: np.ndarray,
+    b: np.ndarray,
+    scheme: ScoringScheme,
+    start_i: int,
+    start_j: int,
+    mode: str,
+) -> Alignment:
+    """Walk back from (start_i, start_j) reconstructing column statistics."""
+    gap = scheme.gap
+    i, j = start_i, start_j
+    matches = 0
+    length = 0
+    gaps = 0
+    while i > 0 or j > 0:
+        h = H[i, j]
+        if mode == "local" and h == 0:
+            break
+        if mode == "semiglobal" and (i == 0 or j == 0):
+            break
+        if i > 0 and j > 0 and h == H[i - 1, j - 1] + sub[i - 1, j - 1]:
+            if a[i - 1] == b[j - 1]:
+                matches += 1
+            i -= 1
+            j -= 1
+        elif i > 0 and h == H[i - 1, j] + gap:
+            gaps += 1
+            i -= 1
+        elif j > 0 and h == H[i, j - 1] + gap:
+            gaps += 1
+            j -= 1
+        else:  # pragma: no cover - would indicate a fill bug
+            raise AssertionError(f"traceback stuck at ({i}, {j})")
+        length += 1
+    return Alignment(
+        score=int(H[start_i, start_j]),
+        a_start=i,
+        a_end=start_i,
+        b_start=j,
+        b_end=start_j,
+        matches=matches,
+        length=length,
+        gaps=gaps,
+        mode=mode,
+    )
+
+
+def global_align(
+    a: np.ndarray, b: np.ndarray, scheme: ScoringScheme | None = None
+) -> Alignment:
+    """Needleman-Wunsch global alignment of two encoded sequences."""
+    scheme = scheme or blosum62_scheme()
+    a = _as_encoded(a)
+    b = _as_encoded(b)
+    H, sub = _fill(a, b, scheme, "global")
+    return _traceback(H, sub, a, b, scheme, len(a), len(b), "global")
+
+
+def local_align(
+    a: np.ndarray, b: np.ndarray, scheme: ScoringScheme | None = None
+) -> Alignment:
+    """Smith-Waterman local alignment of two encoded sequences."""
+    scheme = scheme or blosum62_scheme()
+    a = _as_encoded(a)
+    b = _as_encoded(b)
+    H, sub = _fill(a, b, scheme, "local")
+    flat = int(np.argmax(H))
+    start_i, start_j = divmod(flat, H.shape[1])
+    return _traceback(H, sub, a, b, scheme, start_i, start_j, "local")
+
+
+def semiglobal_align(
+    a: np.ndarray, b: np.ndarray, scheme: ScoringScheme | None = None
+) -> Alignment:
+    """Overlap alignment: free end gaps on both sequences.
+
+    The optimum is taken over the last row and last column, so dangling
+    ends of either sequence are unpenalised — the natural formulation for
+    the paper's containment and overlap tests.
+    """
+    scheme = scheme or blosum62_scheme()
+    a = _as_encoded(a)
+    b = _as_encoded(b)
+    H, sub = _fill(a, b, scheme, "semiglobal")
+    m, n = len(a), len(b)
+    last_row_j = int(np.argmax(H[m, :]))
+    last_col_i = int(np.argmax(H[:, n]))
+    if H[m, last_row_j] >= H[last_col_i, n]:
+        start_i, start_j = m, last_row_j
+    else:
+        start_i, start_j = last_col_i, n
+    return _traceback(H, sub, a, b, scheme, start_i, start_j, "semiglobal")
+
+
+def alignment_cells(a_len: int, b_len: int) -> int:
+    """Number of DP cells an alignment of these lengths computes.
+
+    Used by the parallel simulator as the compute-cost unit for alignment
+    work (the paper's dominant kernel).
+    """
+    return (a_len + 1) * (b_len + 1)

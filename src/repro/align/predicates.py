@@ -1,0 +1,73 @@
+"""The paper's two alignment predicates.
+
+Definition 1 (containment, redundancy removal): sequence ``s_i`` is
+*contained* in ``s_j`` if an optimal alignment has (i) >= 95% similarity
+over the overlapping region and (ii) >= 95% of ``s_i`` inside the
+overlapping region.
+
+Definition 2 (overlap, connected-component detection): two sequences
+*overlap* if they share a local alignment with >= 30% similarity covering
+>= 80% of the *longer* sequence.
+
+Both cutoffs are user-tunable software parameters (paper, footnote 3);
+the module constants are the paper's defaults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.matrices import ScoringScheme, blosum62_scheme
+from repro.align.pairwise import Alignment, semiglobal_align, local_align
+
+#: Paper defaults (Definitions 1 and 2).
+CONTAINMENT_SIMILARITY = 0.95
+CONTAINMENT_COVERAGE = 0.95
+OVERLAP_SIMILARITY = 0.30
+OVERLAP_COVERAGE = 0.80
+
+
+def containment_test(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    similarity: float = CONTAINMENT_SIMILARITY,
+    coverage: float = CONTAINMENT_COVERAGE,
+    scheme: ScoringScheme | None = None,
+) -> tuple[bool, bool, Alignment]:
+    """Evaluate Definition 1 both ways for one aligned pair.
+
+    Returns ``(a_in_b, b_in_a, alignment)``: whether ``a`` is contained in
+    ``b``, whether ``b`` is contained in ``a``, and the overlap alignment
+    used for the decision.  One alignment answers both directions, which
+    is how the redundancy-removal phase avoids aligning each pair twice.
+    """
+    scheme = scheme or blosum62_scheme()
+    aln = semiglobal_align(a, b, scheme)
+    if aln.length == 0 or aln.identity < similarity:
+        return False, False, aln
+    a_in_b = aln.coverage_a(len(a)) >= coverage
+    b_in_a = aln.coverage_b(len(b)) >= coverage
+    return a_in_b, b_in_a, aln
+
+
+def overlap_test(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    similarity: float = OVERLAP_SIMILARITY,
+    coverage: float = OVERLAP_COVERAGE,
+    scheme: ScoringScheme | None = None,
+) -> tuple[bool, Alignment]:
+    """Evaluate Definition 2 for one pair.
+
+    Returns ``(overlaps, alignment)``.  The coverage requirement applies
+    to the longer of the two sequences, per the paper.
+    """
+    scheme = scheme or blosum62_scheme()
+    aln = local_align(a, b, scheme)
+    if aln.length == 0 or aln.identity < similarity:
+        return False, aln
+    longer = max(len(a), len(b))
+    span = max(aln.a_end - aln.a_start, aln.b_end - aln.b_start)
+    return span / longer >= coverage, aln

@@ -1,0 +1,197 @@
+"""Command-line interface: ``repro <command>`` or ``python -m repro``.
+
+Commands
+--------
+generate
+    Write a synthetic metagenome (FASTA + truth table).
+run
+    Run the four-phase pipeline on a FASTA file and print families.
+evaluate
+    Compare a clustering against a truth table (PR/SE/OQ/CC).
+simulate
+    Run the pipeline with simulated parallel RR/CCD phases and report
+    per-phase virtual run-times for a processor sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.eval.metrics import pair_confusion, quality_scores
+from repro.eval.report import Table1Row
+from repro.parallel.machine import BLUEGENE_L
+from repro.parallel.simulator import VirtualCluster
+from repro.sequence.fasta import read_fasta, write_fasta
+from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+from repro.shingle.algorithm import ShingleParams
+from repro.util.timing import format_seconds
+
+
+def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--psi", type=int, default=10, help="maximal-match cutoff")
+    parser.add_argument("--tau", type=float, default=0.5, help="A~=B Jaccard cutoff")
+    parser.add_argument(
+        "--reduction", choices=("global", "domain"), default="global",
+        help="bipartite reduction (B_d or B_m)",
+    )
+    parser.add_argument("--edge-similarity", type=float, default=0.40)
+    parser.add_argument("--min-size", type=int, default=5, help="min component/DS size")
+    parser.add_argument("--shingle-s", type=int, default=5)
+    parser.add_argument("--shingle-c", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=2008)
+
+
+def _config_from_args(args: argparse.Namespace) -> PipelineConfig:
+    return PipelineConfig(
+        psi=args.psi,
+        tau=args.tau,
+        reduction=args.reduction,
+        edge_similarity=args.edge_similarity,
+        min_component_size=args.min_size,
+        min_subgraph_size=args.min_size,
+        shingle=ShingleParams(
+            s1=args.shingle_s, c1=args.shingle_c, s2=args.shingle_s,
+            c2=max(args.shingle_c // 3, 1), seed=args.seed,
+        ),
+        seed=args.seed,
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    spec = MetagenomeSpec(
+        n_families=args.families,
+        mean_family_size=args.mean_size,
+        redundant_fraction=args.redundant,
+        noise_fraction=args.noise,
+        domain_family_fraction=args.domain_fraction,
+        seed=args.seed,
+    )
+    data = generate_metagenome(spec)
+    write_fasta(data.sequences, args.output)
+    truth_path = Path(args.output).with_suffix(".truth.json")
+    truth_path.write_text(json.dumps(data.truth, indent=0), encoding="ascii")
+    print(
+        f"wrote {len(data.sequences)} sequences to {args.output} "
+        f"({len(data.redundant_of)} planted-redundant), truth -> {truth_path}"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    sequences = read_fasta(args.fasta)
+    config = _config_from_args(args)
+    result = ProteinFamilyPipeline(config).run(sequences)
+    print(Table1Row.header())
+    print(result.table1().formatted())
+    if args.output:
+        families = result.family_ids(sequences)
+        Path(args.output).write_text(
+            json.dumps(families, indent=1), encoding="ascii"
+        )
+        print(f"wrote {len(families)} families to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    families = json.loads(Path(args.families).read_text(encoding="ascii"))
+    truth = json.loads(Path(args.truth).read_text(encoding="ascii"))
+    clusters: dict[int, list[str]] = {}
+    for seq_id, fam in truth.items():
+        if fam >= 0:
+            clusters.setdefault(fam, []).append(seq_id)
+    scores = quality_scores(pair_confusion(families, clusters.values()))
+    for name, value in scores.as_dict().items():
+        print(f"{name} = {value:.2%}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.eval.families import compare_families
+
+    test = json.loads(Path(args.test).read_text(encoding="ascii"))
+    bench = json.loads(Path(args.benchmark).read_text(encoding="ascii"))
+    scores = quality_scores(pair_confusion(test, bench))
+    comparison = compare_families(test, bench)
+    for name, value in scores.as_dict().items():
+        print(f"{name} = {value:.2%}")
+    print()
+    print(comparison.summary())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    sequences = read_fasta(args.fasta)
+    config = _config_from_args(args)
+    pipeline = ProteinFamilyPipeline(config)
+    cache = pipeline._make_cache(sequences)
+    print(f"{'p':>5s} {'RR':>12s} {'CCD':>12s} {'RR+CCD':>12s}")
+    for p in args.procs:
+        cluster = VirtualCluster(p, BLUEGENE_L)
+        result = pipeline.run(sequences, cluster=cluster, cache=cache)
+        t = result.timings
+        print(
+            f"{p:>5d} {format_seconds(t.redundancy):>12s} "
+            f"{format_seconds(t.clustering):>12s} {format_seconds(t.rr_ccd):>12s}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel protein family identification (SC'08 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic metagenome")
+    p_gen.add_argument("output", help="output FASTA path")
+    p_gen.add_argument("--families", type=int, default=50)
+    p_gen.add_argument("--mean-size", type=int, default=20)
+    p_gen.add_argument("--redundant", type=float, default=0.10)
+    p_gen.add_argument("--noise", type=float, default=0.05)
+    p_gen.add_argument("--domain-fraction", type=float, default=0.0)
+    p_gen.add_argument("--seed", type=int, default=2008)
+    p_gen.set_defaults(func=cmd_generate)
+
+    p_run = sub.add_parser("run", help="run the pipeline on a FASTA file")
+    p_run.add_argument("fasta")
+    p_run.add_argument("--output", help="write families as JSON")
+    _add_pipeline_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_eval = sub.add_parser("evaluate", help="score families against a truth table")
+    p_eval.add_argument("families", help="families JSON (from `repro run`)")
+    p_eval.add_argument("truth", help="truth JSON (from `repro generate`)")
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_cmp = sub.add_parser(
+        "compare", help="compare two clustering JSON files (test vs benchmark)"
+    )
+    p_cmp.add_argument("test", help="detected families JSON")
+    p_cmp.add_argument("benchmark", help="benchmark clustering JSON")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sim = sub.add_parser("simulate", help="simulated-parallel processor sweep")
+    p_sim.add_argument("fasta")
+    p_sim.add_argument(
+        "--procs", type=int, nargs="+", default=[32, 64, 128, 512],
+        help="processor counts to sweep",
+    )
+    _add_pipeline_args(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The public pipeline: configuration, orchestration, results."""
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import (
+    PhaseTimings,
+    PipelineResult,
+    ProteinFamilyPipeline,
+)
+from repro.core.serialize import load_result_summary, result_to_dict, save_result
+
+__all__ = [
+    "PipelineConfig",
+    "PhaseTimings",
+    "PipelineResult",
+    "ProteinFamilyPipeline",
+    "load_result_summary",
+    "result_to_dict",
+    "save_result",
+]

@@ -1,0 +1,249 @@
+"""The four-phase protein-family identification pipeline (Figure 2).
+
+``ProteinFamilyPipeline`` orchestrates redundancy removal, connected
+component detection, bipartite graph generation, and dense subgraph
+detection.  It can run fully serially (the reference), or with the RR
+and CCD phases on one simulated cluster (the paper used BlueGene/L) and
+the DSD phase on another (the Linux cluster), returning simulated phase
+timings alongside the scientific results — which are identical in every
+mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import PipelineConfig
+from repro.eval.report import Table1Row, table1_row
+from repro.pace.bipartite_gen import (
+    ComponentGraphs,
+    generate_component_graphs,
+    parallel_generate_component_graphs,
+)
+from repro.pace.cache import AlignmentCache
+from repro.pace.clustering import (
+    ClusteringResult,
+    detect_components_serial,
+    parallel_component_detection,
+)
+from repro.pace.costs import CostModel
+from repro.pace.densesub import (
+    DsdResult,
+    detect_dense_subgraphs_serial,
+    parallel_dense_subgraph_detection,
+)
+from repro.pace.redundancy import (
+    RedundancyResult,
+    find_redundant_serial,
+    parallel_redundancy_removal,
+)
+from repro.parallel.simulator import VirtualCluster
+from repro.sequence.record import SequenceSet
+
+
+@dataclass
+class PhaseTimings:
+    """Simulated seconds per phase (zero when run serially)."""
+
+    redundancy: float = 0.0
+    clustering: float = 0.0
+    bipartite: float = 0.0
+    dense_subgraphs: float = 0.0
+
+    @property
+    def rr_ccd(self) -> float:
+        """The combined RR + CCD figure of Figures 6-7."""
+        return self.redundancy + self.clustering
+
+    @property
+    def total(self) -> float:
+        return (
+            self.redundancy
+            + self.clustering
+            + self.bipartite
+            + self.dense_subgraphs
+        )
+
+
+@dataclass
+class PipelineResult:
+    """Everything a pipeline run produces."""
+
+    config: PipelineConfig
+    n_input: int
+    redundancy: RedundancyResult
+    clustering: ClusteringResult
+    graphs: ComponentGraphs
+    dense: DsdResult
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    @property
+    def families(self) -> list[tuple[int, ...]]:
+        """Final dense subgraphs as tuples of global sequence indices."""
+        return self.dense.subgraphs
+
+    def family_ids(self, sequences: SequenceSet) -> list[list[str]]:
+        """Families as lists of sequence id strings."""
+        return [[sequences[i].id for i in family] for family in self.families]
+
+    def table1(self) -> Table1Row:
+        """The paper's Table I summary row for this run."""
+        return table1_row(
+            n_input=self.n_input,
+            n_nonredundant=self.redundancy.n_nonredundant,
+            components=self.clustering.components,
+            subgraphs=self.dense.subgraphs,
+            neighbors=self.graphs.neighbors,
+            min_component_size=self.config.min_component_size,
+        )
+
+
+class ProteinFamilyPipeline:
+    """End-to-end pipeline runner.
+
+    >>> pipeline = ProteinFamilyPipeline(PipelineConfig())
+    >>> result = pipeline.run(sequences)                 # serial
+    >>> result = pipeline.run(sequences, cluster=c512)   # simulated parallel
+    """
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+
+    def _make_cache(self, sequences: SequenceSet) -> AlignmentCache:
+        encoded = [record.encoded for record in sequences]
+        return AlignmentCache(lambda k: encoded[k], self.config.scheme)
+
+    def run(
+        self,
+        sequences: SequenceSet,
+        *,
+        cluster: VirtualCluster | None = None,
+        dsd_cluster: VirtualCluster | None = None,
+        cache: AlignmentCache | None = None,
+        cost_model: CostModel | None = None,
+    ) -> PipelineResult:
+        """Run all four phases.
+
+        ``cluster`` (if given) simulates the RR and CCD phases on that
+        machine; ``dsd_cluster`` does the same for the dense-subgraph
+        phase.  Passing neither runs the serial reference.  ``cache``
+        may be shared across runs on the same sequence set to avoid
+        recomputing identical alignments (host-side only; simulated
+        costs are unaffected).
+        """
+        config = self.config
+        cache = cache or self._make_cache(sequences)
+        timings = PhaseTimings()
+
+        # Phase 1: redundancy removal.
+        if cluster is not None:
+            rr = parallel_redundancy_removal(
+                sequences,
+                cluster,
+                psi=config.psi,
+                similarity=config.containment_similarity,
+                coverage=config.containment_coverage,
+                scheme=config.scheme,
+                cache=cache,
+                cost_model=cost_model,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+            timings.redundancy = rr.sim.elapsed
+        else:
+            rr = find_redundant_serial(
+                sequences,
+                psi=config.psi,
+                similarity=config.containment_similarity,
+                coverage=config.containment_coverage,
+                scheme=config.scheme,
+                cache=cache,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+
+        # Phase 2: connected component detection.
+        if cluster is not None:
+            ccd = parallel_component_detection(
+                sequences,
+                rr.kept,
+                cluster,
+                psi=config.psi,
+                similarity=config.overlap_similarity,
+                coverage=config.overlap_coverage,
+                scheme=config.scheme,
+                cache=cache,
+                cost_model=cost_model,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+            timings.clustering = ccd.sim.elapsed
+        else:
+            ccd = detect_components_serial(
+                sequences,
+                rr.kept,
+                psi=config.psi,
+                similarity=config.overlap_similarity,
+                coverage=config.overlap_coverage,
+                scheme=config.scheme,
+                cache=cache,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+
+        # Phase 3: bipartite graph generation (per component).
+        qualifying = ccd.components_of_size(config.min_component_size)
+        if cluster is not None and config.reduction == "global":
+            graphs = parallel_generate_component_graphs(
+                sequences,
+                qualifying,
+                cluster,
+                psi=config.psi,
+                edge_similarity=config.edge_similarity,
+                edge_coverage=config.edge_coverage,
+                min_size=config.min_component_size,
+                scheme=config.scheme,
+                cache=cache,
+                cost_model=cost_model,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+            timings.bipartite = graphs.sim.elapsed
+        else:
+            graphs = generate_component_graphs(
+                sequences,
+                qualifying,
+                reduction=config.reduction,
+                psi=config.psi,
+                edge_similarity=config.edge_similarity,
+                edge_coverage=config.edge_coverage,
+                w=config.w,
+                min_size=config.min_component_size,
+                scheme=config.scheme,
+                cache=cache,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+
+        # Phase 4: dense subgraph detection.
+        if dsd_cluster is not None:
+            dense = parallel_dense_subgraph_detection(
+                graphs,
+                dsd_cluster,
+                params=config.shingle,
+                min_size=config.min_subgraph_size,
+                tau=config.tau,
+                cost_model=cost_model,
+            )
+            timings.dense_subgraphs = dense.sim.elapsed
+        else:
+            dense = detect_dense_subgraphs_serial(
+                graphs,
+                params=config.shingle,
+                min_size=config.min_subgraph_size,
+                tau=config.tau,
+            )
+
+        return PipelineResult(
+            config=config,
+            n_input=len(sequences),
+            redundancy=rr,
+            clustering=ccd,
+            graphs=graphs,
+            dense=dense,
+            timings=timings,
+        )

@@ -1,0 +1,84 @@
+"""Persist pipeline results to JSON and load them back.
+
+A full run is expensive; downstream analysis (quality scoring, plotting,
+cross-run comparison) should not require re-running it.  The summary
+captures families, components, redundancy decisions, per-phase counters
+and simulated timings — everything the reports consume — keyed by
+sequence id so it survives re-indexing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any
+
+from repro.core.pipeline import PipelineResult
+from repro.sequence.record import SequenceSet
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(result: PipelineResult, sequences: SequenceSet) -> dict[str, Any]:
+    """Serialisable summary of a pipeline run (ids, not indices)."""
+    ids = sequences.ids()
+
+    def named(indices) -> list[str]:
+        return [ids[i] for i in indices]
+
+    return {
+        "format_version": FORMAT_VERSION,
+        "n_input": result.n_input,
+        "config": {
+            "psi": result.config.psi,
+            "reduction": result.config.reduction,
+            "tau": result.config.tau,
+            "edge_similarity": result.config.edge_similarity,
+            "min_component_size": result.config.min_component_size,
+            "min_subgraph_size": result.config.min_subgraph_size,
+            "shingle": asdict(result.config.shingle),
+            "seed": result.config.seed,
+        },
+        "redundancy": {
+            "removed": sorted(named(result.redundancy.redundant)),
+            "containments": [
+                [ids[a], ids[b]] for a, b in result.redundancy.containments
+            ],
+            "n_promising_pairs": result.redundancy.n_promising_pairs,
+            "n_alignments": result.redundancy.n_alignments,
+        },
+        "clustering": {
+            "components": [named(c) for c in result.clustering.components],
+            "n_promising_pairs": result.clustering.n_promising_pairs,
+            "n_filtered": result.clustering.n_filtered,
+            "n_alignments": result.clustering.n_alignments,
+        },
+        "families": [named(f) for f in result.families],
+        "timings": {
+            "redundancy": result.timings.redundancy,
+            "clustering": result.timings.clustering,
+            "bipartite": result.timings.bipartite,
+            "dense_subgraphs": result.timings.dense_subgraphs,
+        },
+        "table1": asdict(result.table1()),
+    }
+
+
+def save_result(result: PipelineResult, sequences: SequenceSet, path: str | Path) -> None:
+    """Write the run summary as JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result, sequences), indent=1), encoding="ascii"
+    )
+
+
+def load_result_summary(path: str | Path) -> dict[str, Any]:
+    """Load a summary written by :func:`save_result`, validating version."""
+    data = json.loads(Path(path).read_text(encoding="ascii"))
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return data

@@ -1,0 +1,79 @@
+"""Table I summary rows: the paper's qualitative-assessment format."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.graph.density import subgraph_density
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table I.
+
+    Columns: #Input seq., #NR seq., #CC, #DS, #Seq in DS, Mean degree,
+    Mean density, Size of largest DS.
+    """
+
+    n_input: int
+    n_nonredundant: int
+    n_components: int
+    n_dense_subgraphs: int
+    n_sequences_in_ds: int
+    mean_degree: float
+    mean_density: float
+    largest_ds: int
+
+    def formatted(self) -> str:
+        return (
+            f"{self.n_input:>10,d} {self.n_nonredundant:>8,d} {self.n_components:>6,d} "
+            f"{self.n_dense_subgraphs:>5,d} {self.n_sequences_in_ds:>10,d} "
+            f"{self.mean_degree:>11.1f} {self.mean_density:>11.0%} {self.largest_ds:>8,d}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'#Input':>10s} {'#NR':>8s} {'#CC':>6s} {'#DS':>5s} "
+            f"{'#SeqInDS':>10s} {'MeanDegree':>11s} {'MeanDensity':>11s} {'MaxDS':>8s}"
+        )
+
+
+def table1_row(
+    *,
+    n_input: int,
+    n_nonredundant: int,
+    components: Sequence[Sequence[int]],
+    subgraphs: Sequence[Sequence[int]],
+    neighbors: Mapping[int, set[int]],
+    min_component_size: int = 5,
+) -> Table1Row:
+    """Aggregate pipeline outputs into the paper's Table I statistics.
+
+    ``neighbors`` is the similarity adjacency used for the per-subgraph
+    degree/density figures (paper: density = mean degree / (m - 1)).
+    Components below ``min_component_size`` are excluded, matching the
+    table's "components containing 5 sequences or more" caption.
+    """
+    big_components = [c for c in components if len(c) >= min_component_size]
+    covered = {s for sg in subgraphs for s in sg}
+    stats = [subgraph_density(sg, neighbors) for sg in subgraphs if len(sg) > 0]
+    if stats:
+        mean_degree = sum(s.mean_degree for s in stats) / len(stats)
+        mean_density = sum(s.density for s in stats) / len(stats)
+        largest = max(s.size for s in stats)
+    else:
+        mean_degree = 0.0
+        mean_density = 0.0
+        largest = 0
+    return Table1Row(
+        n_input=n_input,
+        n_nonredundant=n_nonredundant,
+        n_components=len(big_components),
+        n_dense_subgraphs=len(subgraphs),
+        n_sequences_in_ds=len(covered),
+        mean_degree=mean_degree,
+        mean_density=mean_density,
+        largest_ds=largest,
+    )

@@ -1,0 +1,9 @@
+"""The GOS-project baseline methodology (Yooseph et al. 2007, Section II)."""
+
+from repro.gos.baseline import (
+    GosConfig,
+    GosResult,
+    gos_cluster,
+)
+
+__all__ = ["GosConfig", "GosResult", "gos_cluster"]

@@ -1,0 +1,51 @@
+"""PaCE-style parallel phases of the pipeline.
+
+Each phase exists in two equivalent forms: a *serial* pure function (the
+reference semantics, used by tests and small runs) and a *parallel*
+driver that executes the same decisions through the master-worker
+protocol on a :class:`repro.parallel.VirtualCluster`, yielding simulated
+run-times.  A key design invariant, verified by tests: the parallel
+drivers produce byte-identical scientific results for every processor
+count, because the master's transitive-closure filter only skips pairs
+whose outcome cannot affect connectivity.
+"""
+
+from repro.pace.cache import AlignmentCache
+from repro.pace.costs import CostModel
+from repro.pace.redundancy import (
+    RedundancyResult,
+    find_redundant_serial,
+    parallel_redundancy_removal,
+)
+from repro.pace.clustering import (
+    ClusteringResult,
+    detect_components_serial,
+    parallel_component_detection,
+)
+from repro.pace.bipartite_gen import (
+    ComponentGraphs,
+    generate_component_graphs,
+    parallel_generate_component_graphs,
+)
+from repro.pace.densesub import (
+    DsdResult,
+    detect_dense_subgraphs_serial,
+    parallel_dense_subgraph_detection,
+)
+
+__all__ = [
+    "AlignmentCache",
+    "CostModel",
+    "RedundancyResult",
+    "find_redundant_serial",
+    "parallel_redundancy_removal",
+    "ClusteringResult",
+    "detect_components_serial",
+    "parallel_component_detection",
+    "ComponentGraphs",
+    "generate_component_graphs",
+    "parallel_generate_component_graphs",
+    "DsdResult",
+    "detect_dense_subgraphs_serial",
+    "parallel_dense_subgraph_detection",
+]

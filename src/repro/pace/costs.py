@@ -1,0 +1,60 @@
+"""Work-unit cost model for the simulated phases.
+
+One *work unit* corresponds to one alignment DP cell on the reference
+node (see :class:`repro.parallel.MachineModel.compute_rate`).  Other
+operations are expressed in the same currency so one knob scales the
+whole simulation.  Constants are rough per-operation instruction-count
+ratios; only their *relative* magnitudes shape the scaling curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation work-unit charges."""
+
+    #: Units per suffix symbol indexed during (distributed) GST/SA build.
+    index_symbol: float = 40.0
+    #: Units to generate one promising pair at a tree node.
+    generate_pair: float = 12.0
+    #: Units per master-side handling of one streamed pair in the
+    #: *clustering* phase: message unpacking, two union-find finds,
+    #: cluster bookkeeping and redistribution decisions — microseconds of
+    #: real time, i.e. hundreds of DP-cell units.  This serial per-pair
+    #: cost is what starves the CCD phase at high processor counts
+    #: (Table II's 128 -> 512 degradation).
+    filter_pair: float = 150.0
+    #: Units per master-side handling of one pair in the *redundancy*
+    #: phase, where the master only deduplicates (a single hash-set
+    #: lookup) — much lighter than the CCD master's work, which is why
+    #: RR keeps scaling where CCD saturates.
+    dedup_pair: float = 25.0
+    #: Units per alignment DP cell (definitionally 1).
+    align_cell: float = 1.0
+    #: Units per union-find merge after a successful alignment.
+    merge: float = 5.0
+    #: Units per (vertex out-link x permutation) in the Shingle passes.
+    shingle_link: float = 2.0
+    #: Units per tuple sort/group operation in the Shingle passes.
+    shingle_tuple: float = 4.0
+
+    def alignment(self, len_a: int, len_b: int) -> float:
+        """Cost of one full DP alignment."""
+        return self.align_cell * (len_a + 1) * (len_b + 1)
+
+    def shingle_run(self, n_left: int, n_edges: int, c1: int, c2: int, n_tuples: int) -> float:
+        """Cost of one Shingle execution on one bipartite graph.
+
+        Pass I touches every out-link under every permutation
+        (c1 * |E|); pass II is bounded by tuples * c2; sorting/grouping
+        adds the tuple term — matching the paper's observation that
+        run-time grows linearly with c (Figure 7b).
+        """
+        return (
+            self.shingle_link * (c1 * n_edges + c2 * n_tuples)
+            + self.shingle_tuple * n_tuples
+            + self.shingle_link * n_left
+        )

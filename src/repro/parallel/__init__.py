@@ -1,0 +1,55 @@
+"""Simulated distributed-memory machine.
+
+The paper runs on a 512-node BlueGene/L and a 24-node Xeon cluster; this
+environment has neither MPI nor multiple nodes.  The substitution (see
+DESIGN.md) is a deterministic discrete-event simulator: rank programs
+are Python generator coroutines that perform *real* computation eagerly
+while charging virtual time for compute (work units / node rate) and for
+communication (alpha-beta model over point-to-point messages; collectives
+are built from p2p trees so their log-p costs emerge naturally).
+
+Because the simulator executes the actual algorithm — real promising
+pairs, real union-find merges, real alignments — parallel run-time
+*shape* (speedup curves, master bottlenecks, load imbalance) reproduces
+the paper's Figures 6-7 and Table II from the same causes.
+"""
+
+from repro.parallel.machine import (
+    BLUEGENE_L,
+    XEON_CLUSTER,
+    MachineModel,
+)
+from repro.parallel.simulator import (
+    ANY_SOURCE,
+    ANY_TAG,
+    DeadlockError,
+    MemoryExceededError,
+    SimComm,
+    SimulationResult,
+    VirtualCluster,
+)
+from repro.parallel.partition import balance_items, batch_by_size
+from repro.parallel.trace import RankBreakdown, Timeline
+from repro.parallel.masterworker import (
+    MasterWorkerOutcome,
+    run_master_worker,
+)
+
+__all__ = [
+    "BLUEGENE_L",
+    "XEON_CLUSTER",
+    "MachineModel",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "DeadlockError",
+    "MemoryExceededError",
+    "SimComm",
+    "SimulationResult",
+    "VirtualCluster",
+    "balance_items",
+    "batch_by_size",
+    "RankBreakdown",
+    "Timeline",
+    "MasterWorkerOutcome",
+    "run_master_worker",
+]

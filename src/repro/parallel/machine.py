@@ -1,0 +1,83 @@
+"""Machine models: compute rate, alpha-beta network, per-node memory.
+
+Constants are calibrated to the paper's two platforms.  Absolute numbers
+only set the scale of simulated seconds; scaling *shape* depends on the
+ratio of compute to communication cost, which these presets keep
+faithful (BlueGene/L: slow cores + fast low-latency torus; commodity
+cluster: fast cores + higher-latency gigabit ethernet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost model of one homogeneous distributed-memory machine.
+
+    Attributes
+    ----------
+    name:
+        Human-readable platform name.
+    compute_rate:
+        Work units per second per node.  The pipeline charges one unit
+        per alignment DP cell and per indexed suffix symbol, so this is
+        roughly "cells per second" — order 10^7 for a 700 MHz PPC440.
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Per-byte transfer time in seconds (1 / bandwidth).
+    memory_per_node:
+        Usable RAM per node in bytes; the simulator's allocator rejects
+        rank allocations beyond it (the paper's 512 MB constraint that
+        forces connected components to be analysed one-per-node).
+    """
+
+    name: str
+    compute_rate: float
+    alpha: float
+    beta: float
+    memory_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.compute_rate <= 0 or self.alpha < 0 or self.beta < 0:
+            raise ValueError("rates must be positive, delays non-negative")
+        if self.memory_per_node <= 0:
+            raise ValueError("memory_per_node must be positive")
+
+    def compute_seconds(self, units: float) -> float:
+        """Virtual seconds to execute ``units`` of work on one node."""
+        if units < 0:
+            raise ValueError(f"negative work: {units}")
+        return units / self.compute_rate
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Virtual seconds for one point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        return self.alpha + nbytes * self.beta
+
+
+#: 700 MHz PowerPC 440 nodes, 512 MB RAM, 3-D torus interconnect
+#: (co-processor mode: one compute core per node).
+BLUEGENE_L = MachineModel(
+    name="BlueGene/L",
+    compute_rate=35e6,
+    alpha=3.0e-6,
+    beta=1.0 / (150 * MIB),
+    memory_per_node=512 * MIB,
+)
+
+#: 2.33 GHz Xeon nodes, 8 GB RAM, gigabit ethernet.
+XEON_CLUSTER = MachineModel(
+    name="Linux commodity cluster",
+    compute_rate=180e6,
+    alpha=45.0e-6,
+    beta=1.0 / (110 * MIB),
+    memory_per_node=8 * GIB,
+)

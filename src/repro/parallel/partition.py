@@ -1,0 +1,82 @@
+"""Load-balanced partitioning helpers.
+
+Two placements recur in the pipeline:
+
+* suffix-bucket assignment for the distributed string index (RR/CCD
+  phases): buckets of very uneven size must spread across workers;
+* connected-component batching for the dense-subgraph phase: the paper
+  "grouped multiple connected components into batches of roughly the
+  same size and distributed the batches across processors".
+
+Both are multiway number partitioning; we use the LPT (longest
+processing time first) greedy rule, a 4/3-approximation that is the
+standard practical choice.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Sequence
+
+
+def balance_items(weights: Sequence[float], n_bins: int) -> list[list[int]]:
+    """Assign item indices to ``n_bins`` bins minimising the max bin weight.
+
+    LPT greedy: sort items by descending weight, place each in the
+    currently lightest bin.  Returns one index list per bin; bins may be
+    empty when there are fewer items than bins.
+    """
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    for w in weights:
+        if w < 0:
+            raise ValueError("weights must be non-negative")
+    bins: list[list[int]] = [[] for _ in range(n_bins)]
+    # heap of (current weight, bin index)
+    heap: list[tuple[float, int]] = [(0.0, b) for b in range(n_bins)]
+    heapq.heapify(heap)
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for item in order:
+        load, b = heapq.heappop(heap)
+        bins[b].append(item)
+        heapq.heappush(heap, (load + weights[item], b))
+    return bins
+
+
+def batch_by_size(
+    weights: Sequence[float], target_weight: float
+) -> list[list[int]]:
+    """Group item indices into batches of roughly ``target_weight`` each.
+
+    First-fit over descending weights; an item heavier than the target
+    gets its own batch.  Used to group small connected components before
+    distributing them to processors (Section V, dense-subgraph phase).
+    """
+    if target_weight <= 0:
+        raise ValueError(f"target_weight must be positive, got {target_weight}")
+    batches: list[list[int]] = []
+    loads: list[float] = []
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    for item in order:
+        w = weights[item]
+        placed = False
+        for b, load in enumerate(loads):
+            if load + w <= target_weight:
+                batches[b].append(item)
+                loads[b] += w
+                placed = True
+                break
+        if not placed:
+            batches.append([item])
+            loads.append(w)
+    return batches
+
+
+def imbalance(bin_weights: Sequence[float]) -> float:
+    """max/mean load ratio — 1.0 is perfect balance."""
+    if not bin_weights:
+        return 1.0
+    mean = sum(bin_weights) / len(bin_weights)
+    if mean == 0:
+        return 1.0
+    return max(bin_weights) / mean

@@ -1,0 +1,77 @@
+"""The 20-letter amino-acid alphabet and integer encodings.
+
+All inner-loop code (alignment DP, suffix structures, w-mer indexing)
+operates on ``uint8`` NumPy arrays produced by :func:`encode`; strings only
+appear at the I/O boundary.  Index order follows the conventional BLOSUM
+row order (ARNDCQEGHILKMFPSTWYV) so scoring matrices can be indexed
+directly with encoded sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Canonical ordering used by BLOSUM matrices.
+AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
+
+#: Number of canonical residues.
+ALPHABET_SIZE = len(AMINO_ACIDS)
+
+AA_TO_INDEX: dict[str, int] = {aa: i for i, aa in enumerate(AMINO_ACIDS)}
+INDEX_TO_AA: dict[int, str] = {i: aa for i, aa in enumerate(AMINO_ACIDS)}
+
+#: Ambiguity codes occasionally present in ORF translations.  They are
+#: remapped onto a canonical residue (the cheapest biologically defensible
+#: choice) so that downstream exact-match structures need only 20 symbols.
+_AMBIGUITY_MAP = {
+    "B": "D",  # Asx -> Asp
+    "Z": "E",  # Glx -> Glu
+    "J": "L",  # Xle -> Leu
+    "U": "C",  # selenocysteine -> Cys
+    "O": "K",  # pyrrolysine -> Lys
+    "X": "A",  # unknown -> Ala
+    "*": "A",  # stop codon inside ORF -> Ala (rare; keeps lengths intact)
+}
+
+_LOOKUP = np.full(256, 255, dtype=np.uint8)
+for _aa, _idx in AA_TO_INDEX.items():
+    _LOOKUP[ord(_aa)] = _idx
+    _LOOKUP[ord(_aa.lower())] = _idx
+for _amb, _canon in _AMBIGUITY_MAP.items():
+    _LOOKUP[ord(_amb)] = AA_TO_INDEX[_canon]
+    _LOOKUP[ord(_amb.lower())] = AA_TO_INDEX[_canon]
+
+_DECODE = np.frombuffer(AMINO_ACIDS.encode("ascii"), dtype=np.uint8)
+
+
+def encode(sequence: str) -> np.ndarray:
+    """Encode a protein string into a ``uint8`` index array.
+
+    Ambiguity codes are canonicalised; any other character raises
+    ``ValueError`` with the offending position.
+    """
+    raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    out = _LOOKUP[raw]
+    bad = np.nonzero(out == 255)[0]
+    if bad.size:
+        pos = int(bad[0])
+        raise ValueError(
+            f"invalid amino-acid character {sequence[pos]!r} at position {pos}"
+        )
+    return out
+
+
+def decode(indices: np.ndarray) -> str:
+    """Inverse of :func:`encode` for canonical residues."""
+    arr = np.asarray(indices)
+    if arr.size and (arr.min() < 0 or arr.max() >= ALPHABET_SIZE):
+        raise ValueError("index out of alphabet range")
+    return _DECODE[arr.astype(np.intp)].tobytes().decode("ascii")
+
+
+def is_valid_protein(sequence: str) -> bool:
+    """True if every character is a canonical residue or known ambiguity code."""
+    if not sequence:
+        return False
+    raw = np.frombuffer(sequence.encode("ascii", errors="replace"), dtype=np.uint8)
+    return bool(np.all(_LOOKUP[raw] != 255))

@@ -1,0 +1,81 @@
+"""Minimal, strict FASTA reader/writer.
+
+The CAMERA data the paper uses ships as FASTA; our generator writes the
+same format so examples can round-trip through files exactly like the
+original pipeline's inputs did.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.sequence.record import SequenceRecord, SequenceSet
+
+
+def parse_fasta_text(text: str) -> SequenceSet:
+    """Parse FASTA content from a string into a :class:`SequenceSet`."""
+    return _parse(io.StringIO(text))
+
+
+def read_fasta(path: str | Path) -> SequenceSet:
+    """Read a FASTA file into a :class:`SequenceSet`."""
+    with open(path, "r", encoding="ascii") as handle:
+        return _parse(handle)
+
+
+def _parse(handle: TextIO) -> SequenceSet:
+    records = SequenceSet()
+    header: str | None = None
+    description = ""
+    chunks: list[str] = []
+
+    def flush() -> None:
+        nonlocal header, description, chunks
+        if header is None:
+            return
+        residues = "".join(chunks)
+        if not residues:
+            raise ValueError(f"FASTA record {header!r} has no sequence lines")
+        records.add(SequenceRecord(id=header, residues=residues, description=description))
+        header, description, chunks = None, "", []
+
+    for lineno, line in enumerate(handle, start=1):
+        line = line.rstrip("\n").rstrip("\r")
+        if not line:
+            continue
+        if line.startswith(">"):
+            flush()
+            body = line[1:].strip()
+            if not body:
+                raise ValueError(f"empty FASTA header at line {lineno}")
+            parts = body.split(None, 1)
+            header = parts[0]
+            description = parts[1] if len(parts) > 1 else ""
+        else:
+            if header is None:
+                raise ValueError(f"sequence data before first header at line {lineno}")
+            chunks.append(line.strip())
+    flush()
+    return records
+
+
+def format_fasta(records: Iterable[SequenceRecord], *, width: int = 70) -> str:
+    """Render records as FASTA text with the given line width."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    out: list[str] = []
+    for record in records:
+        header = f">{record.id}"
+        if record.description:
+            header += f" {record.description}"
+        out.append(header)
+        residues = record.residues
+        out.extend(residues[i : i + width] for i in range(0, len(residues), width))
+    return "\n".join(out) + "\n"
+
+
+def write_fasta(records: Iterable[SequenceRecord], path: str | Path, *, width: int = 70) -> None:
+    """Write records to a FASTA file."""
+    Path(path).write_text(format_fasta(records, width=width), encoding="ascii")

@@ -1,0 +1,122 @@
+"""Sequence records and collections.
+
+A :class:`SequenceRecord` pairs a string identifier with the residue text
+and caches its integer encoding.  A :class:`SequenceSet` is an ordered,
+indexable collection with O(1) id lookup — the unit of data every pipeline
+phase consumes and produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.sequence.alphabet import encode
+
+
+@dataclass(frozen=True)
+class SequenceRecord:
+    """One ORF / amino-acid sequence.
+
+    Attributes
+    ----------
+    id:
+        Unique identifier (FASTA header token).
+    residues:
+        The amino-acid string.
+    description:
+        Free-text remainder of the FASTA header, if any.
+    """
+
+    id: str
+    residues: str
+    description: str = ""
+    _encoded: np.ndarray | None = field(
+        default=None, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("sequence id must be non-empty")
+        if not self.residues:
+            raise ValueError(f"sequence {self.id!r} has empty residues")
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+    @property
+    def encoded(self) -> np.ndarray:
+        """Cached ``uint8`` encoding of the residues."""
+        if self._encoded is None:
+            object.__setattr__(self, "_encoded", encode(self.residues))
+        return self._encoded  # type: ignore[return-value]
+
+
+class SequenceSet:
+    """Ordered collection of records with id lookup and stable indices.
+
+    Indices (0..n-1) are the vertex ids used throughout the graph phases,
+    so the set is append-only; removal is expressed by building a new set
+    (see :meth:`subset`) which keeps all phase outputs immutable.
+    """
+
+    def __init__(self, records: Iterable[SequenceRecord] = ()):  # noqa: D107
+        self._records: list[SequenceRecord] = []
+        self._by_id: dict[str, int] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: SequenceRecord) -> int:
+        """Append a record; returns its index.  Duplicate ids are rejected."""
+        if record.id in self._by_id:
+            raise ValueError(f"duplicate sequence id {record.id!r}")
+        index = len(self._records)
+        self._records.append(record)
+        self._by_id[record.id] = index
+        return index
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SequenceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> SequenceRecord:
+        return self._records[index]
+
+    def __contains__(self, seq_id: str) -> bool:
+        return seq_id in self._by_id
+
+    def index_of(self, seq_id: str) -> int:
+        """Index of the record with the given id; KeyError if absent."""
+        return self._by_id[seq_id]
+
+    def get(self, seq_id: str) -> SequenceRecord:
+        return self._records[self._by_id[seq_id]]
+
+    def ids(self) -> list[str]:
+        return [r.id for r in self._records]
+
+    def lengths(self) -> np.ndarray:
+        """Array of sequence lengths, aligned with indices."""
+        return np.fromiter((len(r) for r in self._records), dtype=np.int64, count=len(self))
+
+    @property
+    def total_residues(self) -> int:
+        return int(self.lengths().sum()) if len(self) else 0
+
+    @property
+    def mean_length(self) -> float:
+        return self.total_residues / len(self) if len(self) else 0.0
+
+    def subset(self, indices: Iterable[int]) -> "SequenceSet":
+        """New set containing the given indices, in the given order."""
+        out = SequenceSet()
+        for i in indices:
+            out.add(self._records[i])
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SequenceSet(n={len(self)}, mean_len={self.mean_length:.1f})"

@@ -1,0 +1,20 @@
+"""The two-pass Shingle algorithm for dense bipartite subgraph detection."""
+
+from repro.shingle.algorithm import (
+    DenseSubgraph,
+    ShingleParams,
+    ShingleResult,
+    shingle_dense_subgraphs,
+)
+from repro.shingle.parallel import parallel_shingle_dense_subgraphs
+from repro.shingle.postprocess import jaccard_ab, passes_ab_test
+
+__all__ = [
+    "DenseSubgraph",
+    "ShingleParams",
+    "ShingleResult",
+    "shingle_dense_subgraphs",
+    "parallel_shingle_dense_subgraphs",
+    "jaccard_ab",
+    "passes_ab_test",
+]

@@ -1,0 +1,93 @@
+"""Post-processing of Shingle output for the global-similarity reduction.
+
+The web-community formulation groups ``A`` (pointers) and ``B``
+(pointees) without requiring ``A ~= B``; the paper's B_d reduction adds
+the constraint ``|A n B| / |A u B| >= tau`` as a post-test (Section III)
+and reports ``A u B`` as the dense subgraph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.shingle.algorithm import DenseSubgraph
+
+
+def jaccard_ab(subgraph: DenseSubgraph) -> float:
+    """``|A n B| / |A u B|`` of a dense subgraph (B_d semantics: left and
+    right labels share the sequence-index space)."""
+    a = set(subgraph.left)
+    b = set(subgraph.right)
+    union = a | b
+    if not union:
+        return 0.0
+    return len(a & b) / len(union)
+
+
+def passes_ab_test(subgraph: DenseSubgraph, tau: float) -> bool:
+    """The paper's A ~= B criterion with cutoff ``0 << tau <= 1``."""
+    if not 0.0 < tau <= 1.0:
+        raise ValueError(f"tau must be in (0, 1], got {tau}")
+    return jaccard_ab(subgraph) >= tau
+
+
+def global_similarity_output(
+    subgraphs: Iterable[DenseSubgraph],
+    *,
+    tau: float = 0.5,
+    min_size: int = 5,
+) -> list[tuple[int, ...]]:
+    """Final B_d output: each passing subgraph's ``A u B`` vertex set.
+
+    Subgraphs failing the A ~= B test or smaller than ``min_size`` are
+    dropped, mirroring the paper's reporting step.  Because ``B`` is a
+    neighbourhood union, two subgraphs' ``A u B`` sets can overlap inside
+    one component; the paper expects *disjoint* dense subgraphs (each
+    protein maps to one family), so larger subgraphs claim contested
+    vertices first and later subgraphs lose them.
+    """
+    candidates: list[tuple[int, ...]] = []
+    for sg in subgraphs:
+        if not passes_ab_test(sg, tau):
+            continue
+        candidates.append(tuple(sorted(set(sg.left) | set(sg.right))))
+    candidates.sort(key=lambda m: (-len(m), m))
+    claimed: set[int] = set()
+    out: list[tuple[int, ...]] = []
+    for merged in candidates:
+        remaining = tuple(v for v in merged if v not in claimed)
+        if len(remaining) < min_size:
+            continue
+        claimed.update(remaining)
+        out.append(remaining)
+    return out
+
+
+def domain_output(
+    subgraphs: Iterable[DenseSubgraph],
+    *,
+    min_size: int = 5,
+    min_support: int = 1,
+) -> list[tuple[int, ...]]:
+    """Final B_m output: each subgraph's ``B`` (the sequence side).
+
+    ``min_support`` additionally requires that many left-side w-mers as
+    evidence (subgraphs supported by a single shared word are noise).
+    As in the global reduction, larger subgraphs claim contested
+    sequences first so reported families stay disjoint.
+    """
+    candidates = [
+        sg.right
+        for sg in subgraphs
+        if len(sg.left) >= min_support
+    ]
+    candidates.sort(key=lambda m: (-len(m), m))
+    claimed: set[int] = set()
+    out: list[tuple[int, ...]] = []
+    for right in candidates:
+        remaining = tuple(v for v in right if v not in claimed)
+        if len(remaining) < min_size:
+            continue
+        claimed.update(remaining)
+        out.append(remaining)
+    return out

@@ -1,0 +1,100 @@
+"""LCP-interval tree: the suffix-tree node hierarchy on top of SA + LCP.
+
+An *lcp-interval* of depth ``d`` is a maximal SA range whose suffixes all
+share a prefix of length >= d, with at least one adjacent pair sharing
+exactly ``d`` — this corresponds one-to-one with an internal node of
+string depth ``d`` in the suffix tree (Abouelhoda, Kurtz & Ohlebusch,
+2004).  The bottom-up stack construction below also records each
+interval's child subranges, which is exactly what maximal-match pair
+generation needs: pairs taken across *different* children of a node have
+longest common prefix exactly equal to the node depth (right-maximality
+by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class LcpInterval:
+    """One internal node of the implicit suffix tree.
+
+    ``lb..rb`` (inclusive) is the SA range.  ``children`` holds child
+    *intervals*; SA positions in the range not covered by any child are
+    singleton leaves.  ``child_ranges()`` materialises the full partition.
+    """
+
+    depth: int
+    lb: int
+    rb: int = -1
+    children: list["LcpInterval"] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return self.rb - self.lb + 1
+
+    def child_ranges(self) -> list[tuple[int, int]]:
+        """Partition of [lb, rb] into child subranges (inclusive bounds).
+
+        Child intervals keep their ranges; uncovered positions become
+        singleton ranges.  Ranges are returned left-to-right.
+        """
+        ranges: list[tuple[int, int]] = []
+        cursor = self.lb
+        for child in sorted(self.children, key=lambda c: c.lb):
+            ranges.extend((p, p) for p in range(cursor, child.lb))
+            ranges.append((child.lb, child.rb))
+            cursor = child.rb + 1
+        ranges.extend((p, p) for p in range(cursor, self.rb + 1))
+        return ranges
+
+
+def lcp_interval_tree(lcp: np.ndarray, *, min_depth: int = 1) -> list[LcpInterval]:
+    """Enumerate all lcp-intervals with depth >= min_depth, bottom-up.
+
+    Child links are maintained for *all* intervals regardless of the
+    threshold (a child is always strictly deeper than its parent, so
+    pruning only filters the returned list, never breaks partitions).
+    The virtual root (depth 0 spanning the whole SA) is returned only
+    when ``min_depth == 0``.
+    """
+    lcp = np.asarray(lcp, dtype=np.int64)
+    n = len(lcp)
+    out: list[LcpInterval] = []
+    if n == 0:
+        return out
+    stack: list[LcpInterval] = [LcpInterval(depth=0, lb=0)]
+    for i in range(1, n):
+        lb = i - 1
+        last: LcpInterval | None = None
+        current = int(lcp[i])
+        while current < stack[-1].depth:
+            node = stack.pop()
+            node.rb = i - 1
+            if node.depth >= min_depth:
+                out.append(node)
+            lb = node.lb
+            last = node
+            if current <= stack[-1].depth:
+                # The (still-stacked) enclosing interval absorbs it directly.
+                stack[-1].children.append(last)
+                last = None
+        if current > stack[-1].depth:
+            fresh = LcpInterval(depth=current, lb=lb)
+            if last is not None:
+                # A fresh intermediate node is inserted between the popped
+                # child and the enclosing interval.
+                fresh.children.append(last)
+            stack.append(fresh)
+    # Implicit final sentinel (lcp = -1) closes every open interval.
+    while stack:
+        node = stack.pop()
+        node.rb = n - 1
+        if node.depth >= min_depth:
+            out.append(node)
+        if stack:
+            stack[-1].children.append(node)
+    return out

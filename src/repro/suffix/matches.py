@@ -1,0 +1,215 @@
+"""Maximal-match promising-pair generation — the PaCE work generator.
+
+A *maximal match* between two sequences is an exact match that cannot be
+extended left or right.  In suffix-tree terms: the match string is an
+internal node v with string depth >= psi, the two occurrences lie under
+*different children* of v (right-maximal), and their preceding symbols
+differ (left-maximal).
+
+PaCE generates these pairs *on demand in decreasing match length* so that
+long (most similar) pairs are aligned first and transitive-closure
+clustering can discard the rest; we reproduce that ordering by emitting
+interval-tree nodes sorted by depth descending.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.sequence.alphabet import ALPHABET_SIZE
+from repro.suffix.intervals import lcp_interval_tree
+from repro.suffix.suffix_array import GeneralizedSuffixArray
+
+
+@dataclass(frozen=True)
+class MaximalMatch:
+    """One maximal exact match between two distinct sequences.
+
+    ``length`` is the match length; positions are offsets of the match
+    start within each sequence.  Sequence indices satisfy ``seq_a < seq_b``.
+    """
+
+    seq_a: int
+    pos_a: int
+    seq_b: int
+    pos_b: int
+    length: int
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.seq_a, self.seq_b)
+
+
+class MaximalMatchFinder:
+    """Enumerate maximal-match pairs of length >= ``min_length``.
+
+    Parameters
+    ----------
+    sequences:
+        Encoded (uint8) sequences; indices into this list name the pair
+        endpoints.
+    min_length:
+        The paper's psi cutoff — e.g. 33 guarantees any 100-residue
+        alignment at 98% identity contains such a match; the evaluation
+        uses psi = 10 for the clustering phases.
+    max_pairs_per_node:
+        Safety valve against quadratic blow-up on highly repetitive
+        inputs: per interval-tree node at most this many cross-child
+        pairs are emitted (the deepest matches still come first, so the
+        cap drops only the least informative duplicates).  ``None`` means
+        unlimited.
+    """
+
+    def __init__(
+        self,
+        sequences: Sequence[np.ndarray],
+        *,
+        min_length: int = 10,
+        max_pairs_per_node: int | None = None,
+    ):
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        self.min_length = min_length
+        self.max_pairs_per_node = max_pairs_per_node
+        self.gsa = GeneralizedSuffixArray(sequences)
+        self._intervals = lcp_interval_tree(self.gsa.lcp, min_depth=min_length)
+        # Deepest-first: PaCE's decreasing maximal-match-length order.
+        self._intervals.sort(key=lambda node: node.depth, reverse=True)
+        sa = self.gsa.sa
+        self._suffix_seq, self._suffix_off = self.gsa.locate_many(sa)
+        # Preceding symbol per SA slot (virtual sentinel -1 at text start).
+        text = self.gsa.text
+        prev = np.where(sa > 0, text[np.maximum(sa - 1, 0)], -1)
+        prev[sa == 0] = -1
+        self._left_symbol = prev
+
+    def matches(self) -> Iterator[MaximalMatch]:
+        """Yield maximal matches in decreasing match-length order."""
+        for node in self._intervals:
+            yield from self._node_matches(node)
+
+    # -- distributed-construction support ---------------------------------
+
+    def node_symbol(self, node) -> int:
+        """First symbol of an interval's common prefix.
+
+        Every match generated at a node starts with this residue, so
+        partitioning nodes by first symbol (as PaCE partitions suffix-tree
+        subtrees across processors) loses no matches of length >= 1.
+        """
+        return int(self.gsa.text[self.gsa.sa[node.lb]])
+
+    def bucket_sizes(self) -> dict[int, int]:
+        """Total suffix count per first-symbol bucket (load estimate)."""
+        sizes: dict[int, int] = {}
+        for node in self._intervals:
+            symbol = self.node_symbol(node)
+            sizes[symbol] = sizes.get(symbol, 0) + node.size
+        return sizes
+
+    def bucket_symbols(self) -> list[int]:
+        """All first symbols that own at least one interval node."""
+        return sorted(self.bucket_sizes())
+
+    def matches_for_symbols(self, symbols: set[int]) -> Iterator[MaximalMatch]:
+        """Decreasing-length match stream restricted to given buckets.
+
+        The union of streams over a partition of :meth:`bucket_symbols`
+        equals :meth:`matches` (as a multiset).
+        """
+        for node in self._intervals:
+            if self.node_symbol(node) in symbols:
+                yield from self._node_matches(node)
+
+    def bucket_construction_cost(self, symbols: set[int]) -> int:
+        """Suffix symbols a rank indexes for these buckets — the paper's
+        O(n*l/p) per-processor construction work."""
+        total = 0
+        for node in self._intervals:
+            if self.node_symbol(node) in symbols:
+                total += node.size * max(node.depth, 1)
+        return total
+
+    def _node_matches(self, node) -> Iterator[MaximalMatch]:
+        """Cross-child maximal-match pairs of one interval-tree node.
+
+        Same-child pairs are skipped: they re-appear at a deeper node
+        where their full common prefix equals the node depth.
+        """
+        cap = self.max_pairs_per_node
+        ranges = node.child_ranges()
+        emitted = 0
+        for a_idx in range(len(ranges)):
+            a_lo, a_hi = ranges[a_idx]
+            for b_idx in range(a_idx + 1, len(ranges)):
+                b_lo, b_hi = ranges[b_idx]
+                for x in range(a_lo, a_hi + 1):
+                    seq_x = int(self._suffix_seq[x])
+                    left_x = int(self._left_symbol[x])
+                    off_x = int(self._suffix_off[x])
+                    for y in range(b_lo, b_hi + 1):
+                        seq_y = int(self._suffix_seq[y])
+                        if seq_x == seq_y:
+                            continue
+                        # Left-maximality: preceding symbols differ, or
+                        # either occurrence starts at a sequence boundary
+                        # (sentinels/-1 never equal residues).
+                        left_y = int(self._left_symbol[y])
+                        if left_x == left_y and 0 <= left_x < ALPHABET_SIZE:
+                            continue
+                        if seq_x < seq_y:
+                            yield MaximalMatch(
+                                seq_x, off_x, seq_y, int(self._suffix_off[y]), node.depth
+                            )
+                        else:
+                            yield MaximalMatch(
+                                seq_y, int(self._suffix_off[y]), seq_x, off_x, node.depth
+                            )
+                        emitted += 1
+                        if cap is not None and emitted >= cap:
+                            return
+
+    def unique_pairs(self) -> Iterator[MaximalMatch]:
+        """Yield one match per sequence pair — the longest one.
+
+        Because :meth:`matches` emits in decreasing length, the first
+        occurrence of a pair is its longest maximal match; later
+        occurrences are filtered.
+        """
+        seen: set[tuple[int, int]] = set()
+        for match in self.matches():
+            if match.pair not in seen:
+                seen.add(match.pair)
+                yield match
+
+    def count_promising_pairs(self) -> int:
+        """Total pairs :meth:`matches` would emit (the paper's "promising
+        pairs generated" statistic, e.g. 168M for the 40K input)."""
+        return sum(1 for _ in self.matches())
+
+
+def merge_match_streams(
+    streams: Sequence[Iterator[MaximalMatch]],
+) -> Iterator[MaximalMatch]:
+    """Merge per-partition match streams preserving decreasing length.
+
+    The parallel phases partition suffixes across ranks; each rank
+    produces its own decreasing-length stream, and the master consumes
+    the globally longest-first merge — a heap merge on (-length).
+    """
+    heap: list[tuple[int, int, MaximalMatch, Iterator[MaximalMatch]]] = []
+    for idx, stream in enumerate(streams):
+        first = next(stream, None)
+        if first is not None:
+            heap.append((-first.length, idx, first, stream))
+    heapq.heapify(heap)
+    while heap:
+        neg_len, idx, match, stream = heapq.heappop(heap)
+        yield match
+        nxt = next(stream, None)
+        if nxt is not None:
+            heapq.heappush(heap, (-nxt.length, idx, nxt, stream))

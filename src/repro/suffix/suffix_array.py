@@ -1,0 +1,148 @@
+"""Suffix array and LCP construction over a multi-sequence text.
+
+Sequences are concatenated with *unique* per-sequence sentinel symbols
+(values ``ALPHABET_SIZE + seq_index``), so no longest-common-prefix can
+ever span a sequence boundary — two distinct sentinels never compare
+equal.  This gives the enhanced-suffix-array equivalent of a generalized
+suffix tree without per-string bookkeeping.
+
+Construction is the prefix-doubling algorithm expressed entirely in
+NumPy primitives (``lexsort`` + vectorised rank assignment), giving
+O(N log^2 N) with tiny constants — the classic way to get competitive
+string indexing out of pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.sequence.alphabet import ALPHABET_SIZE
+
+
+def suffix_array(text: np.ndarray) -> np.ndarray:
+    """Suffix array of an integer text via vectorised prefix doubling.
+
+    Returns the permutation ``sa`` with ``text[sa[0]:] < text[sa[1]:] < ...``
+    in lexicographic order (suffix comparison treats "shorter is smaller"
+    via rank -1 padding).
+    """
+    text = np.asarray(text, dtype=np.int64)
+    n = len(text)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    rank = text.copy()
+    k = 1
+    order = np.argsort(rank, kind="stable")
+    while True:
+        key2 = np.full(n, -1, dtype=np.int64)
+        key2[: n - k] = rank[k:]
+        order = np.lexsort((key2, rank))
+        r1 = rank[order]
+        r2 = key2[order]
+        boundary = np.empty(n, dtype=np.int64)
+        boundary[0] = 0
+        boundary[1:] = np.cumsum((r1[1:] != r1[:-1]) | (r2[1:] != r2[:-1]))
+        new_rank = np.empty(n, dtype=np.int64)
+        new_rank[order] = boundary
+        rank = new_rank
+        if boundary[-1] == n - 1:
+            break
+        k *= 2
+        if k >= n:
+            order = np.lexsort((np.arange(n), rank))
+            break
+    return order.astype(np.int64)
+
+
+def kasai_lcp(text: np.ndarray, sa: np.ndarray) -> np.ndarray:
+    """LCP array via Kasai's algorithm.
+
+    ``lcp[i]`` is the length of the longest common prefix of suffixes
+    ``sa[i-1]`` and ``sa[i]``; ``lcp[0] = 0``.
+    """
+    text = np.asarray(text, dtype=np.int64)
+    n = len(text)
+    lcp = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return lcp
+    rank = np.empty(n, dtype=np.int64)
+    rank[sa] = np.arange(n)
+    h = 0
+    for i in range(n):
+        r = rank[i]
+        if r == 0:
+            h = 0
+            continue
+        j = sa[r - 1]
+        limit = n - max(i, j)
+        while h < limit and text[i + h] == text[j + h]:
+            h += 1
+        lcp[r] = h
+        if h:
+            h -= 1
+    return lcp
+
+
+class GeneralizedSuffixArray:
+    """Suffix array + LCP over a collection of encoded sequences.
+
+    Exposes the position <-> (sequence, offset) mapping every consumer
+    needs.  Sentinel-starting suffixes are retained (they sort uniquely
+    and contribute no matches) so index arithmetic stays trivial.
+    """
+
+    def __init__(self, sequences: Sequence[np.ndarray]):
+        if not sequences:
+            raise ValueError("need at least one sequence")
+        self.n_sequences = len(sequences)
+        parts: list[np.ndarray] = []
+        starts = np.empty(self.n_sequences + 1, dtype=np.int64)
+        pos = 0
+        for idx, seq in enumerate(sequences):
+            arr = np.asarray(seq, dtype=np.int64)
+            if arr.ndim != 1 or arr.size == 0:
+                raise ValueError(f"sequence {idx} must be non-empty 1-D")
+            if arr.max() >= ALPHABET_SIZE or arr.min() < 0:
+                raise ValueError(f"sequence {idx} contains non-residue symbols")
+            starts[idx] = pos
+            parts.append(arr)
+            parts.append(np.array([ALPHABET_SIZE + idx], dtype=np.int64))
+            pos += len(arr) + 1
+        starts[self.n_sequences] = pos
+        self.text = np.concatenate(parts)
+        #: starts[k] is the global offset of sequence k; one sentinel follows each.
+        self.starts = starts
+        self.sa = suffix_array(self.text)
+        self.lcp = kasai_lcp(self.text, self.sa)
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+    def locate(self, position: int) -> tuple[int, int]:
+        """Map a global text position to ``(sequence_index, offset)``."""
+        if not 0 <= position < len(self.text):
+            raise IndexError(f"position {position} out of range")
+        seq = int(np.searchsorted(self.starts, position, side="right")) - 1
+        return seq, int(position - self.starts[seq])
+
+    def locate_many(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`locate` for an array of positions."""
+        positions = np.asarray(positions, dtype=np.int64)
+        seqs = np.searchsorted(self.starts, positions, side="right") - 1
+        return seqs, positions - self.starts[seqs]
+
+    def preceding_symbol(self, position: int) -> int:
+        """Symbol before ``position`` (a sentinel value if at a sequence start).
+
+        Used for the left-maximality test: a sentinel (or position 0,
+        reported as the virtual sentinel -1) never equals a residue, so
+        matches at sequence starts are always left-maximal.
+        """
+        if position == 0:
+            return -1
+        return int(self.text[position - 1])
+
+    def is_sentinel_position(self, position: int) -> bool:
+        return bool(self.text[position] >= ALPHABET_SIZE)

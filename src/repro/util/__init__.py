@@ -1,0 +1,27 @@
+"""Low-level utilities shared across the repro packages.
+
+This package deliberately has no dependencies on the rest of ``repro`` so
+that every other subpackage may import from it freely.
+"""
+
+from repro.util.hashing import (
+    UniversalHashFamily,
+    fnv1a_64,
+    hash_int_tuple,
+    next_prime,
+    splitmix64,
+)
+from repro.util.rng import derive_seed, make_rng
+from repro.util.timing import Stopwatch, format_seconds
+
+__all__ = [
+    "UniversalHashFamily",
+    "fnv1a_64",
+    "hash_int_tuple",
+    "next_prime",
+    "splitmix64",
+    "derive_seed",
+    "make_rng",
+    "Stopwatch",
+    "format_seconds",
+]

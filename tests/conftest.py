@@ -1,0 +1,67 @@
+"""Shared fixtures: small synthetic data sets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.matrices import blosum62_scheme
+from repro.pace.cache import AlignmentCache
+from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+
+
+@pytest.fixture(scope="session")
+def small_metagenome():
+    """~60 sequences, 5 families, with redundancy and noise."""
+    spec = MetagenomeSpec(
+        n_families=5,
+        mean_family_size=8,
+        mean_length=120,
+        length_stddev=25,
+        redundant_fraction=0.12,
+        noise_fraction=0.08,
+        seed=1234,
+    )
+    return generate_metagenome(spec)
+
+
+@pytest.fixture(scope="session")
+def tiny_metagenome():
+    """~20 sequences, 3 families — for the slowest integration paths."""
+    spec = MetagenomeSpec(
+        n_families=3,
+        mean_family_size=6,
+        mean_length=90,
+        length_stddev=15,
+        redundant_fraction=0.10,
+        noise_fraction=0.05,
+        seed=77,
+    )
+    return generate_metagenome(spec)
+
+
+@pytest.fixture(scope="session")
+def domain_metagenome():
+    """Domain-style families for the B_m reduction tests."""
+    spec = MetagenomeSpec(
+        n_families=4,
+        mean_family_size=6,
+        mean_length=140,
+        domain_family_fraction=1.0,
+        redundant_fraction=0.0,
+        noise_fraction=0.1,
+        fragment_fraction=0.0,
+        seed=555,
+    )
+    return generate_metagenome(spec)
+
+
+@pytest.fixture()
+def cache_for(small_metagenome):
+    encoded = [r.encoded for r in small_metagenome.sequences]
+    return AlignmentCache(lambda k: encoded[k], blosum62_scheme())
+
+
+def random_protein(rng: np.random.Generator, length: int) -> np.ndarray:
+    """Uniform random encoded protein, for property tests."""
+    return rng.integers(0, 20, size=length).astype(np.uint8)

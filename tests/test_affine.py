@@ -1,0 +1,128 @@
+"""Affine-gap (Gotoh) alignment tests against the reference fill."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.affine import (
+    AffineScheme,
+    _fill_affine,
+    _simple_fill_affine,
+    affine_global_align,
+    affine_local_align,
+    blosum62_affine,
+)
+from repro.align.matrices import IDENTITY_MATRIX
+from repro.align.pairwise import global_align, local_align
+from repro.align.matrices import ScoringScheme
+from repro.sequence.alphabet import encode
+
+encoded_seq = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=1, max_size=30
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+IDENTITY_AFFINE = AffineScheme(matrix=IDENTITY_MATRIX, gap_open=-3, gap_extend=-1)
+_BIG_NEG = -(1 << 28)
+
+
+def _reachable_equal(V, S):
+    return np.array_equal(
+        np.where(V > _BIG_NEG, V, _BIG_NEG), np.where(S > _BIG_NEG, S, _BIG_NEG)
+    )
+
+
+class TestScheme:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineScheme(matrix=IDENTITY_MATRIX, gap_open=0, gap_extend=-1)
+        with pytest.raises(ValueError):
+            AffineScheme(matrix=IDENTITY_MATRIX, gap_open=-1, gap_extend=-2)
+        with pytest.raises(ValueError):
+            AffineScheme(matrix=np.eye(3), gap_open=-2, gap_extend=-1)
+
+    def test_blosum62_affine_defaults(self):
+        s = blosum62_affine()
+        assert (s.gap_open, s.gap_extend) == (-11, -1)
+
+
+class TestFillOracle:
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=40, deadline=None)
+    def test_vectorised_matches_reference(self, a, b):
+        for scheme in (IDENTITY_AFFINE, blosum62_affine()):
+            for local in (False, True):
+                Mv, Xv, Yv, _ = _fill_affine(a, b, scheme, local)
+                Ms, Xs, Ys, _ = _simple_fill_affine(a, b, scheme, local)
+                assert _reachable_equal(Mv, Ms), (scheme.name, local, "M")
+                assert _reachable_equal(Xv, Xs), (scheme.name, local, "X")
+                assert _reachable_equal(Yv, Ys), (scheme.name, local, "Y")
+
+
+class TestGlobalAffine:
+    def test_identical(self):
+        a = encode("ARNDCQEG")
+        aln = affine_global_align(a, a.copy(), IDENTITY_AFFINE)
+        assert aln.score == 8
+        assert aln.identity == 1.0
+
+    def test_single_long_gap_cheaper_than_scattered(self):
+        """Affine gaps prefer one long gap; linear gaps are indifferent."""
+        a = encode("ARNDCQEGHILK")
+        b = encode("ARNDHILK")  # 4-residue deletion
+        aln = affine_global_align(a, b, IDENTITY_AFFINE)
+        # one open (-3) + 3 extends (-3) + 8 matches = 2
+        assert aln.score == 8 - 3 - 3
+        assert aln.gaps == 4
+        assert aln.matches == 8
+
+    def test_affine_leq_linear_when_open_heavier(self):
+        """With gap_open < linear gap, affine scores <= the linear optimum
+        computed at the extend cost."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a = rng.integers(0, 20, 25).astype(np.uint8)
+            b = rng.integers(0, 20, 20).astype(np.uint8)
+            affine = affine_global_align(a, b, IDENTITY_AFFINE)
+            linear = global_align(a, b, ScoringScheme(matrix=IDENTITY_MATRIX, gap=-1))
+            assert affine.score <= linear.score
+
+    @given(encoded_seq)
+    @settings(max_examples=25, deadline=None)
+    def test_self_alignment(self, a):
+        aln = affine_global_align(a, a.copy(), IDENTITY_AFFINE)
+        assert aln.score == len(a)
+        assert aln.gaps == 0
+
+
+class TestLocalAffine:
+    def test_embedded_motif(self):
+        aln = affine_local_align(
+            encode("WWWWARNDCQEG"), encode("KKKKKARNDCQEGKK"), IDENTITY_AFFINE
+        )
+        assert aln.identity == 1.0
+        assert aln.a_end - aln.a_start == 8
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=25, deadline=None)
+    def test_local_nonnegative_and_bounded(self, a, b):
+        aln = affine_local_align(a, b, IDENTITY_AFFINE)
+        assert 0 <= aln.score <= min(len(a), len(b))
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=25, deadline=None)
+    def test_local_geq_global(self, a, b):
+        scheme = blosum62_affine()
+        assert (
+            affine_local_align(a, b, scheme).score
+            >= affine_global_align(a, b, scheme).score
+        )
+
+    def test_gap_runs_counted(self):
+        a = encode("ARNDCQEGHILKMF")
+        b = encode("ARNDCQHILKMF")  # EG deleted
+        aln = affine_global_align(a, b, IDENTITY_AFFINE)
+        assert aln.gaps == 2
+        assert aln.length == 14

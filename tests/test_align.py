@@ -1,0 +1,251 @@
+"""Alignment kernels versus a brute-force oracle, plus predicate tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.banded import banded_global_align
+from repro.align.matrices import (
+    BLOSUM62,
+    IDENTITY_MATRIX,
+    ScoringScheme,
+    blosum62_scheme,
+    identity_scheme,
+)
+from repro.align.pairwise import (
+    Alignment,
+    _fill,
+    global_align,
+    local_align,
+    semiglobal_align,
+    alignment_cells,
+)
+from repro.align.predicates import containment_test, overlap_test
+from repro.sequence.alphabet import encode
+
+encoded_seq = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=1, max_size=40
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+
+def oracle_fill(a, b, scheme, mode):
+    """O(mn) pure-Python reference DP."""
+    m, n = len(a), len(b)
+    g = scheme.gap
+    H = [[0] * (n + 1) for _ in range(m + 1)]
+    if mode == "global":
+        for i in range(m + 1):
+            H[i][0] = g * i
+        for j in range(n + 1):
+            H[0][j] = g * j
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            v = max(
+                H[i - 1][j - 1] + int(scheme.matrix[a[i - 1], b[j - 1]]),
+                H[i - 1][j] + g,
+                H[i][j - 1] + g,
+            )
+            if mode == "local":
+                v = max(v, 0)
+            H[i][j] = v
+    return np.array(H, dtype=np.int32)
+
+
+class TestMatrices:
+    def test_blosum62_symmetric(self):
+        assert np.array_equal(BLOSUM62, BLOSUM62.T)
+
+    def test_blosum62_known_entries(self):
+        from repro.sequence.alphabet import AA_TO_INDEX as IX
+
+        assert BLOSUM62[IX["W"], IX["W"]] == 11
+        assert BLOSUM62[IX["A"], IX["A"]] == 4
+        assert BLOSUM62[IX["L"], IX["I"]] == 2
+        assert BLOSUM62[IX["W"], IX["P"]] == -4
+
+    def test_identity_matrix(self):
+        assert IDENTITY_MATRIX[3, 3] == 1
+        assert IDENTITY_MATRIX[3, 4] == -1
+
+    def test_scheme_validation(self):
+        with pytest.raises(ValueError, match="gap"):
+            ScoringScheme(matrix=BLOSUM62, gap=0)
+        with pytest.raises(ValueError, match="symmetric"):
+            bad = BLOSUM62.copy()
+            bad[0, 1] = 99
+            ScoringScheme(matrix=bad, gap=-1)
+        with pytest.raises(ValueError, match="20x20"):
+            ScoringScheme(matrix=np.eye(4), gap=-1)
+
+
+class TestFillOracle:
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=40, deadline=None)
+    def test_fill_matches_oracle_all_modes(self, a, b):
+        for scheme in (identity_scheme(), blosum62_scheme()):
+            for mode in ("global", "local", "semiglobal"):
+                H, _ = _fill(a, b, scheme, mode)
+                assert np.array_equal(H, oracle_fill(a, b, scheme, mode)), (
+                    scheme.name,
+                    mode,
+                )
+
+
+class TestGlobalAlign:
+    def test_identical(self):
+        a = encode("ARNDCQEG")
+        aln = global_align(a, a, identity_scheme())
+        assert aln.score == 8
+        assert aln.identity == 1.0
+        assert aln.matches == 8
+        assert aln.gaps == 0
+
+    def test_single_mismatch(self):
+        aln = global_align(encode("ARND"), encode("ARWD"), identity_scheme())
+        assert aln.score == 2
+        assert aln.matches == 3
+        assert aln.length == 4
+
+    def test_gap_preferred_when_cheap(self):
+        # deletion of one char
+        aln = global_align(encode("ARND"), encode("ARD"), identity_scheme())
+        assert aln.matches == 3
+        assert aln.gaps == 1
+        assert aln.length == 4
+
+    def test_spans_are_full(self):
+        a, b = encode("ARNDAR"), encode("ARND")
+        aln = global_align(a, b)
+        assert (aln.a_start, aln.a_end) == (0, 6)
+        assert (aln.b_start, aln.b_end) == (0, 4)
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry_of_score(self, a, b):
+        assert global_align(a, b).score == global_align(b, a).score
+
+    @given(encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_self_alignment_is_perfect(self, a):
+        aln = global_align(a, a, identity_scheme())
+        assert aln.score == len(a)
+        assert aln.identity == 1.0
+
+
+class TestLocalAlign:
+    def test_embedded_motif(self):
+        aln = local_align(encode("WWWWARNDCQEG"), encode("KKKKKARNDCQEGKK"))
+        assert aln.identity == 1.0
+        assert aln.a_end - aln.a_start == 8
+        assert (aln.a_start, aln.b_start) == (4, 5)
+
+    def test_score_nonnegative(self):
+        aln = local_align(encode("WWWW"), encode("KKKK"))
+        assert aln.score >= 0
+        assert aln.length == 0 or aln.identity >= 0
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_local_at_least_zero_and_bounded(self, a, b):
+        aln = local_align(a, b, identity_scheme())
+        assert 0 <= aln.score <= min(len(a), len(b))
+        assert aln.matches <= aln.length
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_local_geq_global(self, a, b):
+        scheme = blosum62_scheme()
+        assert local_align(a, b, scheme).score >= global_align(a, b, scheme).score
+
+
+class TestSemiglobal:
+    def test_prefix_suffix_overlap(self):
+        # suffix of a overlaps prefix of b, free ends
+        a, b = encode("WWWARND"), encode("ARNDKKK")
+        aln = semiglobal_align(a, b, identity_scheme())
+        assert aln.score == 4
+        assert aln.identity == 1.0
+
+    def test_containment_free_ends(self):
+        inner, outer = encode("ARNDCQ"), encode("WWARNDCQWW")
+        aln = semiglobal_align(inner, outer, identity_scheme())
+        assert aln.score == 6
+        assert aln.coverage_a(len(inner)) == 1.0
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_semiglobal_between_global_and_local(self, a, b):
+        scheme = blosum62_scheme()
+        sg = semiglobal_align(a, b, scheme).score
+        assert global_align(a, b, scheme).score <= sg <= local_align(a, b, scheme).score
+
+
+class TestBanded:
+    def test_matches_global_when_band_wide(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = rng.integers(0, 20, 30).astype(np.uint8)
+            b = a.copy()
+            b[5] = (b[5] + 1) % 20
+            full = global_align(a, b)
+            banded = banded_global_align(a, b, band=30)
+            assert banded.score == full.score
+            assert banded.matches == full.matches
+
+    def test_narrow_band_still_valid_alignment(self):
+        a = encode("ARNDCQEGHILK")
+        b = encode("ARNDCQEGHILK")
+        aln = banded_global_align(a, b, band=1, scheme=identity_scheme())
+        assert aln.score == 12
+
+    def test_band_narrower_than_length_gap_rejected(self):
+        with pytest.raises(ValueError, match="narrower"):
+            banded_global_align(encode("ARNDCQEG"), encode("AR"), band=2)
+
+
+class TestPredicates:
+    def test_containment_positive(self):
+        inner = encode("ARNDCQEGHILKMFPSTWYV")
+        outer = encode("WW" + "ARNDCQEGHILKMFPSTWYV" + "KK")
+        a_in_b, b_in_a, aln = containment_test(inner, outer)
+        assert a_in_b and not b_in_a
+        assert aln.identity >= 0.95
+
+    def test_containment_mutual_for_identical(self):
+        s = encode("ARNDCQEGHILKMFPSTWYV")
+        a_in_b, b_in_a, _ = containment_test(s, s.copy())
+        assert a_in_b and b_in_a
+
+    def test_containment_negative_low_identity(self):
+        a = encode("ARNDCQEGHILKMFPSTWYV")
+        b = encode("AWNDCQEGHILKMFPSTWYV")  # 95% identity over 20 -> 1 mismatch = exactly 95%
+        a_in_b, _, aln = containment_test(a, b, similarity=0.96)
+        assert not a_in_b
+
+    def test_overlap_positive(self):
+        base = "ARNDCQEGHILKMFPSTWYV" * 3
+        a = encode(base)
+        # 30% similarity over >=80% of longer: identical passes trivially
+        ok, aln = overlap_test(a, a.copy())
+        assert ok and aln.identity == 1.0
+
+    def test_overlap_fails_on_short_match(self):
+        a = encode("ARNDCQEGHILKMFPSTWYV" * 3)
+        b = encode("ARNDC" + "W" * 55)
+        ok, _ = overlap_test(a, b)
+        assert not ok
+
+    def test_overlap_coverage_uses_longer(self):
+        short = encode("ARNDCQEGHI")
+        longer = encode("ARNDCQEGHI" + "W" * 30)
+        # alignment covers 100% of short but only 25% of longer
+        ok, _ = overlap_test(short, longer)
+        assert not ok
+
+
+class TestAlignmentCells:
+    def test_formula(self):
+        assert alignment_cells(10, 20) == 11 * 21

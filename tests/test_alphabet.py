@@ -1,0 +1,66 @@
+"""Tests for the amino-acid alphabet encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import (
+    AMINO_ACIDS,
+    ALPHABET_SIZE,
+    AA_TO_INDEX,
+    decode,
+    encode,
+    is_valid_protein,
+)
+
+protein_strings = st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=200)
+
+
+class TestEncode:
+    def test_alphabet_has_20_residues(self):
+        assert ALPHABET_SIZE == 20
+        assert len(set(AMINO_ACIDS)) == 20
+
+    def test_canonical_order_is_blosum(self):
+        assert AMINO_ACIDS == "ARNDCQEGHILKMFPSTWYV"
+
+    @given(protein_strings)
+    def test_roundtrip(self, s):
+        assert decode(encode(s)) == s
+
+    def test_lowercase_accepted(self):
+        assert np.array_equal(encode("arnd"), encode("ARND"))
+
+    @pytest.mark.parametrize("amb,canon", [("B", "D"), ("Z", "E"), ("X", "A"), ("U", "C")])
+    def test_ambiguity_codes(self, amb, canon):
+        assert encode(amb)[0] == AA_TO_INDEX[canon]
+
+    def test_invalid_character_reported_with_position(self):
+        with pytest.raises(ValueError, match="position 2"):
+            encode("AR#D")
+
+    def test_dtype(self):
+        assert encode("ARND").dtype == np.uint8
+
+
+class TestDecode:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            decode(np.array([0, 20], dtype=np.uint8))
+
+    def test_empty(self):
+        assert decode(np.array([], dtype=np.uint8)) == ""
+
+
+class TestIsValidProtein:
+    def test_valid(self):
+        assert is_valid_protein("ARNDCQEGHILKMFPSTWYV")
+        assert is_valid_protein("MKVLAX")  # ambiguity ok
+
+    def test_invalid(self):
+        assert not is_valid_protein("AR1D")
+        assert not is_valid_protein("")
+        assert not is_valid_protein("AR D")

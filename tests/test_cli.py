@@ -1,0 +1,126 @@
+"""Command-line interface round-trip tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def generated(tmp_path):
+    fasta = tmp_path / "sample.fasta"
+    rc = main(
+        [
+            "generate",
+            str(fasta),
+            "--families",
+            "4",
+            "--mean-size",
+            "6",
+            "--seed",
+            "11",
+        ]
+    )
+    assert rc == 0
+    truth = fasta.with_suffix(".truth.json")
+    assert truth.exists()
+    return fasta, truth
+
+
+class TestGenerate:
+    def test_writes_fasta_and_truth(self, generated):
+        fasta, truth = generated
+        text = fasta.read_text()
+        assert text.startswith(">")
+        table = json.loads(truth.read_text())
+        assert len(table) > 0
+        assert all(isinstance(v, int) for v in table.values())
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.fasta"
+        b = tmp_path / "b.fasta"
+        main(["generate", str(a), "--families", "3", "--seed", "5"])
+        main(["generate", str(b), "--families", "3", "--seed", "5"])
+        assert a.read_text() == b.read_text()
+
+
+class TestRunEvaluateCompare:
+    def test_run_writes_families(self, generated, tmp_path, capsys):
+        fasta, truth = generated
+        out = tmp_path / "families.json"
+        rc = main(
+            [
+                "run",
+                str(fasta),
+                "--output",
+                str(out),
+                "--shingle-c",
+                "40",
+                "--shingle-s",
+                "3",
+                "--min-size",
+                "4",
+            ]
+        )
+        assert rc == 0
+        families = json.loads(out.read_text())
+        assert isinstance(families, list)
+        captured = capsys.readouterr().out
+        assert "#Input" in captured
+
+        rc = main(["evaluate", str(out), str(truth)])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "PR =" in captured and "CC =" in captured
+
+    def test_compare(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps([["x", "y"], ["z"]]))
+        b.write_text(json.dumps([["x", "y", "z"]]))
+        rc = main(["compare", str(a), str(b)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean purity" in out
+        assert "PR =" in out
+
+
+class TestSimulate:
+    def test_processor_sweep(self, generated, capsys):
+        fasta, _ = generated
+        rc = main(
+            [
+                "simulate",
+                str(fasta),
+                "--procs",
+                "2",
+                "4",
+                "--shingle-c",
+                "30",
+                "--shingle-s",
+                "3",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RR+CCD" in out
+        assert out.count("\n") >= 3
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_reduction_choices(self):
+        args = build_parser().parse_args(["run", "x.fasta", "--reduction", "domain"])
+        assert args.reduction == "domain"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x.fasta", "--reduction", "nope"])

@@ -1,0 +1,72 @@
+"""GOS baseline tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.metrics import compare_clusterings
+from repro.gos.baseline import GosConfig, gos_cluster
+from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+
+
+@pytest.fixture(scope="module")
+def gos_data():
+    return generate_metagenome(
+        MetagenomeSpec(
+            n_families=4,
+            mean_family_size=7,
+            mean_length=100,
+            identity_low=0.80,  # GOS uses a 70% edge cutoff: need tight families
+            identity_high=0.95,
+            redundant_fraction=0.10,
+            noise_fraction=0.05,
+            seed=31,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def gos_result(gos_data):
+    return gos_cluster(gos_data.sequences)
+
+
+class TestGosBaseline:
+    def test_redundant_removed(self, gos_data, gos_result):
+        planted = {gos_data.sequences.index_of(r) for r in gos_data.redundant_of}
+        assert planted <= gos_result.redundant
+
+    def test_clusters_match_truth_reasonably(self, gos_data, gos_result):
+        ids = gos_data.sequences.ids()
+        clusters_ids = [[ids[i] for i in c] for c in gos_result.clusters]
+        truth = list(gos_data.truth_clusters().values())
+        scores = compare_clusterings(clusters_ids, truth)
+        assert scores.precision > 0.9
+        assert scores.sensitivity > 0.3
+
+    def test_alignment_count_instrumented(self, gos_result, gos_data):
+        n = len(gos_data.sequences)
+        # all-versus-all flavour: the baseline aligns its candidate pairs
+        # for both containment and the graph, far more than needed.
+        assert gos_result.n_alignments > gos_result.n_candidate_pairs
+        assert gos_result.graph_bytes > 0
+
+    def test_clusters_are_disjoint(self, gos_result):
+        seen = set()
+        for cluster in gos_result.clusters:
+            for member in cluster:
+                assert member not in seen
+                seen.add(member)
+
+    def test_min_cluster_size_respected(self, gos_result):
+        assert all(len(c) >= 5 for c in gos_result.clusters)
+
+    def test_config_knobs(self, gos_data):
+        tight = gos_cluster(
+            gos_data.sequences,
+            GosConfig(edge_similarity=0.99, min_cluster_size=2),
+        )
+        loose = gos_cluster(
+            gos_data.sequences,
+            GosConfig(edge_similarity=0.30, min_cluster_size=2),
+        )
+        assert loose.graph_edges >= tight.graph_edges

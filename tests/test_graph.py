@@ -1,0 +1,209 @@
+"""Union-find, bipartite graph, and density statistic tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bipartite import (
+    BipartiteGraph,
+    duplicate_bipartite,
+    induced_similarity_edges,
+    wmer_bipartite,
+)
+from repro.graph.density import DenseSubgraphStats, size_histogram, subgraph_density
+from repro.graph.unionfind import KeyedUnionFind, UnionFind, connected_components_from_edges
+from repro.sequence.alphabet import encode
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.n_sets() == 5
+        assert not uf.same(0, 1)
+
+    def test_union_and_find(self):
+        uf = UnionFind(5)
+        assert uf.union(0, 1)
+        assert uf.same(0, 1)
+        assert not uf.union(1, 0)  # already merged
+        assert uf.merge_count == 1
+
+    def test_transitivity(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.same(0, 2)
+        assert uf.n_sets() == 4
+
+    def test_groups_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 3)
+        uf.union(4, 5)
+        groups = uf.groups()
+        all_members = sorted(m for g in groups.values() for m in g)
+        assert all_members == list(range(6))
+        assert sorted(len(g) for g in groups.values()) == [1, 1, 2, 2]
+
+    def test_ensure_grows(self):
+        uf = UnionFind(2)
+        uf.ensure(5)
+        assert len(uf) == 5
+        assert uf.find(4) == 4
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)), max_size=60))
+    @settings(max_examples=50)
+    def test_matches_naive_partition(self, edges):
+        """Union-find components equal a reachability-based oracle."""
+        uf = UnionFind(20)
+        adj = {i: {i} for i in range(20)}
+        for a, b in edges:
+            uf.union(a, b)
+        # naive: iterate merging until fixpoint
+        parent = list(range(20))
+
+        def root(x):
+            while parent[x] != x:
+                x = parent[x]
+            return x
+
+        for a, b in edges:
+            ra, rb = root(a), root(b)
+            if ra != rb:
+                parent[ra] = rb
+        for i in range(20):
+            for j in range(20):
+                assert uf.same(i, j) == (root(i) == root(j))
+
+    def test_connected_components_from_edges(self):
+        comps = connected_components_from_edges(6, [(0, 1), (1, 2), (4, 5)])
+        assert [sorted(c) for c in comps] == [[0, 1, 2], [4, 5], [3]]
+
+
+class TestKeyedUnionFind:
+    def test_arbitrary_keys(self):
+        uf = KeyedUnionFind()
+        uf.union("a", "b")
+        uf.union((1, 2), "c")
+        assert uf.same("a", "b")
+        assert not uf.same("a", "c")
+        assert "a" in uf and "zzz" not in uf
+
+    def test_groups(self):
+        uf = KeyedUnionFind()
+        uf.union(10, 20)
+        uf.add(30)
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [[10, 20], [30]]
+
+    def test_same_on_unknown_keys(self):
+        uf = KeyedUnionFind()
+        assert not uf.same("x", "y")
+
+
+class TestBipartiteGraph:
+    def test_gamma_sorted_unique(self):
+        g = BipartiteGraph(2, 4, [(0, 3), (0, 1), (0, 3), (1, 2)])
+        assert g.gamma(0).tolist() == [1, 3]
+        assert g.out_degree(0) == 2
+        assert g.n_edges == 4  # raw edge count
+
+    def test_vertex_range_validation(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(1, 1, [(1, 0)])
+        with pytest.raises(ValueError):
+            BipartiteGraph(1, 1, [(0, 5)])
+
+    def test_label_length_validation(self):
+        with pytest.raises(ValueError, match="left_labels"):
+            BipartiteGraph(2, 2, [], left_labels=[7])
+
+    def test_memory_bytes_positive(self):
+        g = BipartiteGraph(2, 2, [(0, 0), (1, 1)])
+        assert g.memory_bytes() > 0
+
+
+class TestDuplicateBipartite:
+    def test_clique_gamma_is_whole_clique(self):
+        edges = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        g = duplicate_bipartite(4, edges)
+        for v in range(4):
+            assert g.gamma(v).tolist() == [0, 1, 2, 3]
+
+    def test_no_self_loop_option(self):
+        g = duplicate_bipartite(3, [(0, 1)], include_self_loop=False)
+        assert g.gamma(0).tolist() == [1]
+        assert g.gamma(2).tolist() == []
+
+    def test_self_edges_ignored(self):
+        g = duplicate_bipartite(2, [(0, 0)], include_self_loop=False)
+        assert g.n_edges == 0
+
+    def test_labels_carried(self):
+        g = duplicate_bipartite(2, [(0, 1)], labels=[100, 200])
+        assert g.left_labels == [100, 200]
+        assert g.right_labels == [100, 200]
+
+
+class TestWmerBipartite:
+    def test_basic(self):
+        seqs = [encode("WWARNDCQEGHIKK"), encode("YYARNDCQEGHIVV")]
+        g = wmer_bipartite(seqs, w=10, min_sequences=2, sequence_labels=[5, 9])
+        assert g.n_right == 2
+        assert g.right_labels == [5, 9]
+        assert g.n_left >= 1
+        assert g.n_edges >= 2
+
+
+class TestInducedEdges:
+    def test_relabels(self):
+        edges = [(10, 20), (20, 30), (10, 99)]
+        local = induced_similarity_edges([10, 20, 30], edges)
+        assert sorted(local) == [(0, 1), (1, 2)]
+
+
+class TestDensity:
+    def test_clique_density_100(self):
+        nbrs = {v: {u for u in range(4) if u != v} for v in range(4)}
+        stats = subgraph_density([0, 1, 2, 3], nbrs)
+        assert stats.density == pytest.approx(1.0)
+        assert stats.mean_degree == pytest.approx(3.0)
+
+    def test_path_density(self):
+        nbrs = {0: {1}, 1: {0, 2}, 2: {1}}
+        stats = subgraph_density([0, 1, 2], nbrs)
+        assert stats.mean_degree == pytest.approx(4 / 3)
+        assert stats.density == pytest.approx((4 / 3) / 2)
+
+    def test_singleton(self):
+        stats = subgraph_density([7], {})
+        assert stats.density == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            subgraph_density([], {})
+
+    def test_external_edges_ignored(self):
+        nbrs = {0: {1, 99}, 1: {0, 98}}
+        stats = subgraph_density([0, 1], nbrs)
+        assert stats.mean_degree == pytest.approx(1.0)
+
+    def test_stats_validation(self):
+        with pytest.raises(ValueError):
+            DenseSubgraphStats(size=0, mean_degree=0, density=0)
+
+
+class TestSizeHistogram:
+    def test_buckets_like_figure5(self):
+        hist = size_histogram([5, 6, 9, 10, 14, 23], bucket=5)
+        assert hist == {"5-9": 3, "10-14": 2, "20-24": 1}
+
+    def test_invalid_bucket(self):
+        with pytest.raises(ValueError):
+            size_histogram([1], bucket=0)

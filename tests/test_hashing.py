@@ -1,0 +1,165 @@
+"""Unit and property tests for repro.util.hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.hashing import (
+    UniversalHashFamily,
+    fnv1a_64,
+    hash_int_tuple,
+    next_prime,
+    splitmix64,
+    _is_prime,
+)
+
+
+class TestFnv:
+    def test_known_value_empty(self):
+        # FNV-1a offset basis for empty input.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+    def test_distinct_inputs_distinct_hashes(self):
+        values = {fnv1a_64(f"seq{i}".encode()) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_deterministic(self):
+        assert fnv1a_64(b"hello") == fnv1a_64(b"hello")
+
+    def test_order_sensitive(self):
+        assert fnv1a_64(b"ab") != fnv1a_64(b"ba")
+
+
+class TestSplitmix:
+    def test_range(self):
+        for x in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(x) < 2**64
+
+    def test_avalanche_nontrivial(self):
+        # Flipping one input bit should change many output bits.
+        a = splitmix64(0)
+        b = splitmix64(1)
+        assert bin(a ^ b).count("1") > 16
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_deterministic(self, x):
+        assert splitmix64(x) == splitmix64(x)
+
+
+class TestHashIntTuple:
+    def test_seed_sensitivity(self):
+        assert hash_int_tuple([1, 2, 3], seed=0) != hash_int_tuple([1, 2, 3], seed=1)
+
+    def test_order_sensitivity(self):
+        assert hash_int_tuple([1, 2, 3]) != hash_int_tuple([3, 2, 1])
+
+    def test_length_sensitivity(self):
+        assert hash_int_tuple([1, 2]) != hash_int_tuple([1, 2, 0])
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**32), max_size=8))
+    def test_deterministic(self, values):
+        assert hash_int_tuple(values) == hash_int_tuple(values)
+
+
+class TestPrimes:
+    @pytest.mark.parametrize("n,expected", [(0, 2), (2, 2), (3, 3), (4, 5), (90, 97), (7919, 7919)])
+    def test_next_prime(self, n, expected):
+        assert next_prime(n) == expected
+
+    def test_is_prime_mersenne(self):
+        assert _is_prime((1 << 61) - 1)
+
+    def test_is_prime_composites(self):
+        for n in (1, 4, 561, 1 << 20):
+            assert not _is_prime(n)
+
+
+class TestUniversalHashFamily:
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            UniversalHashFamily(0)
+
+    def test_apply_out_of_range(self):
+        fam = UniversalHashFamily(3, seed=1)
+        with pytest.raises(IndexError):
+            fam.apply(3, [1, 2])
+
+    def test_members_differ(self):
+        fam = UniversalHashFamily(4, seed=1)
+        x = np.arange(100, dtype=np.uint64)
+        h0 = fam.apply(0, x)
+        h1 = fam.apply(1, x)
+        assert not np.array_equal(h0, h1)
+
+    def test_seed_changes_family(self):
+        x = np.arange(50, dtype=np.uint64)
+        a = UniversalHashFamily(2, seed=1).apply(0, x)
+        b = UniversalHashFamily(2, seed=2).apply(0, x)
+        assert not np.array_equal(a, b)
+
+    def test_apply_all_matches_apply(self):
+        fam = UniversalHashFamily(5, seed=42)
+        x = np.arange(37, dtype=np.uint64)
+        all_h = fam.apply_all(x)
+        for k in range(5):
+            assert np.array_equal(all_h[k], fam.apply(k, x))
+
+    def test_min_sample_is_subset(self):
+        fam = UniversalHashFamily(3, seed=9)
+        values = [10, 20, 30, 40, 50, 60]
+        sample = fam.min_sample(1, values, 3)
+        assert len(sample) == 3
+        assert set(sample) <= set(values)
+        assert sample == tuple(sorted(sample))
+
+    def test_min_sample_too_few(self):
+        fam = UniversalHashFamily(1, seed=0)
+        with pytest.raises(ValueError):
+            fam.min_sample(0, [1, 2], 3)
+
+    def test_min_samples_all_matches_loop(self):
+        fam = UniversalHashFamily(8, seed=3)
+        values = np.array([5, 17, 2, 99, 43, 8, 61], dtype=np.uint64)
+        batched = fam.min_samples_all(values, 3)
+        looped = [fam.min_sample(k, values, 3) for k in range(8)]
+        assert batched == looped
+
+    def test_min_samples_all_full_set(self):
+        fam = UniversalHashFamily(4, seed=3)
+        values = [3, 1, 2]
+        for sample in fam.min_samples_all(values, 3):
+            assert sample == (1, 2, 3)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**40), min_size=4, max_size=30, unique=True),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    @settings(max_examples=50)
+    def test_shared_elements_shingle_agreement(self, values, seed):
+        """Identical Gamma sets produce identical shingle sets (the property
+        the Shingle algorithm's grouping relies on)."""
+        fam = UniversalHashFamily(6, seed=seed)
+        s = min(3, len(values))
+        first = fam.min_samples_all(values, s)
+        second = fam.min_samples_all(list(values), s)
+        assert first == second
+
+    def test_min_wise_uniformity(self):
+        """Each element should be the minimum under roughly 1/n of the
+        permutations — the min-wise independence property, statistically."""
+        n = 8
+        trials = 2000
+        fam = UniversalHashFamily(trials, seed=11)
+        values = np.arange(100, 100 + n, dtype=np.uint64)
+        counts = dict.fromkeys(int(v) for v in values)
+        for key in counts:
+            counts[key] = 0
+        for k in range(trials):
+            winner = fam.min_sample(k, values, 1)[0]
+            counts[winner] += 1
+        expected = trials / n
+        for count in counts.values():
+            assert 0.5 * expected < count < 1.7 * expected

@@ -1,0 +1,190 @@
+"""LCP interval tree and maximal-match generation versus the GST oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import encode
+from repro.suffix.gst import GeneralizedSuffixTree
+from repro.suffix.intervals import LcpInterval, lcp_interval_tree
+from repro.suffix.matches import MaximalMatchFinder, MaximalMatch, merge_match_streams
+from repro.suffix.suffix_array import GeneralizedSuffixArray
+
+encoded_seqs = st.lists(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=20).map(
+        lambda xs: np.array(xs, dtype=np.uint8)
+    ),
+    min_size=2,
+    max_size=5,
+)
+
+
+def naive_maximal_matches(seqs, min_length):
+    """O(total^3)-ish brute force: all (i, pi, j, pj) maximal matches."""
+    out = set()
+    for i in range(len(seqs)):
+        for j in range(i + 1, len(seqs)):
+            a, b = seqs[i], seqs[j]
+            for pi in range(len(a)):
+                for pj in range(len(b)):
+                    # left-maximal?
+                    if pi > 0 and pj > 0 and a[pi - 1] == b[pj - 1]:
+                        continue
+                    length = 0
+                    while (
+                        pi + length < len(a)
+                        and pj + length < len(b)
+                        and a[pi + length] == b[pj + length]
+                    ):
+                        length += 1
+                    if length >= min_length:
+                        out.add((i, pi, j, pj, length))
+    return out
+
+
+class TestLcpIntervalTree:
+    def test_empty(self):
+        assert lcp_interval_tree(np.array([], dtype=np.int64)) == []
+
+    def test_flat_lcp_no_intervals(self):
+        lcp = np.array([0, 0, 0, 0], dtype=np.int64)
+        assert lcp_interval_tree(lcp, min_depth=1) == []
+
+    def test_single_interval(self):
+        # suffixes 1 and 2 share a prefix of 3
+        lcp = np.array([0, 3, 0], dtype=np.int64)
+        nodes = lcp_interval_tree(lcp, min_depth=1)
+        assert len(nodes) == 1
+        assert (nodes[0].depth, nodes[0].lb, nodes[0].rb) == (3, 0, 1)
+
+    def test_nested_intervals_child_links(self):
+        # depths: deep interval [1..2] at 5 inside shallow [0..3] at 2
+        lcp = np.array([0, 2, 5, 2], dtype=np.int64)
+        nodes = lcp_interval_tree(lcp, min_depth=1)
+        by_depth = {n.depth: n for n in nodes}
+        assert set(by_depth) == {2, 5}
+        deep, shallow = by_depth[5], by_depth[2]
+        assert (deep.lb, deep.rb) == (1, 2)
+        assert (shallow.lb, shallow.rb) == (0, 3)
+        assert deep in shallow.children
+
+    def test_child_ranges_partition(self):
+        lcp = np.array([0, 2, 5, 2], dtype=np.int64)
+        nodes = lcp_interval_tree(lcp, min_depth=1)
+        shallow = [n for n in nodes if n.depth == 2][0]
+        ranges = shallow.child_ranges()
+        covered = sorted(p for lo, hi in ranges for p in range(lo, hi + 1))
+        assert covered == list(range(shallow.lb, shallow.rb + 1))
+
+    def test_min_depth_filters_output_not_structure(self):
+        lcp = np.array([0, 2, 5, 2], dtype=np.int64)
+        nodes = lcp_interval_tree(lcp, min_depth=3)
+        assert [n.depth for n in nodes] == [5]
+
+    def test_root_only_at_min_depth_zero(self):
+        lcp = np.array([0, 0], dtype=np.int64)
+        nodes = lcp_interval_tree(lcp, min_depth=0)
+        assert len(nodes) == 1 and nodes[0].depth == 0
+
+
+class TestMaximalMatchFinder:
+    def test_simple_shared_word(self):
+        seqs = [encode("ARNDW"), encode("KARND")]
+        finder = MaximalMatchFinder(seqs, min_length=4)
+        matches = list(finder.matches())
+        assert MaximalMatch(0, 0, 1, 1, 4) in matches
+
+    def test_decreasing_order(self):
+        seqs = [encode("ARNDCQEG"), encode("ARNDCQEG"), encode("ARNDWWWW")]
+        lengths = [m.length for m in MaximalMatchFinder(seqs, min_length=2).matches()]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_unique_pairs_takes_longest(self):
+        seqs = [encode("ARNDCQEGWWWARN"), encode("ARNDCQEGKKKARN")]
+        finder = MaximalMatchFinder(seqs, min_length=3)
+        uniques = list(finder.unique_pairs())
+        assert len(uniques) == 1
+        assert uniques[0].length == 8
+
+    def test_no_same_sequence_pairs(self):
+        seqs = [encode("ARNDARND"), encode("WYVK")]
+        for m in MaximalMatchFinder(seqs, min_length=3).matches():
+            assert m.seq_a != m.seq_b
+
+    def test_min_length_validation(self):
+        with pytest.raises(ValueError):
+            MaximalMatchFinder([encode("AR")], min_length=0)
+
+    def test_cap_limits_pairs(self):
+        seqs = [encode("ARNDCQ") for _ in range(6)]
+        # relabel to distinct arrays
+        seqs = [s.copy() for s in seqs]
+        capped = MaximalMatchFinder(seqs, min_length=3, max_pairs_per_node=5)
+        assert sum(1 for _ in capped.matches()) <= 5 * len(capped._intervals)
+
+    @given(encoded_seqs)
+    @settings(max_examples=30, deadline=None)
+    def test_matches_equal_gst_oracle(self, seqs):
+        finder = MaximalMatchFinder(seqs, min_length=2)
+        sa_matches = {
+            (m.seq_a, m.pos_a, m.seq_b, m.pos_b, m.length) for m in finder.matches()
+        }
+        gst_matches = GeneralizedSuffixTree(seqs).maximal_match_pairs(2)
+        assert sa_matches == gst_matches
+
+    @given(encoded_seqs)
+    @settings(max_examples=20, deadline=None)
+    def test_matches_equal_bruteforce(self, seqs):
+        finder = MaximalMatchFinder(seqs, min_length=2)
+        sa_matches = {
+            (m.seq_a, m.pos_a, m.seq_b, m.pos_b, m.length) for m in finder.matches()
+        }
+        assert sa_matches == naive_maximal_matches(seqs, 2)
+
+
+class TestBucketPartition:
+    def _finder(self):
+        seqs = [encode("ARNDCQEGARWW"), encode("ARNDKKCQEG"), encode("RNDCQWYV")]
+        return MaximalMatchFinder(seqs, min_length=3)
+
+    def test_bucket_union_equals_all_matches(self):
+        finder = self._finder()
+        symbols = finder.bucket_symbols()
+        all_matches = sorted(
+            (m.seq_a, m.pos_a, m.seq_b, m.pos_b, m.length) for m in finder.matches()
+        )
+        union = []
+        for s in symbols:
+            union.extend(
+                (m.seq_a, m.pos_a, m.seq_b, m.pos_b, m.length)
+                for m in finder.matches_for_symbols({s})
+            )
+        assert sorted(union) == all_matches
+
+    def test_bucket_sizes_positive(self):
+        finder = self._finder()
+        assert all(v > 0 for v in finder.bucket_sizes().values())
+
+    def test_construction_cost_monotone(self):
+        finder = self._finder()
+        symbols = set(finder.bucket_symbols())
+        one = finder.bucket_construction_cost({next(iter(symbols))})
+        total = finder.bucket_construction_cost(symbols)
+        assert 0 < one <= total
+
+
+class TestMergeMatchStreams:
+    def test_merges_decreasing(self):
+        def stream(lengths):
+            for l in lengths:
+                yield MaximalMatch(0, 0, 1, 0, l)
+
+        merged = merge_match_streams([stream([9, 4, 1]), stream([7, 6, 2])])
+        lengths = [m.length for m in merged]
+        assert lengths == [9, 7, 6, 4, 2, 1]
+
+    def test_empty_streams(self):
+        assert list(merge_match_streams([iter(()), iter(())])) == []

@@ -1,0 +1,174 @@
+"""Non-blocking communication and timeline-analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.simulator import SimComm, VirtualCluster
+from repro.parallel.trace import Timeline
+
+
+class TestNonblockingSend:
+    def test_isend_overlaps_compute(self):
+        """A non-blocking sender pays only injection overhead, so it can
+        compute while the transfer is in flight."""
+
+        def make(blocking: bool):
+            def program(comm: SimComm):
+                if comm.rank == 0:
+                    for _ in range(10):
+                        if blocking:
+                            yield from comm.send(None, dest=1, nbytes=10**7)
+                        else:
+                            yield from comm.isend(None, dest=1, nbytes=10**7)
+                    yield from comm.compute(seconds=0.05)
+                    return comm.now
+                for _ in range(10):
+                    yield from comm.recv(source=0)
+                return comm.now
+
+            return program
+
+        t_blocking = VirtualCluster(2).run(make(True)).rank_results[0]
+        t_nonblocking = VirtualCluster(2).run(make(False)).rank_results[0]
+        assert t_nonblocking < t_blocking
+
+    def test_isend_message_still_delivered_with_transfer_delay(self):
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                yield from comm.isend("payload", dest=1, nbytes=10**8)
+                return comm.now  # sender returns almost immediately
+            msg = yield from comm.recv(source=0)
+            return (msg.payload, comm.now)
+
+        res = VirtualCluster(2).run(program)
+        sender_done = res.rank_results[0]
+        payload, receiver_done = res.rank_results[1]
+        assert payload == "payload"
+        # receiver had to wait for the full transfer, sender did not.
+        assert receiver_done > sender_done
+
+    def test_isend_request_complete(self):
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                req = yield from comm.isend(1, dest=1)
+                return req.complete
+            yield from comm.recv(source=0)
+            return None
+
+        assert VirtualCluster(2).run(program).rank_results[0] is True
+
+    def test_isend_reserved_tag_rejected(self):
+        def program(comm: SimComm):
+            yield from comm.isend(None, dest=0, tag=-2000)
+
+        with pytest.raises(ValueError, match="reserved"):
+            VirtualCluster(1).run(program)
+
+
+class TestProbeAndRequest:
+    def test_probe_sees_only_arrived_messages(self):
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                yield from comm.compute(seconds=1.0)
+                yield from comm.send("late", dest=1)
+                return None
+            first = yield from comm.probe(source=0)
+            yield from comm.compute(seconds=2.0)
+            second = yield from comm.probe(source=0)
+            return (first, second.payload if second else None)
+
+        res = VirtualCluster(2).run(program)
+        assert res.rank_results[1] == (None, "late")
+
+    def test_irecv_wait(self):
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                yield from comm.send(7, dest=1, tag=3)
+                return None
+            req = comm.irecv(source=0, tag=3)
+            assert not req.complete
+            msg = yield from req.wait()
+            assert req.complete
+            # A second wait returns the cached result without blocking.
+            again = yield from req.wait()
+            return (msg.payload, again.payload)
+
+        res = VirtualCluster(2).run(program)
+        assert res.rank_results[1] == (7, 7)
+
+    def test_irecv_test_polls(self):
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                yield from comm.compute(seconds=0.5)
+                yield from comm.send(42, dest=1)
+                return None
+            req = comm.irecv(source=0)
+            polls = 0
+            while True:
+                got = yield from req.test()
+                if got is not None:
+                    return (polls, got.payload)
+                polls += 1
+                yield from comm.compute(seconds=0.2)
+
+        polls, payload = VirtualCluster(2).run(program).rank_results[1]
+        assert payload == 42
+        assert polls >= 2  # had to poll through the 0.5 s delay
+
+
+def _staggered(comm: SimComm):
+    if comm.rank == 0:
+        yield from comm.compute(seconds=1.0)
+        for w in range(1, comm.size):
+            yield from comm.send(w, dest=w)
+        return None
+    yield from comm.recv(source=0)
+    yield from comm.compute(seconds=0.5 * comm.rank)
+    return None
+
+
+class TestTimeline:
+    def test_requires_recording(self):
+        sim = VirtualCluster(2).run(_staggered)
+        with pytest.raises(ValueError, match="record_timeline"):
+            Timeline(sim)
+
+    def test_breakdown_sums(self):
+        sim = VirtualCluster(4).run(_staggered, record_timeline=True)
+        tl = Timeline(sim)
+        for b in tl.breakdown():
+            assert b.compute + b.send + b.wait + b.idle == pytest.approx(
+                sim.elapsed, rel=1e-6
+            )
+        assert tl.breakdown()[3].compute == pytest.approx(1.5)
+
+    def test_bottleneck_rank(self):
+        sim = VirtualCluster(4).run(_staggered, record_timeline=True)
+        tl = Timeline(sim)
+        assert tl.bottleneck_rank() == 3  # the longest-computing worker
+
+    def test_critical_fraction_bounds(self):
+        sim = VirtualCluster(4).run(_staggered, record_timeline=True)
+        frac = Timeline(sim).critical_fraction()
+        assert 0.0 < frac <= 1.0
+
+    def test_gantt_shape(self):
+        sim = VirtualCluster(3).run(_staggered, record_timeline=True)
+        chart = Timeline(sim).gantt(width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 4  # header + 3 ranks
+        assert all("|" in line for line in lines)
+        assert "#" in chart and "." in chart
+
+    def test_gantt_width_validation(self):
+        sim = VirtualCluster(2).run(_staggered, record_timeline=True)
+        with pytest.raises(ValueError):
+            Timeline(sim).gantt(width=5)
+
+    def test_breakdown_stats_match_rank_stats(self):
+        sim = VirtualCluster(4).run(_staggered, record_timeline=True)
+        tl = Timeline(sim)
+        for b, stats in zip(tl.breakdown(), sim.rank_stats):
+            assert b.compute == pytest.approx(stats.compute_seconds, rel=1e-9)
+            assert b.wait == pytest.approx(stats.wait_seconds, rel=1e-9)

@@ -1,0 +1,159 @@
+"""Load-balancing and master-worker framework tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.masterworker import MasterWorkerConfig, run_master_worker
+from repro.parallel.partition import balance_items, batch_by_size, imbalance
+from repro.parallel.simulator import VirtualCluster
+
+
+class TestBalanceItems:
+    def test_basic(self):
+        bins = balance_items([5, 4, 3, 3, 3], 2)
+        loads = [sum([5, 4, 3, 3, 3][i] for i in b) for b in bins]
+        assert sum(len(b) for b in bins) == 5
+        # OPT = 9 ([5,4] vs [3,3,3]); LPT guarantees <= 4/3 * OPT = 12.
+        assert max(loads) <= 12
+
+    def test_more_bins_than_items(self):
+        bins = balance_items([1.0], 4)
+        assert sum(len(b) for b in bins) == 1
+        assert len(bins) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            balance_items([1], 0)
+        with pytest.raises(ValueError):
+            balance_items([-1], 2)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=50)
+    def test_partition_property(self, weights, n_bins):
+        bins = balance_items(weights, n_bins)
+        items = sorted(i for b in bins for i in b)
+        assert items == list(range(len(weights)))
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100), min_size=8, max_size=40),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=50)
+    def test_lpt_within_4_3_of_mean_bound(self, weights, n_bins):
+        """LPT guarantee: max load <= 4/3 OPT + ...; a weaker but checkable
+        bound is max <= mean + max_item."""
+        bins = balance_items(weights, n_bins)
+        loads = [sum(weights[i] for i in b) for b in bins]
+        mean = sum(weights) / n_bins
+        assert max(loads) <= mean + max(weights) + 1e-9
+
+
+class TestBatchBySize:
+    def test_target_respected(self):
+        batches = batch_by_size([4, 4, 4, 4], 8)
+        loads = [sum(4 for _ in b) for b in batches]
+        assert all(l <= 8 for l in loads)
+        assert sum(len(b) for b in batches) == 4
+
+    def test_oversize_item_own_batch(self):
+        batches = batch_by_size([100, 1], 10)
+        assert [100] in [[1] for b in batches] or any(
+            len(b) == 1 and b[0] == 0 for b in batches
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_by_size([1], 0)
+
+
+class TestImbalance:
+    def test_perfect(self):
+        assert imbalance([5, 5, 5]) == pytest.approx(1.0)
+
+    def test_skewed(self):
+        assert imbalance([10, 0, 0]) == pytest.approx(3.0)
+
+    def test_degenerate(self):
+        assert imbalance([]) == 1.0
+        assert imbalance([0, 0]) == 1.0
+
+
+def _square_config(n_items=60, filter_odd=True):
+    state = {"results": []}
+
+    def make_gen(widx, nw):
+        for x in range(widx, n_items, nw):
+            yield (x, 5.0)
+
+    config = MasterWorkerConfig(
+        make_generator=make_gen,
+        filter_item=(lambda x: x if x % 2 == 0 else None) if filter_odd else (lambda x: x),
+        execute_task=lambda x: (x * x, 50.0),
+        absorb_result=lambda r: state["results"].append(r) or 1.0,
+        gen_batch=8,
+        task_batch=4,
+    )
+    return config, state
+
+
+class TestMasterWorker:
+    @pytest.mark.parametrize("p", [1, 2, 3, 6])
+    def test_counts_and_results(self, p):
+        config, state = _square_config()
+        outcome, sim = run_master_worker(VirtualCluster(p), config)
+        assert outcome.items_generated == 60
+        assert outcome.items_filtered_out == 30
+        assert outcome.tasks_executed == 30
+        assert sorted(state["results"]) == [x * x for x in range(0, 60, 2)]
+
+    def test_setup_cost_charged(self):
+        config, _ = _square_config()
+        config.setup_cost = lambda widx, nw: 1e9  # huge per-worker setup
+        outcome, sim = run_master_worker(VirtualCluster(3), config)
+        from repro.parallel.machine import BLUEGENE_L
+
+        assert sim.elapsed >= 1e9 / BLUEGENE_L.compute_rate
+
+    def test_no_filter_all_executed(self):
+        config, state = _square_config(filter_odd=False)
+        outcome, _ = run_master_worker(VirtualCluster(4), config)
+        assert outcome.tasks_executed == 60
+
+    def test_worker_counts_sum(self):
+        config, _ = _square_config()
+        outcome, _ = run_master_worker(VirtualCluster(4), config)
+        assert sum(outcome.worker_counts.values()) == outcome.tasks_executed
+
+    def test_empty_generator(self):
+        config = MasterWorkerConfig(
+            make_generator=lambda w, n: iter(()),
+            filter_item=lambda x: x,
+            execute_task=lambda x: (x, 1.0),
+            absorb_result=lambda r: 0.0,
+        )
+        outcome, _ = run_master_worker(VirtualCluster(3), config)
+        assert outcome.items_generated == 0
+        assert outcome.tasks_executed == 0
+
+    def test_more_workers_speeds_compute_bound_phase(self):
+        """With heavy per-task cost, doubling workers should cut the
+        simulated time substantially."""
+
+        def heavy_config():
+            return MasterWorkerConfig(
+                make_generator=lambda w, n: ((x, 1.0) for x in range(w, 64, n)),
+                filter_item=lambda x: x,
+                execute_task=lambda x: (x, 5e6),
+                absorb_result=lambda r: 0.0,
+                task_batch=1,
+            )
+
+        _, sim2 = run_master_worker(VirtualCluster(2), heavy_config())
+        _, sim9 = run_master_worker(VirtualCluster(9), heavy_config())
+        assert sim9.elapsed < sim2.elapsed / 3

@@ -1,0 +1,300 @@
+"""Pipeline phase tests: RR, CCD, bipartite generation, DSD.
+
+The load-bearing invariant: every phase produces identical scientific
+output serially and at any simulated processor count.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.align.matrices import blosum62_scheme
+from repro.pace.bipartite_gen import generate_component_graphs
+from repro.pace.cache import AlignmentCache
+from repro.pace.clustering import (
+    detect_components_serial,
+    parallel_component_detection,
+    _overlap_passes,
+)
+from repro.pace.densesub import (
+    detect_dense_subgraphs_serial,
+    parallel_dense_subgraph_detection,
+)
+from repro.pace.redundancy import find_redundant_serial, parallel_redundancy_removal
+from repro.parallel.machine import XEON_CLUSTER
+from repro.parallel.simulator import VirtualCluster
+from repro.shingle.algorithm import ShingleParams
+from repro.suffix.matches import MaximalMatchFinder
+
+PSI = 10
+SMALL_SHINGLE = ShingleParams(s1=3, c1=60, s2=2, c2=25, seed=5)
+
+
+@pytest.fixture(scope="module")
+def rr_serial(small_metagenome_module, cache_module):
+    return find_redundant_serial(
+        small_metagenome_module.sequences, psi=PSI, cache=cache_module
+    )
+
+
+@pytest.fixture(scope="module")
+def small_metagenome_module():
+    from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+
+    return generate_metagenome(
+        MetagenomeSpec(
+            n_families=5,
+            mean_family_size=8,
+            mean_length=120,
+            length_stddev=25,
+            redundant_fraction=0.12,
+            noise_fraction=0.08,
+            seed=1234,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def cache_module(small_metagenome_module):
+    encoded = [r.encoded for r in small_metagenome_module.sequences]
+    return AlignmentCache(lambda k: encoded[k], blosum62_scheme())
+
+
+class TestRedundancyRemoval:
+    def test_finds_planted_redundant(self, small_metagenome_module, rr_serial):
+        """Every planted >=95%-contained copy must be removed."""
+        data = small_metagenome_module
+        planted = {data.sequences.index_of(r) for r in data.redundant_of}
+        missed = planted - rr_serial.redundant
+        assert not missed, f"missed planted redundant sequences: {missed}"
+
+    def test_kept_plus_redundant_partition(self, small_metagenome_module, rr_serial):
+        n = len(small_metagenome_module.sequences)
+        assert sorted(rr_serial.kept) + sorted(rr_serial.redundant) != []
+        assert len(rr_serial.kept) + len(rr_serial.redundant) == n
+        assert set(rr_serial.kept).isdisjoint(rr_serial.redundant)
+
+    def test_containments_recorded(self, rr_serial):
+        assert len(rr_serial.containments) >= len(rr_serial.redundant)
+        for contained, container in rr_serial.containments:
+            assert contained in rr_serial.redundant
+
+    @pytest.mark.parametrize("p", [1, 3, 6])
+    def test_parallel_equals_serial(self, small_metagenome_module, cache_module, rr_serial, p):
+        par = parallel_redundancy_removal(
+            small_metagenome_module.sequences,
+            VirtualCluster(p),
+            psi=PSI,
+            cache=cache_module,
+        )
+        assert par.redundant == rr_serial.redundant
+        assert par.kept == rr_serial.kept
+        assert par.n_promising_pairs == rr_serial.n_promising_pairs
+        assert par.sim is not None and par.sim.elapsed > 0
+
+    def test_promising_pairs_far_below_all_pairs(self, small_metagenome_module, rr_serial):
+        n = len(small_metagenome_module.sequences)
+        assert rr_serial.n_promising_pairs < n * (n - 1) // 2
+
+
+class TestComponentDetection:
+    @pytest.fixture(scope="class")
+    def ccd_serial(self, small_metagenome_module, cache_module, rr_serial):
+        return detect_components_serial(
+            small_metagenome_module.sequences, rr_serial.kept, psi=PSI, cache=cache_module
+        )
+
+    def test_components_partition_kept(self, rr_serial, ccd_serial):
+        members = sorted(m for c in ccd_serial.components for m in c)
+        assert members == sorted(rr_serial.kept)
+
+    def test_components_equal_overlap_graph_components(
+        self, small_metagenome_module, cache_module, rr_serial, ccd_serial
+    ):
+        """The documented invariant: clusters == connected components of
+        {promising pairs passing the overlap test} (networkx oracle)."""
+        seqs = small_metagenome_module.sequences
+        encoded = [r.encoded for r in seqs]
+        kept = rr_serial.kept
+        finder = MaximalMatchFinder([encoded[g] for g in kept], min_length=PSI)
+        g = nx.Graph()
+        g.add_nodes_from(range(len(kept)))
+        seen = set()
+        for m in finder.matches():
+            if m.pair in seen:
+                continue
+            seen.add(m.pair)
+            gi, gj = kept[m.pair[0]], kept[m.pair[1]]
+            aln = cache_module.local(gi, gj)
+            if _overlap_passes(aln, len(encoded[gi]), len(encoded[gj]), 0.30, 0.80):
+                g.add_edge(m.pair[0], m.pair[1])
+        oracle = sorted(
+            (sorted(kept[v] for v in comp) for comp in nx.connected_components(g)),
+            key=lambda c: (-len(c), c[0]),
+        )
+        assert [sorted(c) for c in ccd_serial.components] == oracle
+
+    def test_most_pairs_filtered(self, ccd_serial):
+        """The transitive-closure filter eliminates the overwhelming
+        majority of promising pairs (paper: >99.9% at scale)."""
+        assert ccd_serial.work_reduction > 0.5
+        assert ccd_serial.n_filtered + ccd_serial.n_alignments == ccd_serial.n_promising_pairs
+
+    @pytest.mark.parametrize("p", [1, 3, 6])
+    def test_parallel_equals_serial(
+        self, small_metagenome_module, cache_module, rr_serial, ccd_serial, p
+    ):
+        par = parallel_component_detection(
+            small_metagenome_module.sequences,
+            rr_serial.kept,
+            VirtualCluster(p),
+            psi=PSI,
+            cache=cache_module,
+        )
+        assert par.components == ccd_serial.components
+        assert par.n_promising_pairs == ccd_serial.n_promising_pairs
+
+    def test_families_not_merged(self, small_metagenome_module, ccd_serial):
+        """Sequences from different planted families should not share a
+        component (random proteins don't overlap at 30%/80%)."""
+        data = small_metagenome_module
+        for component in ccd_serial.components:
+            fams = {
+                data.truth[data.sequences[g].id]
+                for g in component
+                if data.truth[data.sequences[g].id] >= 0
+            }
+            assert len(fams) <= 1, f"component mixes families {fams}"
+
+
+class TestBipartiteGeneration:
+    @pytest.fixture(scope="class")
+    def components(self, small_metagenome_module, cache_module, rr_serial):
+        ccd = detect_components_serial(
+            small_metagenome_module.sequences, rr_serial.kept, psi=PSI, cache=cache_module
+        )
+        return ccd.components_of_size(5)
+
+    def test_graphs_per_component(self, small_metagenome_module, cache_module, components):
+        cg = generate_component_graphs(
+            small_metagenome_module.sequences, components, cache=cache_module
+        )
+        assert len(cg.graphs) == len(cg.components) == len(components)
+        for members, graph in zip(cg.components, cg.graphs):
+            assert graph.n_left == graph.n_right == len(members)
+            assert graph.left_labels == members
+
+    def test_neighbors_symmetric(self, small_metagenome_module, cache_module, components):
+        cg = generate_component_graphs(
+            small_metagenome_module.sequences, components, cache=cache_module
+        )
+        for v, nbrs in cg.neighbors.items():
+            for u in nbrs:
+                assert v in cg.neighbors[u]
+
+    def test_domain_reduction(self, small_metagenome_module, cache_module, components):
+        cg = generate_component_graphs(
+            small_metagenome_module.sequences,
+            components,
+            reduction="domain",
+            w=8,
+            cache=cache_module,
+        )
+        assert cg.reduction == "domain"
+        for members, graph in zip(cg.components, cg.graphs):
+            assert graph.n_right == len(members)
+            assert graph.right_labels == members
+
+    def test_invalid_reduction(self, small_metagenome_module, components):
+        with pytest.raises(ValueError, match="reduction"):
+            generate_component_graphs(
+                small_metagenome_module.sequences, components, reduction="bogus"
+            )
+
+    def test_small_components_skipped(self, small_metagenome_module, cache_module):
+        cg = generate_component_graphs(
+            small_metagenome_module.sequences, [[0, 1]], min_size=5, cache=cache_module
+        )
+        assert cg.graphs == []
+
+
+class TestDenseSubgraphDetection:
+    @pytest.fixture(scope="class")
+    def component_graphs(self, small_metagenome_module, cache_module, rr_serial):
+        ccd = detect_components_serial(
+            small_metagenome_module.sequences, rr_serial.kept, psi=PSI, cache=cache_module
+        )
+        return generate_component_graphs(
+            small_metagenome_module.sequences,
+            ccd.components_of_size(5),
+            cache=cache_module,
+        )
+
+    def test_serial_subgraphs_meet_min_size(self, component_graphs):
+        dsd = detect_dense_subgraphs_serial(
+            component_graphs, params=SMALL_SHINGLE, min_size=5
+        )
+        assert all(len(sg) >= 5 for sg in dsd.subgraphs)
+
+    def test_subgraphs_within_components(self, component_graphs):
+        dsd = detect_dense_subgraphs_serial(
+            component_graphs, params=SMALL_SHINGLE, min_size=5
+        )
+        all_members = {m for c in component_graphs.components for m in c}
+        for sg in dsd.subgraphs:
+            assert set(sg) <= all_members
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_parallel_equals_serial(self, component_graphs, p):
+        serial = detect_dense_subgraphs_serial(
+            component_graphs, params=SMALL_SHINGLE, min_size=5
+        )
+        par = parallel_dense_subgraph_detection(
+            component_graphs,
+            VirtualCluster(p, XEON_CLUSTER),
+            params=SMALL_SHINGLE,
+            min_size=5,
+        )
+        assert par.subgraphs == serial.subgraphs
+        assert par.sim is not None
+
+    def test_shingle_stats_collected(self, component_graphs):
+        dsd = detect_dense_subgraphs_serial(
+            component_graphs, params=SMALL_SHINGLE, min_size=5
+        )
+        assert len(dsd.shingle_stats) == len(component_graphs.graphs)
+
+
+class TestParallelBipartiteGeneration:
+    @pytest.fixture(scope="class")
+    def components(self, small_metagenome_module, cache_module, rr_serial):
+        ccd = detect_components_serial(
+            small_metagenome_module.sequences, rr_serial.kept, psi=PSI, cache=cache_module
+        )
+        return ccd.components_of_size(5)
+
+    @pytest.mark.parametrize("p", [1, 3, 6])
+    def test_parallel_equals_serial(
+        self, small_metagenome_module, cache_module, components, p
+    ):
+        from repro.pace.bipartite_gen import parallel_generate_component_graphs
+
+        serial = generate_component_graphs(
+            small_metagenome_module.sequences, components, cache=cache_module
+        )
+        par = parallel_generate_component_graphs(
+            small_metagenome_module.sequences,
+            components,
+            VirtualCluster(p),
+            cache=cache_module,
+        )
+        assert par.components == serial.components
+        assert par.n_edges == serial.n_edges
+        assert par.neighbors == serial.neighbors
+        for pg, sg in zip(par.graphs, serial.graphs):
+            assert pg.n_left == sg.n_left
+            for v in range(pg.n_left):
+                assert (pg.gamma(v) == sg.gamma(v)).all()
+        assert par.sim is not None and par.sim.elapsed > 0

@@ -1,0 +1,153 @@
+"""End-to-end pipeline integration tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.eval.metrics import compare_clusterings
+from repro.parallel.machine import XEON_CLUSTER
+from repro.parallel.simulator import VirtualCluster
+from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+from repro.shingle.algorithm import ShingleParams
+
+FAST_SHINGLE = ShingleParams(s1=3, c1=60, s2=2, c2=25, seed=5)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_metagenome(
+        MetagenomeSpec(
+            n_families=6,
+            mean_family_size=8,
+            mean_length=110,
+            identity_low=0.65,
+            identity_high=0.90,
+            redundant_fraction=0.10,
+            noise_fraction=0.08,
+            seed=2024,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PipelineConfig(shingle=FAST_SHINGLE, min_component_size=5, min_subgraph_size=5)
+
+
+@pytest.fixture(scope="module")
+def serial_result(data, config):
+    return ProteinFamilyPipeline(config).run(data.sequences)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        c = PipelineConfig()
+        assert c.containment_similarity == 0.95
+        assert c.overlap_similarity == 0.30
+        assert c.overlap_coverage == 0.80
+        assert (c.shingle.s1, c.shingle.c1) == (5, 300)
+        assert c.min_component_size == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(psi=1)
+        with pytest.raises(ValueError):
+            PipelineConfig(reduction="nope")
+        with pytest.raises(ValueError):
+            PipelineConfig(tau=0.0)
+        with pytest.raises(ValueError):
+            PipelineConfig(overlap_similarity=2.0)
+
+
+class TestSerialPipeline:
+    def test_phases_consistent(self, serial_result, data):
+        r = serial_result
+        assert r.n_input == len(data.sequences)
+        assert r.redundancy.n_nonredundant <= r.n_input
+        kept = set(r.redundancy.kept)
+        for component in r.clustering.components:
+            assert set(component) <= kept
+
+    def test_planted_redundancy_removed(self, serial_result, data):
+        planted = {data.sequences.index_of(r) for r in data.redundant_of}
+        assert planted <= serial_result.redundancy.redundant
+
+    def test_families_recovered_with_high_precision(self, serial_result, data):
+        families = serial_result.family_ids(data.sequences)
+        truth = list(data.truth_clusters().values())
+        scores = compare_clusterings(families, truth)
+        assert scores.precision > 0.95, scores.as_dict()
+        assert scores.sensitivity > 0.3, scores.as_dict()
+
+    def test_dense_subgraphs_meet_cutoffs(self, serial_result, config):
+        for sg in serial_result.families:
+            assert len(sg) >= config.min_subgraph_size
+
+    def test_table1_row_consistent(self, serial_result):
+        row = serial_result.table1()
+        assert row.n_input == serial_result.n_input
+        assert row.n_dense_subgraphs == len(serial_result.families)
+        assert 0.0 <= row.mean_density <= 1.0
+
+    def test_timings_zero_when_serial(self, serial_result):
+        assert serial_result.timings.total == 0.0
+
+
+class TestParallelPipeline:
+    @pytest.mark.parametrize("p", [2, 5])
+    def test_simulated_parallel_identical_results(self, data, config, serial_result, p):
+        pipeline = ProteinFamilyPipeline(config)
+        result = pipeline.run(
+            data.sequences,
+            cluster=VirtualCluster(p),
+            dsd_cluster=VirtualCluster(max(p // 2, 1), XEON_CLUSTER),
+        )
+        assert result.redundancy.redundant == serial_result.redundancy.redundant
+        assert result.clustering.components == serial_result.clustering.components
+        assert result.families == serial_result.families
+        assert result.timings.redundancy > 0
+        assert result.timings.clustering > 0
+        assert result.timings.dense_subgraphs > 0
+
+    def test_timings_aggregate(self, data, config):
+        pipeline = ProteinFamilyPipeline(config)
+        result = pipeline.run(data.sequences, cluster=VirtualCluster(4))
+        t = result.timings
+        assert t.rr_ccd == pytest.approx(t.redundancy + t.clustering)
+        assert t.bipartite > 0  # parallel bipartite generation was timed
+        assert t.total == pytest.approx(
+            t.rr_ccd + t.bipartite + t.dense_subgraphs
+        )
+
+
+class TestDomainReduction:
+    def test_domain_pipeline_runs(self):
+        data = generate_metagenome(
+            MetagenomeSpec(
+                n_families=3,
+                mean_family_size=6,
+                mean_length=120,
+                domain_family_fraction=1.0,
+                redundant_fraction=0.0,
+                noise_fraction=0.05,
+                fragment_fraction=0.0,
+                seed=99,
+            )
+        )
+        config = PipelineConfig(
+            reduction="domain",
+            w=8,
+            shingle=FAST_SHINGLE,
+            min_component_size=4,
+            min_subgraph_size=4,
+        )
+        result = ProteinFamilyPipeline(config).run(data.sequences)
+        assert result.graphs.reduction == "domain"
+        # Domain families share conserved blocks: at least one family found.
+        assert len(result.families) >= 1
+        families = result.family_ids(data.sequences)
+        truth = list(data.truth_clusters().values())
+        scores = compare_clusterings(families, truth)
+        assert scores.precision > 0.9

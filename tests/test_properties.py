@@ -1,0 +1,181 @@
+"""Additional cross-cutting property-based tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.matrices import identity_scheme
+from repro.align.pairwise import global_align, local_align, semiglobal_align
+from repro.parallel.simulator import SimComm, VirtualCluster, estimate_nbytes
+from repro.sequence.alphabet import encode
+from repro.suffix.suffix_array import GeneralizedSuffixArray
+from repro.suffix.ukkonen import SuffixTree
+from repro.util.hashing import UniversalHashFamily
+
+encoded_seq = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=1, max_size=30
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+
+class TestAlignmentMetamorphic:
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_concatenating_shared_prefix_raises_global_score(self, a, b):
+        """Prepending the same block to both sequences adds its full match
+        score to the global optimum (identity scoring)."""
+        prefix = encode("ARNDCQEG")
+        scheme = identity_scheme()
+        base = global_align(a, b, scheme).score
+        grown = global_align(
+            np.concatenate([prefix, a]), np.concatenate([prefix, b]), scheme
+        ).score
+        assert grown >= base + len(prefix)
+
+    @given(encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_reversal_preserves_self_similarity(self, a):
+        scheme = identity_scheme()
+        assert global_align(a[::-1].copy(), a[::-1].copy(), scheme).score == len(a)
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_local_score_invariant_under_argument_swap(self, a, b):
+        scheme = identity_scheme()
+        assert local_align(a, b, scheme).score == local_align(b, a, scheme).score
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_embedding_preserves_local_optimum(self, a, b):
+        """Padding both ends with mismatching symbols never lowers the
+        local alignment score."""
+        scheme = identity_scheme()
+        base = local_align(a, b, scheme).score
+        pad = encode("W" * 4)
+        padded = local_align(np.concatenate([pad, a, pad]), b, scheme).score
+        assert padded >= base
+
+
+class TestSuffixCrossValidation:
+    @given(encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_ukkonen_agrees_with_suffix_array_order(self, seq):
+        """The sorted leaf suffix indices of the Ukkonen tree must equal
+        the suffix array of the sentinel-extended text."""
+        tree = SuffixTree(seq)
+        gsa = GeneralizedSuffixArray([seq])
+        # gsa text = seq + sentinel; both structures index the same suffixes.
+        tree_leaves = sorted(
+            node.suffix_index for node in tree.iter_nodes() if not node.children
+        )
+        assert tree_leaves == list(range(len(seq) + 1))
+        assert sorted(gsa.sa.tolist()) == list(range(len(seq) + 1))
+
+    @given(encoded_seq, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_tree_occurrence_counts_match_lcp_intervals(self, seq, probe_len):
+        tree = SuffixTree(seq)
+        if len(seq) < probe_len:
+            return
+        pat = seq[:probe_len]
+        count = tree.count_occurrences(pat)
+        naive = sum(
+            1
+            for k in range(len(seq) - probe_len + 1)
+            if np.array_equal(seq[k : k + probe_len], pat)
+        )
+        assert count == naive
+
+
+class TestSimulatorConservation:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_message_conservation(self, p, sends):
+        """Every message sent to rank 0 is received exactly once."""
+        schedule = [s % (p - 1) + 1 for s in sends]  # sending ranks
+
+        def program(comm: SimComm):
+            if comm.rank == 0:
+                got = []
+                expected = len(schedule)
+                for _ in range(expected):
+                    msg = yield from comm.recv()
+                    got.append(msg.payload)
+                return sorted(got)
+            my_items = [i for i, r in enumerate(schedule) if r == comm.rank]
+            for item in my_items:
+                yield from comm.send(item, dest=0)
+            return None
+
+        res = VirtualCluster(p).run(program)
+        assert res.rank_results[0] == sorted(range(len(schedule)))
+        assert res.total_messages == len(schedule)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_equals_python_reduce(self, p):
+        def program(comm: SimComm):
+            out = yield from comm.allreduce(comm.rank * 3 + 1, lambda a, b: a + b)
+            return out
+
+        res = VirtualCluster(p).run(program)
+        expected = sum(r * 3 + 1 for r in range(p))
+        assert res.rank_results == [expected] * p
+
+    def test_clock_monotone_per_rank(self):
+        """Recorded timeline segments never run backwards."""
+
+        def program(comm: SimComm):
+            for _ in range(3):
+                yield from comm.compute(seconds=0.1)
+                yield from comm.barrier()
+
+        sim = VirtualCluster(4).run(program, record_timeline=True)
+        by_rank: dict[int, float] = {}
+        for rank, _, start, end in sorted(sim.timeline, key=lambda s: (s[0], s[2])):
+            assert start >= by_rank.get(rank, 0.0) - 1e-12
+            assert end >= start
+            by_rank[rank] = end
+
+
+class TestEstimateNbytes:
+    @given(st.lists(st.integers(min_value=-10, max_value=10), max_size=20))
+    def test_list_estimate_grows_with_length(self, xs):
+        assert estimate_nbytes(xs) >= estimate_nbytes(xs[: len(xs) // 2])
+
+    def test_nested(self):
+        assert estimate_nbytes([[1], [2, 3]]) > estimate_nbytes([[1]])
+
+
+class TestHashFamilyProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32), min_size=6, max_size=20, unique=True),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40)
+    def test_min_sample_permutation_invariance(self, values, seed):
+        """Shingles depend only on the *set*, not on input order."""
+        fam = UniversalHashFamily(4, seed=seed)
+        forward = fam.min_samples_matrix(values, 3)
+        backward = fam.min_samples_matrix(list(reversed(values)), 3)
+        assert (forward == backward).all()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**32), min_size=4, max_size=12, unique=True)
+    )
+    @settings(max_examples=30)
+    def test_superset_shingle_never_larger_hash_min(self, values):
+        """Adding elements can only lower (or keep) the per-permutation
+        minimum hash — the min-wise monotonicity MinHash relies on."""
+        fam = UniversalHashFamily(6, seed=1)
+        subset = values[:-1]
+        if len(subset) < 1:
+            return
+        full_mins = fam.apply_all(values).min(axis=1)
+        sub_mins = fam.apply_all(subset).min(axis=1)
+        assert (full_mins <= sub_mins).all()

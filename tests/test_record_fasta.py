@@ -1,0 +1,129 @@
+"""Tests for sequence records, sets, and FASTA I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import AMINO_ACIDS
+from repro.sequence.fasta import format_fasta, parse_fasta_text, read_fasta, write_fasta
+from repro.sequence.record import SequenceRecord, SequenceSet
+
+
+class TestSequenceRecord:
+    def test_basic(self):
+        r = SequenceRecord(id="s1", residues="ARND")
+        assert len(r) == 4
+        assert r.encoded.tolist() == [0, 1, 2, 3]
+
+    def test_encoded_cached(self):
+        r = SequenceRecord(id="s1", residues="ARND")
+        assert r.encoded is r.encoded
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceRecord(id="", residues="A")
+
+    def test_empty_residues_rejected(self):
+        with pytest.raises(ValueError):
+            SequenceRecord(id="x", residues="")
+
+
+class TestSequenceSet:
+    def _set(self):
+        return SequenceSet(
+            [SequenceRecord(id=f"s{i}", residues="ARND" * (i + 1)) for i in range(4)]
+        )
+
+    def test_indexing_and_lookup(self):
+        s = self._set()
+        assert len(s) == 4
+        assert s.index_of("s2") == 2
+        assert s.get("s2").id == "s2"
+        assert "s3" in s and "nope" not in s
+
+    def test_duplicate_id_rejected(self):
+        s = self._set()
+        with pytest.raises(ValueError, match="duplicate"):
+            s.add(SequenceRecord(id="s0", residues="A"))
+
+    def test_lengths_and_means(self):
+        s = self._set()
+        assert s.lengths().tolist() == [4, 8, 12, 16]
+        assert s.total_residues == 40
+        assert s.mean_length == 10.0
+
+    def test_subset_preserves_order(self):
+        s = self._set()
+        sub = s.subset([3, 1])
+        assert sub.ids() == ["s3", "s1"]
+        assert sub.index_of("s3") == 0
+
+    def test_empty_set(self):
+        s = SequenceSet()
+        assert len(s) == 0
+        assert s.total_residues == 0
+        assert s.mean_length == 0.0
+
+
+class TestFasta:
+    def test_parse_basic(self):
+        text = ">a desc here\nARND\nCQEG\n>b\nWWWW\n"
+        s = parse_fasta_text(text)
+        assert s.ids() == ["a", "b"]
+        assert s.get("a").residues == "ARNDCQEG"
+        assert s.get("a").description == "desc here"
+
+    def test_parse_blank_lines_ok(self):
+        s = parse_fasta_text(">a\n\nAR\n\nND\n")
+        assert s.get("a").residues == "ARND"
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError, match="before first header"):
+            parse_fasta_text("ARND\n")
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            parse_fasta_text(">\nA\n")
+        with pytest.raises(ValueError, match="no sequence lines"):
+            parse_fasta_text(">a\n>b\nAR\n")
+
+    def test_format_width(self):
+        rec = SequenceRecord(id="x", residues="A" * 25)
+        out = format_fasta([rec], width=10)
+        lines = out.strip().split("\n")
+        assert lines[0] == ">x"
+        assert [len(l) for l in lines[1:]] == [10, 10, 5]
+
+    def test_format_invalid_width(self):
+        with pytest.raises(ValueError):
+            format_fasta([], width=0)
+
+    def test_roundtrip_file(self, tmp_path):
+        records = [
+            SequenceRecord(id="s1", residues="ARNDCQEG", description="family 1"),
+            SequenceRecord(id="s2", residues="WWWWYYYY"),
+        ]
+        path = tmp_path / "test.fasta"
+        write_fasta(records, path)
+        back = read_fasta(path)
+        assert back.ids() == ["s1", "s2"]
+        assert back.get("s1").residues == "ARNDCQEG"
+        assert back.get("s1").description == "family 1"
+
+    @given(
+        st.lists(
+            st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=150),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_roundtrip_property(self, residue_lists):
+        records = [
+            SequenceRecord(id=f"q{i}", residues=res)
+            for i, res in enumerate(residue_lists)
+        ]
+        parsed = parse_fasta_text(format_fasta(records, width=13))
+        assert parsed.ids() == [r.id for r in records]
+        for rec in records:
+            assert parsed.get(rec.id).residues == rec.residues

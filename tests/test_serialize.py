@@ -1,0 +1,91 @@
+"""Result serialisation round-trip tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.core.serialize import (
+    FORMAT_VERSION,
+    load_result_summary,
+    result_to_dict,
+    save_result,
+)
+from repro.shingle.algorithm import ShingleParams
+
+
+@pytest.fixture(scope="module")
+def run(tiny_metagenome_module):
+    data = tiny_metagenome_module
+    config = PipelineConfig(
+        shingle=ShingleParams(s1=3, c1=40, s2=2, c2=15, seed=2),
+        min_component_size=4,
+        min_subgraph_size=4,
+    )
+    return data, ProteinFamilyPipeline(config).run(data.sequences)
+
+
+@pytest.fixture(scope="module")
+def tiny_metagenome_module():
+    from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+
+    return generate_metagenome(
+        MetagenomeSpec(
+            n_families=3, mean_family_size=6, mean_length=90,
+            redundant_fraction=0.1, noise_fraction=0.05, seed=77,
+        )
+    )
+
+
+class TestResultToDict:
+    def test_ids_not_indices(self, run):
+        data, result = run
+        d = result_to_dict(result, data.sequences)
+        all_ids = set(data.sequences.ids())
+        for fam in d["families"]:
+            assert set(fam) <= all_ids
+        for comp in d["clustering"]["components"]:
+            assert set(comp) <= all_ids
+        assert set(d["redundancy"]["removed"]) <= all_ids
+
+    def test_counts_match(self, run):
+        data, result = run
+        d = result_to_dict(result, data.sequences)
+        assert d["n_input"] == len(data.sequences)
+        assert len(d["families"]) == len(result.families)
+        assert d["clustering"]["n_filtered"] == result.clustering.n_filtered
+        assert d["table1"]["n_dense_subgraphs"] == len(result.families)
+
+    def test_config_captured(self, run):
+        data, result = run
+        d = result_to_dict(result, data.sequences)
+        assert d["config"]["psi"] == result.config.psi
+        assert d["config"]["shingle"]["c1"] == 40
+
+    def test_json_serialisable(self, run):
+        data, result = run
+        json.dumps(result_to_dict(result, data.sequences))
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, run, tmp_path):
+        data, result = run
+        path = tmp_path / "result.json"
+        save_result(result, data.sequences, path)
+        loaded = load_result_summary(path)
+        assert loaded == result_to_dict(result, data.sequences)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        with pytest.raises(ValueError, match="format version"):
+            load_result_summary(path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        path = tmp_path / "none.json"
+        path.write_text(json.dumps({}))
+        with pytest.raises(ValueError, match="format version"):
+            load_result_summary(path)

@@ -1,0 +1,127 @@
+"""Suffix array + LCP versus naive oracles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import encode
+from repro.suffix.suffix_array import GeneralizedSuffixArray, kasai_lcp, suffix_array
+
+small_text = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=1, max_size=60
+).map(lambda xs: np.array(xs, dtype=np.int64))
+
+encoded_seqs = st.lists(
+    st.lists(st.integers(min_value=0, max_value=19), min_size=1, max_size=25).map(
+        lambda xs: np.array(xs, dtype=np.uint8)
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def naive_suffix_array(text):
+    suffixes = sorted(range(len(text)), key=lambda i: list(text[i:]))
+    return np.array(suffixes, dtype=np.int64)
+
+
+def naive_lcp(text, sa):
+    n = len(text)
+    lcp = np.zeros(n, dtype=np.int64)
+    for r in range(1, n):
+        i, j = sa[r - 1], sa[r]
+        h = 0
+        while i + h < n and j + h < n and text[i + h] == text[j + h]:
+            h += 1
+        lcp[r] = h
+    return lcp
+
+
+class TestSuffixArray:
+    def test_empty(self):
+        assert suffix_array(np.array([], dtype=np.int64)).size == 0
+
+    def test_banana_like(self):
+        # "banana" with b=1,a=0,n=2 -> suffixes of 102020
+        text = np.array([1, 0, 2, 0, 2, 0], dtype=np.int64)
+        assert suffix_array(text).tolist() == naive_suffix_array(text).tolist()
+
+    def test_all_equal_symbols(self):
+        text = np.zeros(10, dtype=np.int64)
+        assert suffix_array(text).tolist() == list(range(9, -1, -1))
+
+    @given(small_text)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive(self, text):
+        assert suffix_array(text).tolist() == naive_suffix_array(text).tolist()
+
+    @given(small_text)
+    @settings(max_examples=60, deadline=None)
+    def test_kasai_matches_naive(self, text):
+        sa = suffix_array(text)
+        assert kasai_lcp(text, sa).tolist() == naive_lcp(text, sa).tolist()
+
+    def test_is_permutation(self):
+        rng = np.random.default_rng(4)
+        text = rng.integers(0, 5, 200)
+        sa = suffix_array(text)
+        assert sorted(sa.tolist()) == list(range(200))
+
+
+class TestGeneralizedSuffixArray:
+    def test_requires_sequences(self):
+        with pytest.raises(ValueError):
+            GeneralizedSuffixArray([])
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError):
+            GeneralizedSuffixArray([encode("AR"), np.array([], dtype=np.uint8)])
+
+    def test_rejects_out_of_alphabet(self):
+        with pytest.raises(ValueError):
+            GeneralizedSuffixArray([np.array([25], dtype=np.uint8)])
+
+    def test_locate_roundtrip(self):
+        seqs = [encode("ARND"), encode("CQ"), encode("WYV")]
+        gsa = GeneralizedSuffixArray(seqs)
+        # positions 0..3 -> seq 0, 4 sentinel0, 5..6 seq 1, ...
+        assert gsa.locate(0) == (0, 0)
+        assert gsa.locate(3) == (0, 3)
+        assert gsa.locate(5) == (1, 0)
+        assert gsa.locate(10) == (2, 2)
+
+    def test_locate_many_matches_locate(self):
+        seqs = [encode("ARNDAR"), encode("NDARN")]
+        gsa = GeneralizedSuffixArray(seqs)
+        positions = np.arange(len(gsa.text))
+        seq_ids, offsets = gsa.locate_many(positions)
+        for p in positions:
+            assert (seq_ids[p], offsets[p]) == gsa.locate(int(p))
+
+    def test_sentinels_unique_so_no_cross_boundary_lcp(self):
+        # two identical sequences: lcp between their suffixes stops at the
+        # sequence length (sentinels differ).
+        seqs = [encode("ARND"), encode("ARND")]
+        gsa = GeneralizedSuffixArray(seqs)
+        assert gsa.lcp.max() == 4
+
+    @given(encoded_seqs)
+    @settings(max_examples=40, deadline=None)
+    def test_lcp_never_spans_sentinel(self, seqs):
+        gsa = GeneralizedSuffixArray(seqs)
+        max_len = max(len(s) for s in seqs)
+        assert gsa.lcp.max() <= max_len
+
+    def test_preceding_symbol(self):
+        gsa = GeneralizedSuffixArray([encode("AR"), encode("ND")])
+        assert gsa.preceding_symbol(0) == -1
+        assert gsa.preceding_symbol(1) == 0  # 'A'
+        assert gsa.preceding_symbol(3) >= 20  # sentinel before seq 1
+
+    def test_is_sentinel_position(self):
+        gsa = GeneralizedSuffixArray([encode("AR")])
+        assert not gsa.is_sentinel_position(0)
+        assert gsa.is_sentinel_position(2)
