@@ -1,0 +1,112 @@
+"""Real wall-clock: SerialBackend versus ProcessBackend on the host.
+
+Unlike the Figure 6/7 benches, which charge *simulated* time to a
+machine model, this one measures physical seconds on the machine it
+runs on.  It runs the full four-phase pipeline once per backend on the
+22K-analogue workload, asserts the scientific output is identical, and
+writes ``BENCH_runtime.json`` at the repo root with the measured
+per-phase wall-clock and the speedup.
+
+On a single-core container the process backend is expected to be
+*slower* (IPC overhead with no parallel hardware to pay for it); the
+JSON records ``cpu_count`` so a reader can interpret the speedup
+honestly.  On >= 4 real cores the acceptance target is >= 2x on this
+workload.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_runtime_wallclock.py
+[workers]``) or via pytest (``pytest benchmarks/bench_runtime_wallclock.py
+--benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.runtime import ProcessBackend, default_worker_count, usable_cpu_count
+
+from workloads import BENCH_CONFIG, metagenome_22k, print_banner
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _phase_report(runtime) -> dict:
+    return {
+        name: {
+            "wall_seconds": round(phase.wall_seconds, 4),
+            "tasks": phase.tasks,
+            "utilization": round(phase.utilization(runtime.workers), 4),
+        }
+        for name, phase in runtime.phases.items()
+    }
+
+
+def run_comparison(workers: int | None = None) -> dict:
+    """Serial vs process wall-clock; asserts identical families/Table I."""
+    workers = workers or max(default_worker_count(), 4)
+    sequences = metagenome_22k().sequences
+    pipeline = ProteinFamilyPipeline(BENCH_CONFIG)
+
+    start = perf_counter()
+    serial = pipeline.run(sequences, backend="serial")
+    serial_seconds = perf_counter() - start
+
+    backend = ProcessBackend(workers=workers)
+    start = perf_counter()
+    process = pipeline.run(sequences, backend=backend)
+    process_seconds = perf_counter() - start
+
+    assert process.families == serial.families, "backend output diverged"
+    assert process.table1() == serial.table1(), "Table I diverged"
+
+    return {
+        "workload": "22k-analogue",
+        "n_sequences": len(sequences),
+        "cpu_count": usable_cpu_count(),
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 3),
+        "process_seconds": round(process_seconds, 3),
+        "speedup": round(serial_seconds / process_seconds, 3),
+        "identical_output": True,
+        "serial_phases": _phase_report(serial.runtime),
+        "process_phases": _phase_report(process.runtime),
+        "process_cache": {
+            k: round(v, 4) if isinstance(v, float) else v
+            for k, v in process.runtime.cache.items()
+        },
+    }
+
+
+def _report(record: dict) -> None:
+    print_banner("Runtime backends — measured wall-clock")
+    print(
+        f"{record['n_sequences']} sequences, {record['cpu_count']} usable "
+        f"cpu(s), {record['workers']} workers"
+    )
+    print(f"{'serial':>10s} {record['serial_seconds']:>10.2f}s")
+    print(f"{'process':>10s} {record['process_seconds']:>10.2f}s")
+    print(f"{'speedup':>10s} {record['speedup']:>10.2f}x")
+    for name, phases in (
+        ("serial", record["serial_phases"]),
+        ("process", record["process_phases"]),
+    ):
+        for phase, row in phases.items():
+            print(
+                f"  {name:<8s}{phase:<16s}{row['wall_seconds']:>9.2f}s "
+                f"util={row['utilization']:.0%}"
+            )
+    RESULT_PATH.write_text(json.dumps(record, indent=1), encoding="ascii")
+    print(f"wrote {RESULT_PATH.name}")
+
+
+def test_runtime_wallclock(benchmark):
+    record = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    _report(record)
+
+
+if __name__ == "__main__":
+    requested = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    _report(run_comparison(requested))

@@ -25,6 +25,13 @@ from repro.eval.metrics import pair_confusion, quality_scores
 from repro.gos.baseline import GosConfig, GosResult, gos_cluster
 from repro.parallel.machine import BLUEGENE_L, XEON_CLUSTER, MachineModel
 from repro.parallel.simulator import VirtualCluster
+from repro.runtime import (
+    Backend,
+    ProcessBackend,
+    RuntimeStats,
+    SerialBackend,
+    runtime_info,
+)
 from repro.sequence.fasta import read_fasta, write_fasta
 from repro.sequence.generator import (
     MetagenomeSpec,
@@ -50,6 +57,11 @@ __all__ = [
     "XEON_CLUSTER",
     "MachineModel",
     "VirtualCluster",
+    "Backend",
+    "ProcessBackend",
+    "RuntimeStats",
+    "SerialBackend",
+    "runtime_info",
     "read_fasta",
     "write_fasta",
     "MetagenomeSpec",

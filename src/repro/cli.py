@@ -11,6 +11,13 @@ evaluate
 simulate
     Run the pipeline with simulated parallel RR/CCD phases and report
     per-phase virtual run-times for a processor sweep.
+runtime-info
+    Print detected cores and execution-backend availability.
+
+``run`` accepts ``--backend {serial,process}`` and ``--workers N`` to
+execute on a real multi-core backend (see :mod:`repro.runtime`); the
+scientific output is identical, and measured per-phase wall-clock,
+worker-utilisation, and alignment-cache statistics are printed.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ from pathlib import Path
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import ProteinFamilyPipeline
 from repro.eval.metrics import pair_confusion, quality_scores
-from repro.eval.report import Table1Row
+from repro.eval.report import Table1Row, cache_stats_lines
 from repro.parallel.machine import BLUEGENE_L
 from repro.parallel.simulator import VirtualCluster
 from repro.sequence.fasta import read_fasta, write_fasta
@@ -46,6 +53,17 @@ def _add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2008)
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("serial", "process"), default="serial",
+        help="execution backend (process = real multi-core workers)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for --backend process (0 = auto)",
+    )
+
+
 def _config_from_args(args: argparse.Namespace) -> PipelineConfig:
     return PipelineConfig(
         psi=args.psi,
@@ -59,6 +77,8 @@ def _config_from_args(args: argparse.Namespace) -> PipelineConfig:
             c2=max(args.shingle_c // 3, 1), seed=args.seed,
         ),
         seed=args.seed,
+        backend=getattr(args, "backend", "serial"),
+        workers=getattr(args, "workers", 0),
     )
 
 
@@ -85,9 +105,17 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     sequences = read_fasta(args.fasta)
     config = _config_from_args(args)
-    result = ProteinFamilyPipeline(config).run(sequences)
+    result = ProteinFamilyPipeline(config).run(
+        sequences, backend=args.backend, workers=args.workers or None
+    )
     print(Table1Row.header())
     print(result.table1().formatted())
+    if result.runtime is not None:
+        print()
+        for line in result.runtime.summary_lines():
+            print(line)
+        for line in cache_stats_lines(result.runtime.cache):
+            print(line)
     if args.output:
         families = result.family_ids(sequences)
         Path(args.output).write_text(
@@ -121,6 +149,21 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"{name} = {value:.2%}")
     print()
     print(comparison.summary())
+    return 0
+
+
+def cmd_runtime_info(args: argparse.Namespace) -> int:
+    from repro.runtime import runtime_info
+
+    info = runtime_info()
+    print(f"python              {info['python']} ({info['platform']})")
+    print(f"cpus                {info['cpu_count']} detected, {info['usable_cpus']} usable")
+    print(f"default workers     {info['default_workers']}")
+    print(f"start methods       {', '.join(info['start_methods'])} "
+          f"(preferred: {info['preferred_start_method']})")
+    print(f"shared memory       {'available' if info['shared_memory'] else 'unavailable'}")
+    for name, available in info["backends"].items():
+        print(f"backend {name:<12s} {'available' if available else 'unavailable'}")
     return 0
 
 
@@ -162,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("fasta")
     p_run.add_argument("--output", help="write families as JSON")
     _add_pipeline_args(p_run)
+    _add_backend_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_eval = sub.add_parser("evaluate", help="score families against a truth table")
@@ -175,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("test", help="detected families JSON")
     p_cmp.add_argument("benchmark", help="benchmark clustering JSON")
     p_cmp.set_defaults(func=cmd_compare)
+
+    p_info = sub.add_parser(
+        "runtime-info", help="detected cores and backend availability"
+    )
+    p_info.set_defaults(func=cmd_runtime_info)
 
     p_sim = sub.add_parser("simulate", help="simulated-parallel processor sweep")
     p_sim.add_argument("fasta")

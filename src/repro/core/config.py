@@ -45,6 +45,13 @@ class PipelineConfig:
         Safety cap on per-node promising-pair generation (None = off).
     seed:
         Master seed for all randomised steps.
+    backend:
+        Execution backend: "serial" (in-process reference) or "process"
+        (real multi-core via :mod:`repro.runtime`).  Results are
+        bit-identical across backends; only wall-clock time changes.
+    workers:
+        Worker processes for the process backend (0 = auto-detect:
+        usable cores minus one for the master).
     """
 
     psi: int = 10
@@ -63,6 +70,8 @@ class PipelineConfig:
     max_pairs_per_node: int | None = None
     seed: int = 2008
     scheme: ScoringScheme = field(default_factory=blosum62_scheme)
+    backend: str = "serial"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.psi < 2:
@@ -84,3 +93,9 @@ class PipelineConfig:
             raise ValueError(f"tau must be in (0, 1], got {self.tau}")
         if self.min_component_size < 1 or self.min_subgraph_size < 1:
             raise ValueError("reporting cutoffs must be >= 1")
+        if self.backend not in ("serial", "process"):
+            raise ValueError(
+                f"backend must be 'serial' or 'process', got {self.backend!r}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")

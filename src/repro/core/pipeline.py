@@ -2,11 +2,13 @@
 
 ``ProteinFamilyPipeline`` orchestrates redundancy removal, connected
 component detection, bipartite graph generation, and dense subgraph
-detection.  It can run fully serially (the reference), or with the RR
+detection.  It can run fully serially (the reference), with the RR
 and CCD phases on one simulated cluster (the paper used BlueGene/L) and
 the DSD phase on another (the Linux cluster), returning simulated phase
-timings alongside the scientific results — which are identical in every
-mode.
+timings alongside the scientific results — or on a real execution
+backend (:mod:`repro.runtime`) that distributes alignment and Shingle
+work across host cores and reports *measured* wall-clock timings.  The
+scientific results are identical in every mode.
 """
 
 from __future__ import annotations
@@ -38,6 +40,13 @@ from repro.pace.redundancy import (
     parallel_redundancy_removal,
 )
 from repro.parallel.simulator import VirtualCluster
+from repro.runtime import Backend, RuntimeStats, make_backend
+from repro.runtime.phases import (
+    backend_component_detection,
+    backend_dense_subgraph_detection,
+    backend_generate_component_graphs,
+    backend_redundancy_removal,
+)
 from repro.sequence.record import SequenceSet
 
 
@@ -76,6 +85,8 @@ class PipelineResult:
     graphs: ComponentGraphs
     dense: DsdResult
     timings: PhaseTimings = field(default_factory=PhaseTimings)
+    runtime: RuntimeStats | None = None
+    """Measured wall-clock stats when run on an execution backend."""
 
     @property
     def families(self) -> list[tuple[int, ...]]:
@@ -104,6 +115,7 @@ class ProteinFamilyPipeline:
     >>> pipeline = ProteinFamilyPipeline(PipelineConfig())
     >>> result = pipeline.run(sequences)                 # serial
     >>> result = pipeline.run(sequences, cluster=c512)   # simulated parallel
+    >>> result = pipeline.run(sequences, backend="process", workers=4)
     """
 
     def __init__(self, config: PipelineConfig | None = None):
@@ -121,6 +133,8 @@ class ProteinFamilyPipeline:
         dsd_cluster: VirtualCluster | None = None,
         cache: AlignmentCache | None = None,
         cost_model: CostModel | None = None,
+        backend: Backend | str | None = None,
+        workers: int | None = None,
     ) -> PipelineResult:
         """Run all four phases.
 
@@ -130,8 +144,29 @@ class ProteinFamilyPipeline:
         may be shared across runs on the same sequence set to avoid
         recomputing identical alignments (host-side only; simulated
         costs are unaffected).
+
+        ``backend`` selects a real execution backend ("serial",
+        "process", or a :class:`~repro.runtime.Backend` instance;
+        default: ``config.backend``) that distributes the work across
+        host cores and records measured wall-clock stats in
+        ``result.runtime``.  Backends and simulated clusters are
+        mutually exclusive, and every mode returns identical
+        ``families``/Table I output.
         """
         config = self.config
+        resolved = backend
+        if resolved is None and config.backend != "serial":
+            resolved = config.backend
+        if workers is None and config.workers:
+            workers = config.workers
+        real_backend = make_backend(resolved, workers)
+        if real_backend is not None:
+            if cluster is not None or dsd_cluster is not None:
+                raise ValueError(
+                    "a simulated cluster and an execution backend are "
+                    "mutually exclusive; pass one or the other"
+                )
+            return self._run_on_backend(sequences, real_backend, cache)
         cache = cache or self._make_cache(sequences)
         timings = PhaseTimings()
 
@@ -246,4 +281,65 @@ class ProteinFamilyPipeline:
             graphs=graphs,
             dense=dense,
             timings=timings,
+        )
+
+    def _run_on_backend(
+        self,
+        sequences: SequenceSet,
+        backend: Backend,
+        cache: AlignmentCache | None,
+    ) -> PipelineResult:
+        """Run all four phases on a real execution backend."""
+        config = self.config
+        cache = cache or self._make_cache(sequences)
+        with backend.session(sequences, config.scheme):
+            rr = backend_redundancy_removal(
+                sequences,
+                backend,
+                cache,
+                psi=config.psi,
+                similarity=config.containment_similarity,
+                coverage=config.containment_coverage,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+            ccd = backend_component_detection(
+                sequences,
+                rr.kept,
+                backend,
+                cache,
+                psi=config.psi,
+                similarity=config.overlap_similarity,
+                coverage=config.overlap_coverage,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+            graphs = backend_generate_component_graphs(
+                sequences,
+                ccd.components_of_size(config.min_component_size),
+                backend,
+                cache,
+                reduction=config.reduction,
+                psi=config.psi,
+                edge_similarity=config.edge_similarity,
+                edge_coverage=config.edge_coverage,
+                w=config.w,
+                min_size=config.min_component_size,
+                max_pairs_per_node=config.max_pairs_per_node,
+            )
+            dense = backend_dense_subgraph_detection(
+                graphs,
+                backend,
+                params=config.shingle,
+                min_size=config.min_subgraph_size,
+                tau=config.tau,
+            )
+        backend.stats.cache = cache.stats()
+        return PipelineResult(
+            config=config,
+            n_input=len(sequences),
+            redundancy=rr,
+            clustering=ccd,
+            graphs=graphs,
+            dense=dense,
+            timings=PhaseTimings(),
+            runtime=backend.stats,
         )

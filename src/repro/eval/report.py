@@ -1,4 +1,11 @@
-"""Table I summary rows: the paper's qualitative-assessment format."""
+"""Table I summary rows and run reports.
+
+Besides the paper's qualitative-assessment row (Table I), this module
+formats operational statistics a run produces: alignment-cache
+effectiveness (:func:`cache_stats_lines`), reported by the CLI next to
+the backend wall-clock summary so backend runs can show how much
+recomputation the master-side cache absorbed.
+"""
 
 from __future__ import annotations
 
@@ -38,6 +45,30 @@ class Table1Row:
             f"{'#Input':>10s} {'#NR':>8s} {'#CC':>6s} {'#DS':>5s} "
             f"{'#SeqInDS':>10s} {'MeanDegree':>11s} {'MeanDensity':>11s} {'MaxDS':>8s}"
         )
+
+
+def cache_stats_lines(stats: Mapping[str, float]) -> list[str]:
+    """Render an ``AlignmentCache.stats()`` snapshot for run reports.
+
+    >>> print("\\n".join(cache_stats_lines(cache.stats())))
+    """
+    hits = int(stats.get("hits", 0))
+    misses = int(stats.get("misses", 0))
+    total = hits + misses
+    lines = [
+        f"alignment cache: {int(stats.get('entries', 0)):,d} entries, "
+        f"{hits:,d}/{total:,d} lookups served ({stats.get('hit_rate', 0.0):.1%} hit rate)"
+    ]
+    for kind in ("local", "semiglobal"):
+        kind_hits = int(stats.get(f"{kind}_hits", 0))
+        kind_misses = int(stats.get(f"{kind}_misses", 0))
+        kind_total = kind_hits + kind_misses
+        if kind_total:
+            lines.append(
+                f"  {kind:<10s} hits={kind_hits:<8,d} misses={kind_misses:<8,d} "
+                f"({kind_hits / kind_total:.1%})"
+            )
+    return lines
 
 
 def table1_row(

@@ -7,6 +7,19 @@ Physically recomputing identical DP matrices would multiply wall-clock
 cost without changing any simulated quantity — the simulator charges
 virtual time per *execution*, not per physical computation — so the
 cache is purely a host-side optimisation with no effect on results.
+
+Placement under the execution backends (:mod:`repro.runtime`): the
+cache lives **master-side only**.  Under ``ProcessBackend`` the master
+consults it before dispatching a pair and inserts worker results as
+they return; workers themselves are cache-less.  Sharing the dict with
+workers would mean either per-worker private caches (no cross-worker
+reuse — repeats of a pair almost always arrive in a *later phase*, on
+the master's critical path anyway) or pickling alignments through a
+synchronised shared dict, which costs more than recomputing a few
+hundred DP cells.  Master-side placement keeps one authoritative memo,
+answers every repeat before it reaches the work queue, and leaves the
+workers stateless — which is also what makes their crash recovery
+trivial.
 """
 
 from __future__ import annotations
@@ -24,6 +37,10 @@ class AlignmentCache:
 
     Keys are ``(i, j)`` sequence-index pairs with ``i < j``; the caller
     supplies the encoded sequence accessor once at construction.
+
+    Hit/miss counters are first-class: ``stats()`` returns a summary
+    dict (reported by ``repro.eval.report.cache_stats_lines`` and the
+    CLI) so runs can show how much recomputation the cache avoided.
     """
 
     def __init__(
@@ -35,7 +52,9 @@ class AlignmentCache:
         self._scheme = scheme
         self._local: dict[tuple[int, int], Alignment] = {}
         self._semiglobal: dict[tuple[int, int], Alignment] = {}
+        self.local_hits = 0
         self.local_misses = 0
+        self.semiglobal_hits = 0
         self.semiglobal_misses = 0
 
     @staticmethod
@@ -43,6 +62,13 @@ class AlignmentCache:
         if i == j:
             raise ValueError(f"self-alignment requested for sequence {i}")
         return (i, j) if i < j else (j, i)
+
+    def _table(self, kind: str) -> dict[tuple[int, int], Alignment]:
+        if kind == "local":
+            return self._local
+        if kind == "semiglobal":
+            return self._semiglobal
+        raise ValueError(f"unknown alignment kind {kind!r}")
 
     def local(self, i: int, j: int) -> Alignment:
         """Smith-Waterman alignment of pair (i, j), canonical orientation."""
@@ -52,6 +78,8 @@ class AlignmentCache:
             self.local_misses += 1
             aln = local_align(self._get(key[0]), self._get(key[1]), self._scheme)
             self._local[key] = aln
+        else:
+            self.local_hits += 1
         return aln
 
     def semiglobal(self, i: int, j: int) -> Alignment:
@@ -62,7 +90,59 @@ class AlignmentCache:
             self.semiglobal_misses += 1
             aln = semiglobal_align(self._get(key[0]), self._get(key[1]), self._scheme)
             self._semiglobal[key] = aln
+        else:
+            self.semiglobal_hits += 1
         return aln
+
+    # -- backend hooks -----------------------------------------------------
+
+    def peek(self, kind: str, i: int, j: int) -> Alignment | None:
+        """Cached alignment if present — no compute, no counter update.
+
+        Backends use this to decide routing (answer master-side versus
+        dispatch to a worker) without perturbing the statistics.
+        """
+        return self._table(kind).get(self._key(i, j))
+
+    def insert(self, kind: str, i: int, j: int, aln: Alignment) -> None:
+        """Store an externally computed alignment; counts as a miss.
+
+        The miss accounting reflects that the computation *happened*
+        (on a worker) because the cache could not answer it.
+        """
+        self._table(kind)[self._key(i, j)] = aln
+        if kind == "local":
+            self.local_misses += 1
+        else:
+            self.semiglobal_misses += 1
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.local_hits + self.semiglobal_hits
+
+    @property
+    def misses(self) -> int:
+        return self.local_misses + self.semiglobal_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Counter snapshot: hits/misses per kind, totals, hit rate."""
+        return {
+            "local_hits": self.local_hits,
+            "local_misses": self.local_misses,
+            "semiglobal_hits": self.semiglobal_hits,
+            "semiglobal_misses": self.semiglobal_misses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self),
+            "hit_rate": self.hit_rate,
+        }
 
     def __len__(self) -> int:
         return len(self._local) + len(self._semiglobal)

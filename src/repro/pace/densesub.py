@@ -39,13 +39,19 @@ class DsdResult:
         return sorted((len(sg) for sg in self.subgraphs), reverse=True)
 
 
-def _run_one(
+def shingle_component(
     graph,
     reduction: str,
     params: ShingleParams,
     min_size: int,
     tau: float,
 ) -> tuple[list[tuple[int, ...]], list[DenseSubgraph], ShingleResult]:
+    """Run the Shingle algorithm + reporting filter on one component graph.
+
+    The unit of work of the DSD phase — independent per component, so the
+    simulated driver batches it across ranks and the execution backends
+    (:mod:`repro.runtime`) farm it to worker processes.
+    """
     result = shingle_dense_subgraphs(graph, params, min_size=1, expand_b=True)
     if reduction == "domain":
         finals = domain_output(result.subgraphs, min_size=min_size)
@@ -65,7 +71,7 @@ def detect_dense_subgraphs_serial(
     params = params or ShingleParams()
     out = DsdResult(subgraphs=[])
     for graph in component_graphs.graphs:
-        finals, raw, stats = _run_one(
+        finals, raw, stats = shingle_component(
             graph, component_graphs.reduction, params, min_size, tau
         )
         out.subgraphs.extend(finals)
@@ -104,7 +110,7 @@ def parallel_dense_subgraph_detection(
         for graph_id in batch_ids:
             graph = graphs[graph_id]
             comm.alloc(graph.memory_bytes())
-            finals, raw, stats = _run_one(graph, reduction, params, min_size, tau)
+            finals, raw, stats = shingle_component(graph, reduction, params, min_size, tau)
             yield from comm.compute(
                 units=costs.shingle_run(
                     graph.n_left,

@@ -1,0 +1,76 @@
+"""Execution backends — real multi-core execution beside the simulator.
+
+``repro.parallel`` *models* the paper's clusters (virtual time on a
+machine model); ``repro.runtime`` *executes* on the host's cores.  Both
+wrap the identical scientific kernels, and both guarantee output equal
+to the serial reference.  See DESIGN.md, "Simulator versus runtime".
+
+Usage::
+
+    from repro import ProteinFamilyPipeline, PipelineConfig
+
+    result = ProteinFamilyPipeline(PipelineConfig()).run(
+        sequences, backend="process", workers=4)
+    print(result.runtime.summary_lines())
+
+or from the command line::
+
+    repro run input.fasta --backend process --workers 4
+    repro runtime-info
+"""
+
+from repro.runtime.base import (
+    AlignmentStream,
+    Backend,
+    BackendError,
+    PhaseStats,
+    RuntimeStats,
+    WorkerCrashError,
+    default_worker_count,
+    runtime_info,
+    usable_cpu_count,
+)
+from repro.runtime.process import ProcessBackend
+from repro.runtime.serial import SerialBackend
+from repro.runtime.sharedseq import SharedSequenceStore, StoreSpec
+
+BACKENDS = ("serial", "process")
+
+
+def make_backend(
+    spec: "str | Backend | None",
+    workers: int | None = None,
+) -> Backend | None:
+    """Resolve a backend specification.
+
+    ``None`` -> ``None`` (caller decides the default), a :class:`Backend`
+    instance passes through, ``"serial"``/``"process"`` construct one.
+    """
+    if spec is None or isinstance(spec, Backend):
+        return spec
+    if spec == "serial":
+        return SerialBackend()
+    if spec == "process":
+        return ProcessBackend(workers=workers)
+    raise ValueError(
+        f"unknown backend {spec!r}; expected one of {', '.join(BACKENDS)}"
+    )
+
+
+__all__ = [
+    "AlignmentStream",
+    "Backend",
+    "BackendError",
+    "BACKENDS",
+    "PhaseStats",
+    "ProcessBackend",
+    "RuntimeStats",
+    "SerialBackend",
+    "SharedSequenceStore",
+    "StoreSpec",
+    "WorkerCrashError",
+    "default_worker_count",
+    "make_backend",
+    "runtime_info",
+    "usable_cpu_count",
+]

@@ -1,0 +1,366 @@
+"""Multiprocessing backend: the paper's master–worker design on real cores.
+
+Topology mirrors PaCE: one master (this process) owns all clustering
+state — promising-pair generation, the dedup sets, the union–find, and
+the alignment cache — while ``N`` worker processes are stateless
+alignment/Shingle engines.  Work flows through a chunked queue:
+
+* the master batches promising pairs (``batch_size`` per task) and fans
+  them out over a shared task queue;
+* workers align each batch against the shared-memory encoded-sequence
+  store (:mod:`repro.runtime.sharedseq` — sequences are written once and
+  mapped zero-copy by every worker, never re-pickled) and stream compact
+  result tuples back;
+* the master absorbs results as they arrive, interleaved with further
+  pair generation, so the CCD transitive-closure filter keeps advancing
+  while workers are busy.
+
+Backpressure caps outstanding batches at ``max_outstanding_factor *
+workers`` so the task queue stays small and absorbed verdicts reach the
+filter quickly.  Worker exceptions are caught, serialised, and re-raised
+on the master as :class:`~repro.runtime.base.WorkerCrashError`; a worker
+that dies without reporting (OOM-kill, signal) is detected by a liveness
+sweep, so the master never hangs on a lost batch.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import traceback
+from time import perf_counter
+from typing import Iterator, Sequence
+
+from repro.align.pairwise import Alignment
+from repro.pace.cache import AlignmentCache
+from repro.runtime.base import (
+    AlignmentStream,
+    Backend,
+    BackendError,
+    PhaseStats,
+    WorkerCrashError,
+    default_worker_count,
+    preferred_start_method,
+)
+from repro.runtime.sharedseq import SharedSequenceStore, StoreSpec
+
+#: Pairs per task — large enough to amortise queue/pickle overhead over
+#: ~100 ms of alignment work, small enough to keep the filter fresh.
+DEFAULT_BATCH_SIZE = 32
+
+_STOP = ("stop",)
+
+
+def _align_summary(aln: Alignment) -> tuple:
+    """Compact wire form of an Alignment (mode re-attached master-side)."""
+    return (
+        aln.score, aln.a_start, aln.a_end, aln.b_start, aln.b_end,
+        aln.matches, aln.length, aln.gaps,
+    )
+
+
+def _summary_alignment(summary: tuple, mode: str) -> Alignment:
+    score, a_start, a_end, b_start, b_end, matches, length, gaps = summary
+    return Alignment(
+        score=score, a_start=a_start, a_end=a_end, b_start=b_start,
+        b_end=b_end, matches=matches, length=length, gaps=gaps, mode=mode,
+    )
+
+
+def _worker_main(worker_index: int, task_queue, result_queue,
+                 store_spec: StoreSpec, scheme) -> None:
+    """Worker loop: attach the store once, then serve tasks until "stop".
+
+    Every exception is reported as an ("error", ...) message rather than
+    allowed to kill the process silently, so the master can surface the
+    original traceback.
+    """
+    from repro.align.pairwise import local_align, semiglobal_align
+    from repro.pace.densesub import shingle_component
+
+    store = SharedSequenceStore.attach(store_spec)
+    try:
+        while True:
+            task = task_queue.get()
+            if task[0] == "stop":
+                break
+            try:
+                if task[0] == "align":
+                    _, stream_id, kind, pairs = task
+                    align = local_align if kind == "local" else semiglobal_align
+                    start = perf_counter()
+                    summaries = [
+                        (i, j) + _align_summary(align(store.get(i), store.get(j), scheme))
+                        for i, j in pairs
+                    ]
+                    result_queue.put(
+                        ("align", stream_id, summaries, perf_counter() - start)
+                    )
+                elif task[0] == "shingle":
+                    _, job_id, graph, reduction, params, min_size, tau = task
+                    start = perf_counter()
+                    payload = shingle_component(graph, reduction, params, min_size, tau)
+                    result_queue.put(
+                        ("shingle", job_id, payload, perf_counter() - start)
+                    )
+                else:
+                    raise ValueError(f"unknown task kind {task[0]!r}")
+            except Exception:
+                result_queue.put(
+                    ("error", worker_index, traceback.format_exc())
+                )
+    finally:
+        store.close()
+
+
+class _ProcessStream(AlignmentStream):
+    """Master-side view of one chunked alignment stream.
+
+    The cache is consulted *before* dispatch (repeat pairs — e.g. a pair
+    aligned locally in CCD showing up again in bipartite generation —
+    never leave the master) and populated from worker results, so it
+    stays authoritative and master-side only.
+    """
+
+    def __init__(self, backend: "ProcessBackend", stream_id: int, kind: str,
+                 cache: AlignmentCache, phase: PhaseStats):
+        if kind not in ("local", "semiglobal"):
+            raise ValueError(f"unknown alignment kind {kind!r}")
+        self._backend = backend
+        self.stream_id = stream_id
+        self.kind = kind
+        self._cache = cache
+        self._phase = phase
+        self._batch: list[tuple[int, int]] = []
+        self.in_flight = 0
+        self.done: list[tuple[int, int, Alignment]] = []
+
+    def submit(self, i: int, j: int) -> None:
+        if i > j:
+            i, j = j, i
+        if self._cache.peek(self.kind, i, j) is not None:
+            aln = (
+                self._cache.local(i, j)
+                if self.kind == "local"
+                else self._cache.semiglobal(i, j)
+            )
+            self._phase.cache_hits += 1
+            self.done.append((i, j, aln))
+            return
+        self._batch.append((i, j))
+        self._phase.tasks += 1
+        if len(self._batch) >= self._backend.batch_size:
+            self.flush()
+        self._backend._throttle(self)
+
+    def flush(self) -> None:
+        if not self._batch:
+            return
+        self._backend._dispatch(
+            ("align", self.stream_id, self.kind, self._batch)
+        )
+        self._batch = []
+        self.in_flight += 1
+
+    def absorb(self, summaries: list[tuple], busy: float) -> None:
+        """Route one worker batch result into this stream (backend hook)."""
+        self.in_flight -= 1
+        self._phase.busy_seconds += busy
+        for item in summaries:
+            i, j = item[0], item[1]
+            aln = _summary_alignment(item[2:], self.kind)
+            self._cache.insert(self.kind, i, j, aln)
+            self.done.append((i, j, aln))
+
+    def ready(self) -> list[tuple[int, int, Alignment]]:
+        self._backend._pump(block=False)
+        out = self.done
+        self.done = []
+        return out
+
+    def drain(self) -> Iterator[tuple[int, int, Alignment]]:
+        self.flush()
+        while self.in_flight > 0:
+            self._backend._pump(block=True)
+        yield from self.ready()
+
+
+class ProcessBackend(Backend):
+    """Real multi-core execution via ``multiprocessing`` workers."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        start_method: str | None = None,
+        max_outstanding_factor: int = 4,
+    ):
+        self.workers = int(workers) if workers else default_worker_count()
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        super().__init__()
+        self.batch_size = batch_size
+        self._start_method = start_method or preferred_start_method()
+        self._max_outstanding = max_outstanding_factor * self.workers
+        self._store: SharedSequenceStore | None = None
+        self._procs: list[multiprocessing.Process] = []
+        self._tasks = None
+        self._results = None
+        self._streams: dict[int, _ProcessStream] = {}
+        self._next_stream_id = 0
+        self._shingle_results: dict[int, tuple] = {}
+        self._shingle_busy = 0.0
+        self._outstanding = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, sequences, scheme) -> None:
+        if self._procs:
+            raise BackendError("backend already open")
+        encoded = [record.encoded for record in sequences]
+        self._store = SharedSequenceStore.create(encoded)
+        ctx = multiprocessing.get_context(self._start_method)
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        spec = self._store.spec()
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(w, self._tasks, self._results, spec, scheme),
+                daemon=True,
+                name=f"repro-worker-{w}",
+            )
+            for w in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def close(self) -> None:
+        if self._tasks is not None:
+            for _ in self._procs:
+                try:
+                    self._tasks.put(_STOP)
+                except (OSError, ValueError):  # pragma: no cover
+                    break
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self._procs = []
+        for q in (self._tasks, self._results):
+            if q is not None:
+                q.close()
+                q.join_thread()
+        self._tasks = None
+        self._results = None
+        if self._store is not None:
+            self._store.close()
+            self._store = None
+        self._streams = {}
+        self._outstanding = 0
+
+    # -- master-side plumbing ----------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self._procs:
+            raise BackendError("backend is not open (use session())")
+
+    def _dispatch(self, task: tuple) -> None:
+        self._require_open()
+        self._tasks.put(task)
+        self._outstanding += 1
+
+    def _throttle(self, stream: _ProcessStream) -> None:
+        """Bound outstanding batches; absorb results while waiting."""
+        self._pump(block=False)
+        while self._outstanding > self._max_outstanding:
+            self._pump(block=True)
+
+    def _check_liveness(self) -> None:
+        for proc in self._procs:
+            if not proc.is_alive():
+                raise WorkerCrashError(
+                    f"worker {proc.name} died unexpectedly "
+                    f"(exitcode {proc.exitcode})"
+                )
+
+    def _pump(self, *, block: bool) -> None:
+        """Receive and route result messages.
+
+        Non-blocking: drain whatever is queued.  Blocking: wait (with a
+        liveness sweep every 0.5 s) until at least one message arrives.
+        """
+        self._require_open()
+        received = False
+        while True:
+            try:
+                msg = self._results.get(block=False)
+            except queue_mod.Empty:
+                if not block or received:
+                    return
+                self._check_liveness()
+                try:
+                    msg = self._results.get(timeout=0.5)
+                except queue_mod.Empty:
+                    continue
+            self._route(msg)
+            received = True
+            if block:
+                block = False  # got one; drain the rest non-blocking
+
+    def _route(self, msg: tuple) -> None:
+        self._outstanding -= 1
+        if msg[0] == "error":
+            _, worker_index, text = msg
+            raise WorkerCrashError(
+                f"worker {worker_index} raised during task execution:\n{text}"
+            )
+        if msg[0] == "align":
+            _, stream_id, summaries, busy = msg
+            self._streams[stream_id].absorb(summaries, busy)
+        elif msg[0] == "shingle":
+            _, job_id, payload, busy = msg
+            self._shingle_results[job_id] = payload
+            self._shingle_busy += busy
+        else:  # pragma: no cover - protocol bug
+            raise BackendError(f"unknown result message {msg[0]!r}")
+
+    # -- work primitives ---------------------------------------------------
+
+    def alignment_stream(self, kind: str, cache: AlignmentCache) -> _ProcessStream:
+        self._require_open()
+        stream = _ProcessStream(
+            self, self._next_stream_id, kind, cache, self._phase_stats()
+        )
+        self._streams[stream.stream_id] = stream
+        self._next_stream_id += 1
+        return stream
+
+    def map_components(
+        self,
+        graphs: Sequence,
+        reduction: str,
+        params,
+        min_size: int,
+        tau: float,
+    ) -> list[tuple]:
+        self._require_open()
+        phase = self._phase_stats()
+        self._shingle_results = {}
+        self._shingle_busy = 0.0
+        for job_id, graph in enumerate(graphs):
+            self._dispatch(
+                ("shingle", job_id, graph, reduction, params, min_size, tau)
+            )
+            phase.tasks += 1
+        while len(self._shingle_results) < len(graphs):
+            self._pump(block=True)
+        phase.busy_seconds += self._shingle_busy
+        return [self._shingle_results[job_id] for job_id in range(len(graphs))]

@@ -1,0 +1,88 @@
+"""The reference in-process backend.
+
+Executes every work item synchronously on the master — the measured
+baseline every other backend is compared (and result-checked) against.
+``submit`` computes immediately through the shared
+:class:`~repro.pace.cache.AlignmentCache`, so the serial backend is the
+classic serial pipeline plus wall-clock accounting.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Iterator, Sequence
+
+from repro.pace.cache import AlignmentCache
+from repro.runtime.base import AlignmentStream, Backend, PhaseStats
+
+
+class _SerialStream(AlignmentStream):
+    def __init__(self, kind: str, cache: AlignmentCache, phase: PhaseStats):
+        if kind not in ("local", "semiglobal"):
+            raise ValueError(f"unknown alignment kind {kind!r}")
+        self._kind = kind
+        self._cache = cache
+        self._phase = phase
+        self._done: list[tuple[int, int, object]] = []
+
+    def submit(self, i: int, j: int) -> None:
+        if i > j:
+            i, j = j, i
+        hit = self._cache.peek(self._kind, i, j) is not None
+        start = perf_counter()
+        if self._kind == "local":
+            aln = self._cache.local(i, j)
+        else:
+            aln = self._cache.semiglobal(i, j)
+        self._phase.busy_seconds += perf_counter() - start
+        self._phase.tasks += 1
+        if hit:
+            self._phase.cache_hits += 1
+        self._done.append((i, j, aln))
+
+    def ready(self) -> list[tuple[int, int, object]]:
+        out = self._done
+        self._done = []
+        return out
+
+    def drain(self) -> Iterator[tuple[int, int, object]]:
+        yield from self.ready()
+
+
+class SerialBackend(Backend):
+    """Single-process reference backend."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self.workers = 1
+        super().__init__()
+        self._open = False
+
+    def open(self, sequences, scheme) -> None:
+        self._open = True
+
+    def close(self) -> None:
+        self._open = False
+
+    def alignment_stream(self, kind: str, cache: AlignmentCache) -> _SerialStream:
+        return _SerialStream(kind, cache, self._phase_stats())
+
+    def map_components(
+        self,
+        graphs: Sequence,
+        reduction: str,
+        params,
+        min_size: int,
+        tau: float,
+    ) -> list[tuple]:
+        from repro.pace.densesub import shingle_component
+
+        phase = self._phase_stats()
+        out = []
+        for graph in graphs:
+            start = perf_counter()
+            out.append(shingle_component(graph, reduction, params, min_size, tau))
+            phase.busy_seconds += perf_counter() - start
+            phase.tasks += 1
+        return out

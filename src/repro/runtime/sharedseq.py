@@ -1,0 +1,168 @@
+"""Shared-memory encoded-sequence store for the process backend.
+
+Workers align pairs by *global sequence index*, so every worker needs
+random access to every encoded sequence.  Pickling the sequence list to
+each worker would copy the whole data set per process (the paper's data
+sets are GB-scale); instead the master writes two POSIX shared-memory
+segments once and workers attach read-only views:
+
+``buffer``
+    All encoded sequences concatenated as one ``uint8`` array — the
+    same flat layout the generalized suffix array uses.
+``offsets``
+    ``int64`` array of length ``n + 1``; sequence ``k`` occupies
+    ``buffer[offsets[k]:offsets[k + 1]]``.
+
+``get(k)`` returns a zero-copy ``numpy`` view, so worker-side alignment
+reads the master's pages directly (one physical copy of the data set,
+regardless of worker count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StoreSpec:
+    """Names + shape needed to attach to an existing store (picklable)."""
+
+    buffer_name: str
+    offsets_name: str
+    n_sequences: int
+    total_symbols: int
+
+
+class SharedSequenceStore:
+    """Encoded sequences in shared memory; create once, attach per worker."""
+
+    def __init__(
+        self,
+        buffer_shm: shared_memory.SharedMemory,
+        offsets_shm: shared_memory.SharedMemory,
+        n_sequences: int,
+        total_symbols: int,
+        *,
+        owner: bool,
+    ):
+        self._buffer_shm = buffer_shm
+        self._offsets_shm = offsets_shm
+        self._owner = owner
+        self.n_sequences = n_sequences
+        self.total_symbols = total_symbols
+        self._offsets = np.ndarray(
+            (n_sequences + 1,), dtype=np.int64, buffer=offsets_shm.buf
+        )
+        self._buffer = np.ndarray(
+            (total_symbols,), dtype=np.uint8, buffer=buffer_shm.buf
+        )
+        self._closed = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, encoded: Sequence[np.ndarray]) -> "SharedSequenceStore":
+        """Copy the encoded sequences into fresh shared-memory segments."""
+        offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+        for k, seq in enumerate(encoded):
+            offsets[k + 1] = offsets[k] + len(seq)
+        total = int(offsets[-1])
+        buffer_shm = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        offsets_shm = shared_memory.SharedMemory(create=True, size=offsets.nbytes)
+        store = cls(buffer_shm, offsets_shm, len(encoded), total, owner=True)
+        store._offsets[:] = offsets
+        for k, seq in enumerate(encoded):
+            store._buffer[offsets[k] : offsets[k + 1]] = np.asarray(
+                seq, dtype=np.uint8
+            )
+        return store
+
+    @classmethod
+    def attach(cls, spec: StoreSpec) -> "SharedSequenceStore":
+        """Attach to a store created by another process (read-only use).
+
+        On Python 3.13+ the attachment opts out of resource tracking
+        (``track=False``); earlier interpreters share one tracker whose
+        name registry is a set, so the worker's attach-time registration
+        collapses into the owner's and the owner's ``unlink`` remains
+        the single cleanup point.
+        """
+        try:
+            buffer_shm = shared_memory.SharedMemory(
+                name=spec.buffer_name, track=False  # type: ignore[call-arg]
+            )
+            offsets_shm = shared_memory.SharedMemory(
+                name=spec.offsets_name, track=False  # type: ignore[call-arg]
+            )
+        except TypeError:  # Python < 3.13: no ``track`` keyword
+            buffer_shm = shared_memory.SharedMemory(name=spec.buffer_name)
+            offsets_shm = shared_memory.SharedMemory(name=spec.offsets_name)
+        return cls(
+            buffer_shm, offsets_shm, spec.n_sequences, spec.total_symbols,
+            owner=False,
+        )
+
+    def spec(self) -> StoreSpec:
+        return StoreSpec(
+            buffer_name=self._buffer_shm.name,
+            offsets_name=self._offsets_shm.name,
+            n_sequences=self.n_sequences,
+            total_symbols=self.total_symbols,
+        )
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, k: int) -> np.ndarray:
+        """Zero-copy view of encoded sequence ``k``."""
+        if not 0 <= k < self.n_sequences:
+            raise IndexError(
+                f"sequence index {k} out of range [0, {self.n_sequences})"
+            )
+        lo = int(self._offsets[k])
+        hi = int(self._offsets[k + 1])
+        return self._buffer[lo:hi]
+
+    def __len__(self) -> int:
+        return self.n_sequences
+
+    @property
+    def nbytes(self) -> int:
+        return self._buffer.nbytes + self._offsets.nbytes
+
+    # -- teardown ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach views; the owner also unlinks the segments.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        # Drop numpy views before closing the mappings they point into.
+        self._offsets = None  # type: ignore[assignment]
+        self._buffer = None  # type: ignore[assignment]
+        for shm in (self._buffer_shm, self._offsets_shm):
+            try:
+                shm.close()
+            except (OSError, BufferError):  # pragma: no cover - best effort
+                pass
+        if self._owner:
+            for shm in (self._buffer_shm, self._offsets_shm):
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+    def __enter__(self) -> "SharedSequenceStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -110,6 +110,61 @@ class TestSimulate:
         assert out.count("\n") >= 3
 
 
+class TestRuntimeBackend:
+    def test_runtime_info(self, capsys):
+        rc = main(["runtime-info"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cpus" in out
+        assert "default workers" in out
+        assert "backend serial" in out
+        assert "backend process" in out
+
+    def test_run_with_serial_backend_prints_summary(self, generated, capsys):
+        fasta, _ = generated
+        rc = main(
+            [
+                "run", str(fasta),
+                "--shingle-c", "40", "--shingle-s", "3", "--min-size", "4",
+                "--backend", "serial",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#Input" in out
+        assert "backend=serial" in out
+        assert "alignment cache:" in out
+
+    def test_run_with_process_backend(self, generated, tmp_path, capsys):
+        fasta, truth = generated
+        out_json = tmp_path / "families.json"
+        rc = main(
+            [
+                "run", str(fasta), "--output", str(out_json),
+                "--shingle-c", "40", "--shingle-s", "3", "--min-size", "4",
+                "--backend", "process", "--workers", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backend=process workers=2" in out
+        assert json.loads(out_json.read_text())
+
+    def test_process_and_serial_families_match(self, generated, tmp_path):
+        fasta, _ = generated
+        common = ["--shingle-c", "40", "--shingle-s", "3", "--min-size", "4"]
+        serial_out = tmp_path / "serial.json"
+        process_out = tmp_path / "process.json"
+        main(["run", str(fasta), "--output", str(serial_out), *common])
+        main(
+            ["run", str(fasta), "--output", str(process_out), *common,
+             "--backend", "process", "--workers", "2"]
+        )
+        assert json.loads(serial_out.read_text()) == json.loads(
+            process_out.read_text()
+        )
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -124,3 +179,12 @@ class TestParser:
         assert args.reduction == "domain"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "x.fasta", "--reduction", "nope"])
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(
+            ["run", "x.fasta", "--backend", "process", "--workers", "4"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x.fasta", "--backend", "mpi"])

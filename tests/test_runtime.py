@@ -1,0 +1,235 @@
+"""Execution-backend tests: result invariance, crash safety, stats.
+
+The central guarantee of :mod:`repro.runtime` is that ``families`` and
+the Table I row are bit-identical across backends for a fixed config;
+these tests check it end to end on a seeded generated workload, plus
+the operational contracts (clean worker-crash propagation, shared-store
+round-trips, wall-clock stats bookkeeping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.matrices import blosum62_scheme
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.pace.cache import AlignmentCache
+from repro.parallel.simulator import VirtualCluster
+from repro.runtime import (
+    BackendError,
+    ProcessBackend,
+    SerialBackend,
+    SharedSequenceStore,
+    WorkerCrashError,
+    default_worker_count,
+    make_backend,
+    runtime_info,
+)
+from repro.shingle.algorithm import ShingleParams
+
+
+@pytest.fixture(scope="module")
+def workload(tiny_metagenome):
+    config = PipelineConfig(
+        shingle=ShingleParams(s1=3, c1=40, s2=3, c2=13),
+        min_component_size=4,
+        min_subgraph_size=4,
+    )
+    return tiny_metagenome.sequences, config
+
+
+@pytest.fixture(scope="module")
+def reference(workload):
+    sequences, config = workload
+    return ProteinFamilyPipeline(config).run(sequences)
+
+
+class TestResultInvariance:
+    def test_serial_backend_matches_reference(self, workload, reference):
+        sequences, config = workload
+        result = ProteinFamilyPipeline(config).run(sequences, backend="serial")
+        assert result.families == reference.families
+        assert result.table1() == reference.table1()
+        # The serial backend also reproduces the reference work counters.
+        assert result.clustering.n_alignments == reference.clustering.n_alignments
+        assert result.redundancy.containments == reference.redundancy.containments
+
+    def test_process_backend_matches_reference(self, workload, reference):
+        sequences, config = workload
+        backend = ProcessBackend(workers=2, batch_size=8)
+        result = ProteinFamilyPipeline(config).run(sequences, backend=backend)
+        assert result.families == reference.families
+        assert result.table1() == reference.table1()
+        assert result.redundancy.kept == reference.redundancy.kept
+        assert result.clustering.components == reference.clustering.components
+        assert result.graphs.n_edges == reference.graphs.n_edges
+        assert result.graphs.neighbors == reference.graphs.neighbors
+
+    def test_process_backend_matches_simulator(self, workload, reference):
+        """Simulator and runtime agree: the same families at any scale."""
+        sequences, config = workload
+        sim = ProteinFamilyPipeline(config).run(
+            sequences, cluster=VirtualCluster(8), dsd_cluster=VirtualCluster(4)
+        )
+        assert sim.families == reference.families
+
+    def test_config_backend_field(self, workload, reference):
+        sequences, config = workload
+        from dataclasses import replace
+
+        configured = replace(config, backend="process", workers=2)
+        result = ProteinFamilyPipeline(configured).run(sequences)
+        assert result.runtime is not None
+        assert result.runtime.backend == "process"
+        assert result.families == reference.families
+
+    def test_backend_and_cluster_are_exclusive(self, workload):
+        sequences, config = workload
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            ProteinFamilyPipeline(config).run(
+                sequences, cluster=VirtualCluster(4), backend="serial"
+            )
+
+
+class TestRuntimeStats:
+    def test_phases_and_utilization(self, workload):
+        sequences, config = workload
+        result = ProteinFamilyPipeline(config).run(sequences, backend="serial")
+        stats = result.runtime
+        assert stats is not None
+        assert stats.backend == "serial"
+        assert set(stats.phases) == {
+            "redundancy", "clustering", "bipartite", "dense_subgraphs",
+        }
+        assert stats.total_wall > 0.0
+        assert 0.0 <= stats.utilization() <= 1.0
+        for phase in stats.phases.values():
+            assert phase.wall_seconds >= 0.0
+            assert 0.0 <= phase.utilization(stats.workers) <= 1.0
+        assert stats.cache["misses"] > 0
+        assert any("backend=serial" in line for line in stats.summary_lines())
+
+    def test_classic_run_has_no_runtime_stats(self, reference):
+        assert reference.runtime is None
+
+
+class TestCrashSafety:
+    def test_worker_exception_propagates(self, workload):
+        """A raising worker surfaces a WorkerCrashError — no hang."""
+        sequences, config = workload
+        backend = ProcessBackend(workers=1, batch_size=1)
+        encoded = [r.encoded for r in sequences]
+        cache = AlignmentCache(lambda k: encoded[k], config.scheme)
+        with backend.session(sequences, config.scheme):
+            stream = backend.alignment_stream("local", cache)
+            stream.submit(0, len(sequences) + 5)  # out-of-range index
+            with pytest.raises(WorkerCrashError, match="out of range"):
+                list(stream.drain())
+        # close() ran via session(); the backend is reusable afterwards.
+        with backend.session(sequences, config.scheme):
+            stream = backend.alignment_stream("local", cache)
+            stream.submit(0, 1)
+            assert [(i, j) for i, j, _ in stream.drain()] == [(0, 1)]
+
+    def test_closed_backend_rejects_work(self, workload):
+        sequences, config = workload
+        backend = ProcessBackend(workers=1)
+        encoded = [r.encoded for r in sequences]
+        cache = AlignmentCache(lambda k: encoded[k], config.scheme)
+        with pytest.raises(BackendError, match="not open"):
+            backend.alignment_stream("local", cache)
+
+
+class TestSharedSequenceStore:
+    def test_round_trip(self):
+        rng = np.random.default_rng(9)
+        encoded = [
+            rng.integers(0, 20, size=n).astype(np.uint8) for n in (5, 1, 17, 3)
+        ]
+        with SharedSequenceStore.create(encoded) as store:
+            spec = store.spec()
+            assert spec.n_sequences == 4
+            assert spec.total_symbols == 26
+            for k, seq in enumerate(encoded):
+                np.testing.assert_array_equal(store.get(k), seq)
+            with pytest.raises(IndexError):
+                store.get(4)
+
+    def test_attach_sees_owner_data(self):
+        encoded = [np.arange(7, dtype=np.uint8)]
+        owner = SharedSequenceStore.create(encoded)
+        try:
+            attached = SharedSequenceStore.attach(owner.spec())
+            np.testing.assert_array_equal(attached.get(0), encoded[0])
+            attached.close()
+        finally:
+            owner.close()
+
+    def test_close_is_idempotent(self):
+        store = SharedSequenceStore.create([np.zeros(3, dtype=np.uint8)])
+        store.close()
+        store.close()
+
+
+class TestBackendFactory:
+    def test_make_backend(self):
+        assert make_backend(None) is None
+        assert isinstance(make_backend("serial"), SerialBackend)
+        process = make_backend("process", workers=3)
+        assert isinstance(process, ProcessBackend)
+        assert process.workers == 3
+        passthrough = SerialBackend()
+        assert make_backend(passthrough) is passthrough
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("threads")
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=-1)
+        with pytest.raises(ValueError):
+            ProcessBackend(workers=1, batch_size=0)
+        with pytest.raises(ValueError):
+            PipelineConfig(backend="gpu")
+        with pytest.raises(ValueError):
+            PipelineConfig(workers=-2)
+
+    def test_runtime_info_shape(self):
+        info = runtime_info()
+        assert info["cpu_count"] >= 1
+        assert info["usable_cpus"] >= 1
+        assert info["default_workers"] == default_worker_count() >= 1
+        assert info["backends"]["serial"] is True
+        assert isinstance(info["backends"]["process"], bool)
+
+
+class TestCacheStats:
+    def test_hits_and_misses_are_tracked(self, workload):
+        sequences, config = workload
+        encoded = [r.encoded for r in sequences]
+        cache = AlignmentCache(lambda k: encoded[k], blosum62_scheme())
+        cache.local(0, 1)
+        cache.local(1, 0)  # canonical key: a hit
+        cache.semiglobal(0, 2)
+        stats = cache.stats()
+        assert stats["local_misses"] == 1
+        assert stats["local_hits"] == 1
+        assert stats["semiglobal_misses"] == 1
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        assert stats["entries"] == 2
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_peek_and_insert(self, workload):
+        sequences, config = workload
+        encoded = [r.encoded for r in sequences]
+        cache = AlignmentCache(lambda k: encoded[k], blosum62_scheme())
+        assert cache.peek("local", 0, 1) is None
+        aln = cache.local(0, 1)
+        assert cache.peek("local", 1, 0) is aln  # no counter change
+        assert cache.stats()["local_hits"] == 0
+        cache.insert("semiglobal", 0, 1, aln)
+        assert cache.peek("semiglobal", 0, 1) is aln
+        assert cache.stats()["semiglobal_misses"] == 1
+        with pytest.raises(ValueError, match="unknown alignment kind"):
+            cache.peek("banded", 0, 1)
