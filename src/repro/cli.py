@@ -11,6 +11,11 @@ evaluate
 simulate
     Run the pipeline with simulated parallel RR/CCD phases and report
     per-phase virtual run-times for a processor sweep.
+profile
+    Run the pipeline with full observability and export a Chrome
+    ``trace_event`` timeline (``--trace-out``, loadable in
+    chrome://tracing or https://ui.perfetto.dev) plus a counters JSON
+    snapshot (``--counters-out``), then print the unified text summary.
 runtime-info
     Print detected cores and execution-backend availability.
 
@@ -30,7 +35,7 @@ from pathlib import Path
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import ProteinFamilyPipeline
 from repro.eval.metrics import pair_confusion, quality_scores
-from repro.eval.report import Table1Row, cache_stats_lines
+from repro.eval.report import Table1Row, cache_stats_lines, observation_lines
 from repro.parallel.machine import BLUEGENE_L
 from repro.parallel.simulator import VirtualCluster
 from repro.sequence.fasta import read_fasta, write_fasta
@@ -125,6 +130,29 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import write_chrome_trace, write_counters_json
+
+    sequences = read_fasta(args.fasta)
+    config = _config_from_args(args)
+    result = ProteinFamilyPipeline(config).run(
+        sequences, backend=args.backend, workers=args.workers or None
+    )
+    recorder = result.obs
+    write_chrome_trace(recorder, args.trace_out)
+    write_counters_json(recorder, args.counters_out)
+    print(Table1Row.header())
+    print(result.table1().formatted())
+    print()
+    for line in observation_lines(recorder):
+        print(line)
+    print()
+    print(f"trace    -> {args.trace_out} (open in chrome://tracing or "
+          f"https://ui.perfetto.dev)")
+    print(f"counters -> {args.counters_out}")
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     families = json.loads(Path(args.families).read_text(encoding="ascii"))
     truth = json.loads(Path(args.truth).read_text(encoding="ascii"))
@@ -207,6 +235,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pipeline_args(p_run)
     _add_backend_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run the pipeline and export a Chrome trace + counters JSON",
+    )
+    p_prof.add_argument("fasta")
+    p_prof.add_argument(
+        "--trace-out", default="trace.json",
+        help="Chrome trace_event output path (default: trace.json)",
+    )
+    p_prof.add_argument(
+        "--counters-out", default="counters.json",
+        help="counters snapshot output path (default: counters.json)",
+    )
+    _add_pipeline_args(p_prof)
+    _add_backend_args(p_prof)
+    p_prof.set_defaults(func=cmd_profile)
 
     p_eval = sub.add_parser("evaluate", help="score families against a truth table")
     p_eval.add_argument("families", help="families JSON (from `repro run`)")

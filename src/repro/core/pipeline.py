@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.core.config import PipelineConfig
 from repro.eval.report import Table1Row, table1_row
+from repro.obs import Recorder, record_simulation, recording
 from repro.pace.bipartite_gen import (
     ComponentGraphs,
     generate_component_graphs,
@@ -87,6 +88,11 @@ class PipelineResult:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     runtime: RuntimeStats | None = None
     """Measured wall-clock stats when run on an execution backend."""
+    obs: Recorder | None = None
+    """The run's observability recorder: phase/task spans, scientific and
+    work counters, and (in simulated mode) the virtual-time timeline.
+    Export with :func:`repro.obs.write_chrome_trace` /
+    :func:`repro.obs.write_counters_json`."""
 
     @property
     def families(self) -> list[tuple[int, ...]]:
@@ -125,6 +131,19 @@ class ProteinFamilyPipeline:
         encoded = [record.encoded for record in sequences]
         return AlignmentCache(lambda k: encoded[k], self.config.scheme)
 
+    def _run_meta(
+        self, sequences: SequenceSet, *, mode: str, workers: int
+    ) -> dict:
+        """Run-identifying metadata stamped on the recorder (and thence
+        into every export)."""
+        return {
+            "mode": mode,
+            "workers": workers,
+            "n_input": len(sequences),
+            "psi": self.config.psi,
+            "reduction": self.config.reduction,
+        }
+
     def run(
         self,
         sequences: SequenceSet,
@@ -135,6 +154,7 @@ class ProteinFamilyPipeline:
         cost_model: CostModel | None = None,
         backend: Backend | str | None = None,
         workers: int | None = None,
+        recorder: Recorder | None = None,
     ) -> PipelineResult:
         """Run all four phases.
 
@@ -152,6 +172,11 @@ class ProteinFamilyPipeline:
         ``result.runtime``.  Backends and simulated clusters are
         mutually exclusive, and every mode returns identical
         ``families``/Table I output.
+
+        Every run records spans and counters into a
+        :class:`repro.obs.Recorder` (pass ``recorder`` to supply your
+        own, e.g. to accumulate several runs); it is returned as
+        ``result.obs``.
         """
         config = self.config
         resolved = backend
@@ -166,113 +191,177 @@ class ProteinFamilyPipeline:
                     "a simulated cluster and an execution backend are "
                     "mutually exclusive; pass one or the other"
                 )
-            return self._run_on_backend(sequences, real_backend, cache)
-        cache = cache or self._make_cache(sequences)
+            if recorder is None:
+                recorder = Recorder(meta=self._run_meta(
+                    sequences,
+                    mode=real_backend.name,
+                    workers=real_backend.workers,
+                ))
+            with recording(recorder):
+                result = self._run_on_backend(
+                    sequences, real_backend, cache, recorder
+                )
+            result.obs = recorder
+            return result
+        simulated = cluster is not None or dsd_cluster is not None
+        if recorder is None:
+            ranks = max(
+                cluster.n_ranks if cluster is not None else 1,
+                dsd_cluster.n_ranks if dsd_cluster is not None else 1,
+            )
+            recorder = Recorder(meta=self._run_meta(
+                sequences,
+                mode="simulated" if simulated else "serial",
+                workers=ranks if simulated else 1,
+            ))
+        with recording(recorder):
+            result = self._run_serial_or_simulated(
+                sequences, cluster, dsd_cluster, cache, cost_model, recorder
+            )
+        result.obs = recorder
+        return result
+
+    def _run_serial_or_simulated(
+        self,
+        sequences: SequenceSet,
+        cluster: VirtualCluster | None,
+        dsd_cluster: VirtualCluster | None,
+        cache: AlignmentCache | None,
+        cost_model: CostModel | None,
+        recorder: Recorder,
+    ) -> PipelineResult:
+        config = self.config
+        if cache is None:  # explicit None test: an empty cache is falsy
+            cache = self._make_cache(sequences)
         timings = PhaseTimings()
+        # Simulated phases are stacked end-to-end on the virtual-time
+        # track, mirroring the paper's sequential phase execution.
+        sim_offset = 0.0
 
         # Phase 1: redundancy removal.
-        if cluster is not None:
-            rr = parallel_redundancy_removal(
-                sequences,
-                cluster,
-                psi=config.psi,
-                similarity=config.containment_similarity,
-                coverage=config.containment_coverage,
-                scheme=config.scheme,
-                cache=cache,
-                cost_model=cost_model,
-                max_pairs_per_node=config.max_pairs_per_node,
-            )
-            timings.redundancy = rr.sim.elapsed
-        else:
-            rr = find_redundant_serial(
-                sequences,
-                psi=config.psi,
-                similarity=config.containment_similarity,
-                coverage=config.containment_coverage,
-                scheme=config.scheme,
-                cache=cache,
-                max_pairs_per_node=config.max_pairs_per_node,
+        with recorder.span("redundancy", cat="phase"):
+            if cluster is not None:
+                rr = parallel_redundancy_removal(
+                    sequences,
+                    cluster,
+                    psi=config.psi,
+                    similarity=config.containment_similarity,
+                    coverage=config.containment_coverage,
+                    scheme=config.scheme,
+                    cache=cache,
+                    cost_model=cost_model,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+                timings.redundancy = rr.sim.elapsed
+            else:
+                rr = find_redundant_serial(
+                    sequences,
+                    psi=config.psi,
+                    similarity=config.containment_similarity,
+                    coverage=config.containment_coverage,
+                    scheme=config.scheme,
+                    cache=cache,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+        if rr.sim is not None:
+            sim_offset = record_simulation(
+                recorder, rr.sim, "redundancy", offset=sim_offset
             )
 
         # Phase 2: connected component detection.
-        if cluster is not None:
-            ccd = parallel_component_detection(
-                sequences,
-                rr.kept,
-                cluster,
-                psi=config.psi,
-                similarity=config.overlap_similarity,
-                coverage=config.overlap_coverage,
-                scheme=config.scheme,
-                cache=cache,
-                cost_model=cost_model,
-                max_pairs_per_node=config.max_pairs_per_node,
-            )
-            timings.clustering = ccd.sim.elapsed
-        else:
-            ccd = detect_components_serial(
-                sequences,
-                rr.kept,
-                psi=config.psi,
-                similarity=config.overlap_similarity,
-                coverage=config.overlap_coverage,
-                scheme=config.scheme,
-                cache=cache,
-                max_pairs_per_node=config.max_pairs_per_node,
+        with recorder.span("clustering", cat="phase"):
+            if cluster is not None:
+                ccd = parallel_component_detection(
+                    sequences,
+                    rr.kept,
+                    cluster,
+                    psi=config.psi,
+                    similarity=config.overlap_similarity,
+                    coverage=config.overlap_coverage,
+                    scheme=config.scheme,
+                    cache=cache,
+                    cost_model=cost_model,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+                timings.clustering = ccd.sim.elapsed
+            else:
+                ccd = detect_components_serial(
+                    sequences,
+                    rr.kept,
+                    psi=config.psi,
+                    similarity=config.overlap_similarity,
+                    coverage=config.overlap_coverage,
+                    scheme=config.scheme,
+                    cache=cache,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+        if ccd.sim is not None:
+            sim_offset = record_simulation(
+                recorder, ccd.sim, "clustering", offset=sim_offset
             )
 
         # Phase 3: bipartite graph generation (per component).
         qualifying = ccd.components_of_size(config.min_component_size)
-        if cluster is not None and config.reduction == "global":
-            graphs = parallel_generate_component_graphs(
-                sequences,
-                qualifying,
-                cluster,
-                psi=config.psi,
-                edge_similarity=config.edge_similarity,
-                edge_coverage=config.edge_coverage,
-                min_size=config.min_component_size,
-                scheme=config.scheme,
-                cache=cache,
-                cost_model=cost_model,
-                max_pairs_per_node=config.max_pairs_per_node,
-            )
-            timings.bipartite = graphs.sim.elapsed
-        else:
-            graphs = generate_component_graphs(
-                sequences,
-                qualifying,
-                reduction=config.reduction,
-                psi=config.psi,
-                edge_similarity=config.edge_similarity,
-                edge_coverage=config.edge_coverage,
-                w=config.w,
-                min_size=config.min_component_size,
-                scheme=config.scheme,
-                cache=cache,
-                max_pairs_per_node=config.max_pairs_per_node,
+        with recorder.span("bipartite", cat="phase"):
+            if cluster is not None and config.reduction == "global":
+                graphs = parallel_generate_component_graphs(
+                    sequences,
+                    qualifying,
+                    cluster,
+                    psi=config.psi,
+                    edge_similarity=config.edge_similarity,
+                    edge_coverage=config.edge_coverage,
+                    min_size=config.min_component_size,
+                    scheme=config.scheme,
+                    cache=cache,
+                    cost_model=cost_model,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+                timings.bipartite = graphs.sim.elapsed
+            else:
+                graphs = generate_component_graphs(
+                    sequences,
+                    qualifying,
+                    reduction=config.reduction,
+                    psi=config.psi,
+                    edge_similarity=config.edge_similarity,
+                    edge_coverage=config.edge_coverage,
+                    w=config.w,
+                    min_size=config.min_component_size,
+                    scheme=config.scheme,
+                    cache=cache,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+        if graphs.sim is not None:
+            sim_offset = record_simulation(
+                recorder, graphs.sim, "bipartite", offset=sim_offset
             )
 
         # Phase 4: dense subgraph detection.
-        if dsd_cluster is not None:
-            dense = parallel_dense_subgraph_detection(
-                graphs,
-                dsd_cluster,
-                params=config.shingle,
-                min_size=config.min_subgraph_size,
-                tau=config.tau,
-                cost_model=cost_model,
-            )
-            timings.dense_subgraphs = dense.sim.elapsed
-        else:
-            dense = detect_dense_subgraphs_serial(
-                graphs,
-                params=config.shingle,
-                min_size=config.min_subgraph_size,
-                tau=config.tau,
+        with recorder.span("dense_subgraphs", cat="phase"):
+            if dsd_cluster is not None:
+                dense = parallel_dense_subgraph_detection(
+                    graphs,
+                    dsd_cluster,
+                    params=config.shingle,
+                    min_size=config.min_subgraph_size,
+                    tau=config.tau,
+                    cost_model=cost_model,
+                )
+                timings.dense_subgraphs = dense.sim.elapsed
+            else:
+                dense = detect_dense_subgraphs_serial(
+                    graphs,
+                    params=config.shingle,
+                    min_size=config.min_subgraph_size,
+                    tau=config.tau,
+                )
+        if dense.sim is not None:
+            sim_offset = record_simulation(
+                recorder, dense.sim, "dense_subgraphs", offset=sim_offset
             )
 
+        cache.record_observations(recorder)
         return PipelineResult(
             config=config,
             n_input=len(sequences),
@@ -288,10 +377,12 @@ class ProteinFamilyPipeline:
         sequences: SequenceSet,
         backend: Backend,
         cache: AlignmentCache | None,
+        recorder: Recorder,
     ) -> PipelineResult:
         """Run all four phases on a real execution backend."""
         config = self.config
-        cache = cache or self._make_cache(sequences)
+        if cache is None:  # explicit None test: an empty cache is falsy
+            cache = self._make_cache(sequences)
         with backend.session(sequences, config.scheme):
             rr = backend_redundancy_removal(
                 sequences,
@@ -333,6 +424,7 @@ class ProteinFamilyPipeline:
                 tau=config.tau,
             )
         backend.stats.cache = cache.stats()
+        cache.record_observations(recorder)
         return PipelineResult(
             config=config,
             n_input=len(sequences),

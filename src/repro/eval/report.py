@@ -4,7 +4,12 @@ Besides the paper's qualitative-assessment row (Table I), this module
 formats operational statistics a run produces: alignment-cache
 effectiveness (:func:`cache_stats_lines`), reported by the CLI next to
 the backend wall-clock summary so backend runs can show how much
-recomputation the master-side cache absorbed.
+recomputation the master-side cache absorbed, and the unified
+observability summary (:func:`observation_lines`) rendered from a
+:class:`repro.obs.Recorder` — a phase timeline with share bars, the
+scientific counters of the run contract, worker-lane utilisation, and
+the cache rollup, identical in vocabulary across serial, simulated,
+and backend runs.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.graph.density import subgraph_density
+from repro.obs import Recorder, scientific_view
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,72 @@ def cache_stats_lines(stats: Mapping[str, float]) -> list[str]:
                 f"  {kind:<10s} hits={kind_hits:<8,d} misses={kind_misses:<8,d} "
                 f"({kind_hits / kind_total:.1%})"
             )
+    return lines
+
+
+def observation_lines(recorder: Recorder, *, bar_width: int = 28) -> list[str]:
+    """Timeline-style text report of one run's observability recorder.
+
+    Sections (each omitted when empty): run metadata, the per-phase
+    wall-clock timeline with share bars, the worker-lane busy rollup
+    (backend runs), the scientific counters, and the cache summary.
+    """
+    counters = recorder.counters()
+    phases = recorder.phase_seconds()
+    total = sum(phases.values())
+    lines: list[str] = []
+    if recorder.meta:
+        lines.append(
+            "run: " + " ".join(f"{k}={v}" for k, v in recorder.meta.items())
+        )
+    if phases:
+        lines.append(f"phase timeline ({total:.3f}s wall):")
+        peak = max(phases.values())
+        for name, secs in phases.items():
+            filled = round(bar_width * secs / peak) if peak > 0 else 0
+            if secs > 0:
+                filled = max(filled, 1)
+            share = secs / total if total > 0 else 0.0
+            lines.append(
+                f"  {name:<16s} {secs:>9.3f}s {share:>6.1%}  "
+                f"|{'#' * filled:<{bar_width}s}|"
+            )
+    worker_lanes = {
+        lane: busy
+        for lane, busy in recorder.lane_busy_seconds().items()
+        if lane > 0
+    }
+    if worker_lanes:
+        busiest = max(worker_lanes, key=worker_lanes.__getitem__)
+        lines.append(
+            f"worker lanes: {len(worker_lanes)} active, "
+            f"{sum(worker_lanes.values()):.3f}s busy "
+            f"(peak worker {busiest - 1}: {worker_lanes[busiest]:.3f}s)"
+        )
+    scientific = {
+        name: value
+        for name, value in scientific_view(counters).items()
+        if value
+    }
+    if scientific:
+        lines.append("scientific counters (mode-invariant):")
+        for name, value in scientific.items():
+            lines.append(f"  {name:<26s} {int(value):>12,d}")
+    cache_lookups = sum(
+        counters.get(f"cache.{kind}_{outcome}", 0)
+        for kind in ("local", "semiglobal")
+        for outcome in ("hits", "misses")
+    )
+    if cache_lookups:
+        cache_hits = (
+            counters.get("cache.local_hits", 0)
+            + counters.get("cache.semiglobal_hits", 0)
+        )
+        lines.append(
+            f"cache: {int(counters.get('cache.entries', 0)):,d} entries, "
+            f"{int(cache_hits):,d}/{int(cache_lookups):,d} lookups served "
+            f"({cache_hits / cache_lookups:.1%} hit rate)"
+        )
     return lines
 
 

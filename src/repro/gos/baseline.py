@@ -80,7 +80,8 @@ def gos_cluster(
     config = config or GosConfig()
     scheme = scheme or blosum62_scheme()
     encoded = [record.encoded for record in sequences]
-    cache = cache or AlignmentCache(lambda k: encoded[k], scheme)
+    if cache is None:  # explicit None test: an empty cache is falsy
+        cache = AlignmentCache(lambda k: encoded[k], scheme)
     n = len(sequences)
 
     result = GosResult(redundant=set(), kept=[], clusters=[])

@@ -1,0 +1,82 @@
+"""Unified observability: one tracing/metrics vocabulary for all modes.
+
+The pipeline's performance claims (the paper's Table II master
+bottleneck, the >99.9% transitive-closure kill rate, the Figure 6
+scaling curves) are claims about internal counters and per-phase
+timelines.  This package gives every execution mode — serial reference,
+:mod:`repro.runtime` backends, :mod:`repro.parallel` simulator — the
+same instruments:
+
+* :class:`Recorder` collects :class:`Span`/:class:`Event` timelines and
+  named counters; library code reports through the ambient helpers
+  (:func:`count`, :func:`span`, :func:`event`), which no-op when no
+  recorder is installed via :func:`recording`;
+* :mod:`repro.obs.registry` declares every counter and which of them
+  are *scientific* (mode-invariant) versus *work* (concurrency-
+  dependent) — the contract ``tests/test_obs.py`` pins down;
+* :mod:`repro.obs.export` writes Chrome ``trace_event`` JSON (open in
+  ``chrome://tracing`` or Perfetto) and a counters JSON snapshot;
+* :mod:`repro.obs.bridge` mirrors simulator results onto the virtual
+  track of the same trace.
+
+``ProteinFamilyPipeline.run`` installs a recorder automatically and
+returns it as ``result.obs``; ``repro profile`` wires the exporters.
+"""
+
+from repro.obs.core import (
+    HOST_TRACK,
+    MASTER_LANE,
+    SIM_TRACK,
+    Counter,
+    Event,
+    Recorder,
+    Span,
+    active,
+    count,
+    event,
+    recording,
+    set_max,
+    span,
+)
+from repro.obs.bridge import record_simulation
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_events,
+    counters_payload,
+    write_chrome_trace,
+    write_counters_json,
+)
+from repro.obs.registry import (
+    REGISTRY,
+    SCIENTIFIC_COUNTERS,
+    CounterSpec,
+    describe,
+    scientific_view,
+)
+
+__all__ = [
+    "Counter",
+    "CounterSpec",
+    "Event",
+    "HOST_TRACK",
+    "MASTER_LANE",
+    "REGISTRY",
+    "Recorder",
+    "SCIENTIFIC_COUNTERS",
+    "SIM_TRACK",
+    "Span",
+    "active",
+    "chrome_trace",
+    "chrome_trace_events",
+    "count",
+    "counters_payload",
+    "describe",
+    "event",
+    "record_simulation",
+    "recording",
+    "scientific_view",
+    "set_max",
+    "span",
+    "write_chrome_trace",
+    "write_counters_json",
+]

@@ -1,0 +1,36 @@
+"""Simulator bridge: mirror a :class:`SimulationResult` onto a recorder.
+
+Simulated runs live on a *virtual* time axis, so their activity goes to
+:data:`~repro.obs.core.SIM_TRACK` (a separate trace process in Chrome /
+Perfetto) and their headline figures become ``sim.<phase>.*`` counters.
+Successive phases share the virtual axis; the caller passes the running
+``offset`` so RR, CCD, ... appear end-to-end instead of overlapping.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.core import SIM_TRACK, Recorder
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.parallel.simulator import SimulationResult
+
+
+def record_simulation(recorder: Recorder, sim: "SimulationResult",
+                      phase: str, *, offset: float = 0.0) -> float:
+    """Record one simulated phase; returns the new virtual-time offset.
+
+    Headline counters always land (``sim.<phase>.virtual_seconds``,
+    ``.messages``, ``.bytes``); per-rank compute/send/wait spans land
+    only when the simulation was run with ``record_timeline=True``.
+    """
+    recorder.count(f"sim.{phase}.virtual_seconds", sim.elapsed)
+    recorder.count(f"sim.{phase}.messages", sim.total_messages)
+    recorder.count(f"sim.{phase}.bytes", sim.total_bytes)
+    recorder.add_span(phase, "sim-phase", offset, offset + sim.elapsed,
+                      track=SIM_TRACK, lane=0, ranks=sim.n_ranks)
+    for rank, kind, start, end in sim.timeline:
+        recorder.add_span(kind, "sim", offset + start, offset + end,
+                          track=SIM_TRACK, lane=rank, phase=phase)
+    return offset + sim.elapsed

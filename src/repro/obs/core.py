@@ -1,0 +1,286 @@
+"""Span/Counter/Event primitives and the :class:`Recorder` behind them.
+
+One observability vocabulary for every execution mode: the serial
+reference, the simulator, and the real backends all talk to a
+:class:`Recorder` through the ambient helpers (:func:`count`,
+:func:`span`, :func:`event`), which are no-ops when no recorder is
+installed — instrumented library code never pays for observability it
+did not ask for, and never needs a recorder argument threaded through.
+
+Timeline model (mirrors Chrome's ``trace_event`` terminology):
+
+* a **track** is a Chrome ``pid`` — :data:`HOST_TRACK` carries measured
+  wall-clock activity, :data:`SIM_TRACK` carries *virtual* simulator
+  time (the two axes must never be mixed on one track);
+* a **lane** is a Chrome ``tid`` within a track — lane 0 is the master,
+  lane ``w + 1`` is worker ``w`` (host) or rank ``w`` (simulator).
+
+Safety contract:
+
+* **thread-safe** — every mutation takes the recorder lock, so a
+  threaded backend may count/span concurrently with the master;
+* **process-safe by message passing** — worker processes never share a
+  recorder; they record into a private :class:`Recorder` and ship its
+  :meth:`Recorder.wall_spans` buffer and counter snapshot back with
+  their result batch, which the master merges via
+  :meth:`Recorder.absorb_wall_spans` / :meth:`Recorder.merge_counts`.
+  Worker spans are stamped with ``time.time()`` (comparable across
+  processes on one host) and rebased onto the master's epoch.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: Chrome-trace "pid" carrying measured wall-clock activity.
+HOST_TRACK = 1
+#: Chrome-trace "pid" carrying simulated (virtual-time) activity.
+SIM_TRACK = 2
+#: The master's lane ("tid") on either track.
+MASTER_LANE = 0
+
+
+def _freeze_args(args: dict[str, object]) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted(args.items()))
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed interval of work on a (track, lane) timeline.
+
+    ``start``/``end`` are seconds since the recorder epoch on
+    :data:`HOST_TRACK`, or virtual seconds on :data:`SIM_TRACK`.
+    """
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    track: int = HOST_TRACK
+    lane: int = MASTER_LANE
+    args: tuple[tuple[str, object], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class Event:
+    """One instantaneous occurrence on a (track, lane) timeline."""
+
+    name: str
+    cat: str
+    ts: float
+    track: int = HOST_TRACK
+    lane: int = MASTER_LANE
+    args: tuple[tuple[str, object], ...] = ()
+
+
+class Counter:
+    """Handle onto one named counter of a :class:`Recorder`.
+
+    A convenience for hot loops that would otherwise repeat the name
+    lookup; ``Counter.add`` and ``Recorder.count`` are interchangeable.
+    """
+
+    __slots__ = ("name", "_recorder")
+
+    def __init__(self, recorder: "Recorder", name: str):
+        self.name = name
+        self._recorder = recorder
+
+    def add(self, n: int | float = 1) -> None:
+        self._recorder.count(self.name, n)
+
+    @property
+    def value(self) -> float:
+        return self._recorder.value(self.name)
+
+
+@dataclass
+class Recorder:
+    """Thread-safe sink for spans, counters, and events of one run."""
+
+    meta: dict[str, object] = field(default_factory=dict)
+    """Free-form run description (mode, workers, config digest, ...)."""
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self.spans: list[Span] = []
+        self.events: list[Event] = []
+        self._epoch_perf = time.perf_counter()
+        self._epoch_wall = time.time()
+
+    # -- clock -------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this recorder was created (monotonic)."""
+        return time.perf_counter() - self._epoch_perf
+
+    # -- counters ----------------------------------------------------------
+
+    def count(self, name: str, n: int | float = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def set_max(self, name: str, value: int | float) -> None:
+        """Record a high-water mark: ``name`` becomes max(current, value)."""
+        with self._lock:
+            current = self._counters.get(name)
+            if current is None or value > current:
+                self._counters[name] = value
+
+    def value(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counter(self, name: str) -> Counter:
+        return Counter(self, name)
+
+    def counters(self) -> dict[str, float]:
+        """Name-sorted snapshot of every counter."""
+        with self._lock:
+            return dict(sorted(self._counters.items()))
+
+    def merge_counts(self, counts: dict[str, float]) -> None:
+        """Fold a worker's counter snapshot into this recorder."""
+        with self._lock:
+            for name, n in counts.items():
+                self._counters[name] = self._counters.get(name, 0) + n
+
+    # -- spans and events --------------------------------------------------
+
+    @contextlib.contextmanager
+    def span(self, name: str, cat: str = "phase",
+             lane: int = MASTER_LANE, **args: object):
+        """Record the enclosed block as one host-track span."""
+        start = self.now()
+        try:
+            yield self
+        finally:
+            self.add_span(name, cat, start, self.now(), lane=lane, **args)
+
+    def add_span(self, name: str, cat: str, start: float, end: float, *,
+                 track: int = HOST_TRACK, lane: int = MASTER_LANE,
+                 **args: object) -> None:
+        """Record a span with explicit epoch-relative timestamps."""
+        record = Span(name=name, cat=cat, start=start, end=end,
+                      track=track, lane=lane, args=_freeze_args(args))
+        with self._lock:
+            self.spans.append(record)
+
+    def event(self, name: str, cat: str = "event", *,
+              track: int = HOST_TRACK, lane: int = MASTER_LANE,
+              **args: object) -> None:
+        record = Event(name=name, cat=cat, ts=self.now(),
+                       track=track, lane=lane, args=_freeze_args(args))
+        with self._lock:
+            self.events.append(record)
+
+    # -- cross-process shipping --------------------------------------------
+
+    def wall_spans(self) -> list[tuple[str, str, float, float]]:
+        """This recorder's spans as wall-clock tuples, for shipping to
+        another process (the worker half of the span-buffer protocol)."""
+        with self._lock:
+            return [
+                (s.name, s.cat, self._epoch_wall + s.start,
+                 self._epoch_wall + s.end)
+                for s in self.spans
+            ]
+
+    def absorb_wall_spans(self, spans: list[tuple[str, str, float, float]],
+                          *, lane: int) -> None:
+        """Rebase wall-clock span tuples from a worker onto this
+        recorder's epoch, placing them in the given host-track lane."""
+        rebased = [
+            Span(name=name, cat=cat, start=start - self._epoch_wall,
+                 end=end - self._epoch_wall, track=HOST_TRACK, lane=lane)
+            for name, cat, start, end in spans
+        ]
+        with self._lock:
+            self.spans.extend(rebased)
+
+    # -- derived views -----------------------------------------------------
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Summed wall seconds per phase-category span name, in first-seen
+        order — the unified successor of per-mode timing structs."""
+        out: dict[str, float] = {}
+        with self._lock:
+            for s in self.spans:
+                if s.cat == "phase" and s.track == HOST_TRACK:
+                    out[s.name] = out.get(s.name, 0.0) + s.duration
+        return out
+
+    def lane_busy_seconds(self) -> dict[int, float]:
+        """Summed non-phase busy seconds per host lane (worker rollup)."""
+        out: dict[int, float] = {}
+        with self._lock:
+            for s in self.spans:
+                if s.cat != "phase" and s.track == HOST_TRACK:
+                    out[s.lane] = out.get(s.lane, 0.0) + s.duration
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The ambient recorder: instrumentation points call these module helpers,
+# which no-op unless a recorder is installed via recording().
+# ---------------------------------------------------------------------------
+
+_active: Recorder | None = None
+
+
+def active() -> Recorder | None:
+    """The currently installed recorder, or None."""
+    return _active
+
+
+@contextlib.contextmanager
+def recording(recorder: Recorder):
+    """Install ``recorder`` as the ambient sink for the enclosed block.
+
+    Nests: the previous recorder (if any) is restored on exit.
+    """
+    global _active
+    previous = _active
+    _active = recorder
+    try:
+        yield recorder
+    finally:
+        _active = previous
+
+
+def count(name: str, n: int | float = 1) -> None:
+    recorder = _active
+    if recorder is not None:
+        recorder.count(name, n)
+
+
+def set_max(name: str, value: int | float) -> None:
+    recorder = _active
+    if recorder is not None:
+        recorder.set_max(name, value)
+
+
+def event(name: str, cat: str = "event", **args: object) -> None:
+    recorder = _active
+    if recorder is not None:
+        recorder.event(name, cat, **args)
+
+
+@contextlib.contextmanager
+def span(name: str, cat: str = "phase", lane: int = MASTER_LANE,
+         **args: object):
+    recorder = _active
+    if recorder is None:
+        yield None
+        return
+    with recorder.span(name, cat=cat, lane=lane, **args):
+        yield recorder

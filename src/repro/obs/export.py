@@ -1,0 +1,114 @@
+"""Exporters: Chrome ``trace_event`` JSON and a counters JSON snapshot.
+
+The trace format is the stable subset documented for ``chrome://tracing``
+and Perfetto: an object with a ``traceEvents`` array of complete-duration
+events (``ph: "X"``, microsecond ``ts``/``dur``), instant events
+(``ph: "i"``) and metadata events (``ph: "M"``) naming the processes and
+threads.  Recorder tracks map to trace pids (host = measured wall-clock,
+virtual cluster = simulated seconds) and lanes map to tids, so a
+``repro profile`` trace opens directly in https://ui.perfetto.dev with
+master and worker activity on separate rows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.core import HOST_TRACK, MASTER_LANE, SIM_TRACK, Recorder
+from repro.obs.registry import scientific_view
+
+_TRACK_NAMES = {
+    HOST_TRACK: "host (measured wall-clock)",
+    SIM_TRACK: "virtual cluster (simulated seconds)",
+}
+
+
+def _lane_name(track: int, lane: int) -> str:
+    if track == SIM_TRACK:
+        return f"rank {lane}"
+    return "master" if lane == MASTER_LANE else f"worker {lane - 1}"
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def chrome_trace_events(recorder: Recorder) -> list[dict]:
+    """The recorder's spans/events as a ``traceEvents`` array."""
+    events: list[dict] = []
+    lanes: set[tuple[int, int]] = set()
+    for s in recorder.spans:
+        lanes.add((s.track, s.lane))
+        events.append({
+            "name": s.name,
+            "cat": s.cat,
+            "ph": "X",
+            "ts": _us(s.start),
+            "dur": _us(max(s.duration, 0.0)),
+            "pid": s.track,
+            "tid": s.lane,
+            "args": dict(s.args),
+        })
+    for e in recorder.events:
+        lanes.add((e.track, e.lane))
+        events.append({
+            "name": e.name,
+            "cat": e.cat,
+            "ph": "i",
+            "s": "t",
+            "ts": _us(e.ts),
+            "pid": e.track,
+            "tid": e.lane,
+            "args": dict(e.args),
+        })
+    meta: list[dict] = []
+    for track in sorted({track for track, _ in lanes}):
+        meta.append({
+            "name": "process_name", "ph": "M", "pid": track, "tid": 0,
+            "args": {"name": _TRACK_NAMES.get(track, f"track {track}")},
+        })
+    for track, lane in sorted(lanes):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": track, "tid": lane,
+            "args": {"name": _lane_name(track, lane)},
+        })
+    return meta + events
+
+
+def chrome_trace(recorder: Recorder) -> dict:
+    """Full Chrome trace document, counters included as ``otherData``."""
+    return {
+        "traceEvents": chrome_trace_events(recorder),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "meta": dict(recorder.meta),
+            "counters": recorder.counters(),
+        },
+    }
+
+
+def write_chrome_trace(recorder: Recorder, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(recorder)), encoding="ascii")
+    return path
+
+
+def counters_payload(recorder: Recorder) -> dict:
+    """Counters JSON document: all counters plus the scientific slice
+    (the subset guaranteed identical across execution modes)."""
+    counters = recorder.counters()
+    return {
+        "meta": dict(recorder.meta),
+        "counters": counters,
+        "scientific": scientific_view(counters),
+        "phase_seconds": recorder.phase_seconds(),
+    }
+
+
+def write_counters_json(recorder: Recorder, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(counters_payload(recorder), indent=1), encoding="ascii"
+    )
+    return path

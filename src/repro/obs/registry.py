@@ -1,0 +1,133 @@
+"""Canonical counter names and the cross-mode invariance contract.
+
+Every counter the pipeline emits is declared here with its phase and a
+one-line meaning.  The ``scientific`` flag is the heart of the
+contract: a scientific counter describes *what the algorithm decided*
+(pairs examined, clusters merged, shingles drawn) and must be
+bit-identical across the serial reference, both execution backends,
+and the simulator on the same input — the counter analogue of the
+result-invariance guarantee.  Non-scientific ("work") counters
+describe *how the work got done* (pairs killed by the lagging
+transitive-closure filter, cache hits, batch counts) and legitimately
+vary with concurrency, exactly as the paper's Table II work counters
+vary with processor count.
+
+``tests/test_obs.py`` enforces the scientific half of this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class CounterSpec:
+    """Declared name, owning phase, meaning, and invariance class."""
+
+    name: str
+    phase: str
+    description: str
+    scientific: bool = False
+
+
+_SPECS = [
+    # -- Phase 1: redundancy removal ---------------------------------------
+    CounterSpec("rr.pairs", "redundancy",
+                "unique promising pairs examined (maximal match >= psi)",
+                scientific=True),
+    CounterSpec("rr.alignments", "redundancy",
+                "overlap alignments consulted for Definition 1",
+                scientific=True),
+    CounterSpec("rr.redundant", "redundancy",
+                "sequences removed as contained (Definition 1)",
+                scientific=True),
+    # -- Phase 2: connected component detection ----------------------------
+    CounterSpec("ccd.pairs", "clustering",
+                "promising pairs streamed through the PaCE master filter",
+                scientific=True),
+    CounterSpec("ccd.filtered", "clustering",
+                "pairs killed by the transitive-closure filter "
+                "(the paper's >99.9% figure; lags under concurrency)"),
+    CounterSpec("ccd.alignments", "clustering",
+                "pairs aligned against Definition 2 "
+                "(grows as the filter lags under concurrency)"),
+    CounterSpec("ccd.merges", "clustering",
+                "unions that actually merged two clusters",
+                scientific=True),
+    CounterSpec("ccd.components", "clustering",
+                "connected components at phase end (incl. singletons)",
+                scientific=True),
+    # -- Phase 3: bipartite graph generation -------------------------------
+    CounterSpec("bipartite.pairs", "bipartite",
+                "unique intra-component promising pairs aligned",
+                scientific=True),
+    CounterSpec("bipartite.edges", "bipartite",
+                "pairs meeting the edge-similarity cutoff",
+                scientific=True),
+    CounterSpec("bipartite.graphs", "bipartite",
+                "component bipartite graphs built",
+                scientific=True),
+    # -- Phase 4: dense subgraph detection ---------------------------------
+    CounterSpec("dsd.components", "dense_subgraphs",
+                "component graphs run through the Shingle algorithm",
+                scientific=True),
+    CounterSpec("dsd.first_shingles", "dense_subgraphs",
+                "distinct first-level (s1, c1)-shingles",
+                scientific=True),
+    CounterSpec("dsd.second_shingles", "dense_subgraphs",
+                "distinct second-level (s2, c2)-shingles",
+                scientific=True),
+    CounterSpec("dsd.tuples_pass1", "dense_subgraphs",
+                "<shingle, vertex> tuples emitted by pass I",
+                scientific=True),
+    CounterSpec("dsd.tuples_pass2", "dense_subgraphs",
+                "<shingle, shingle> tuples emitted by pass II",
+                scientific=True),
+    CounterSpec("dsd.skipped_low_degree", "dense_subgraphs",
+                "left vertices skipped for degree < s1",
+                scientific=True),
+    CounterSpec("dsd.subgraphs", "dense_subgraphs",
+                "dense subgraphs surviving the reporting filter",
+                scientific=True),
+    # -- Alignment cache (master-side memo) --------------------------------
+    CounterSpec("cache.local_hits", "cache",
+                "local alignments answered from the memo"),
+    CounterSpec("cache.local_misses", "cache",
+                "local alignments computed (master or worker)"),
+    CounterSpec("cache.semiglobal_hits", "cache",
+                "semiglobal alignments answered from the memo"),
+    CounterSpec("cache.semiglobal_misses", "cache",
+                "semiglobal alignments computed (master or worker)"),
+    CounterSpec("cache.entries", "cache",
+                "distinct alignments memoised at run end"),
+    # -- Runtime backends ---------------------------------------------------
+    CounterSpec("runtime.batches", "runtime",
+                "work batches dispatched to the task queue"),
+    CounterSpec("runtime.batch_pairs", "runtime",
+                "alignment pairs shipped inside dispatched batches"),
+    CounterSpec("runtime.max_outstanding", "runtime",
+                "high-water mark of batches in flight (queue depth)"),
+    CounterSpec("runtime.shingle_jobs", "runtime",
+                "component Shingle jobs dispatched to workers"),
+    CounterSpec("runtime.worker_busy_seconds", "runtime",
+                "summed task compute seconds reported by workers"),
+]
+
+REGISTRY: dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}
+
+#: Counters that must be identical across execution modes.
+SCIENTIFIC_COUNTERS: tuple[str, ...] = tuple(
+    spec.name for spec in _SPECS if spec.scientific
+)
+
+
+def scientific_view(counters: Mapping[str, float]) -> dict[str, float]:
+    """The mode-invariant slice of a counter snapshot (absent -> 0)."""
+    return {name: counters.get(name, 0) for name in SCIENTIFIC_COUNTERS}
+
+
+def describe(name: str) -> CounterSpec | None:
+    """Registry entry for ``name``; None for ad-hoc counters (``sim.*``
+    virtual-time mirrors and future extensions are allowed unregistered)."""
+    return REGISTRY.get(name)

@@ -131,6 +131,18 @@ class AlignmentCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def record_observations(self, recorder) -> None:
+        """Fold the cache counters into a :class:`repro.obs.Recorder`.
+
+        Called once at end of run, so a fresh per-run recorder shows the
+        absolute snapshot under the ``cache.*`` names of the registry.
+        """
+        recorder.count("cache.local_hits", self.local_hits)
+        recorder.count("cache.local_misses", self.local_misses)
+        recorder.count("cache.semiglobal_hits", self.semiglobal_hits)
+        recorder.count("cache.semiglobal_misses", self.semiglobal_misses)
+        recorder.count("cache.entries", len(self))
+
     def stats(self) -> dict[str, float]:
         """Counter snapshot: hits/misses per kind, totals, hit rate."""
         return {

@@ -22,6 +22,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.align.matrices import ScoringScheme, blosum62_scheme
 from repro.align.predicates import OVERLAP_COVERAGE, OVERLAP_SIMILARITY
 from repro.graph.unionfind import UnionFind
@@ -68,6 +69,13 @@ def _overlap_passes(
     return span / longer >= coverage
 
 
+def _observe_clustering(uf: UnionFind, components: list[list[int]]) -> None:
+    """Record the CCD phase's scientific counters (all drivers funnel
+    here so the counts are defined once)."""
+    obs.count("ccd.merges", uf.merge_count)
+    obs.count("ccd.components", len(components))
+
+
 def _components_from_uf(kept: Sequence[int], uf: UnionFind) -> list[list[int]]:
     """Translate local union-find groups back to global indices."""
     groups: dict[int, list[int]] = {}
@@ -96,7 +104,8 @@ def detect_components_serial(
     """
     scheme = scheme or blosum62_scheme()
     encoded_all = [record.encoded for record in sequences]
-    cache = cache or AlignmentCache(lambda k: encoded_all[k], scheme)
+    if cache is None:  # explicit None test: an empty cache is falsy
+        cache = AlignmentCache(lambda k: encoded_all[k], scheme)
     local_encoded = [encoded_all[g] for g in kept]
     finder = MaximalMatchFinder(
         local_encoded, min_length=psi, max_pairs_per_node=max_pairs_per_node
@@ -108,14 +117,17 @@ def detect_components_serial(
     n_aligned = 0
     for match in finder.matches():
         n_pairs += 1
+        obs.count("ccd.pairs")
         pair = match.pair
         if pair in tested or uf.same(pair[0], pair[1]):
             n_filtered += 1
+            obs.count("ccd.filtered")
             continue
         tested.add(pair)
         gi, gj = kept[pair[0]], kept[pair[1]]
         aln = cache.local(gi, gj)
         n_aligned += 1
+        obs.count("ccd.alignments")
         if _overlap_passes(
             aln,
             len(encoded_all[gi]),
@@ -124,8 +136,10 @@ def detect_components_serial(
             coverage,
         ):
             uf.union(pair[0], pair[1])
+    components = _components_from_uf(kept, uf)
+    _observe_clustering(uf, components)
     return ClusteringResult(
-        components=_components_from_uf(kept, uf),
+        components=components,
         n_promising_pairs=n_pairs,
         n_filtered=n_filtered,
         n_alignments=n_aligned,
@@ -159,7 +173,8 @@ def parallel_component_detection(
     scheme = scheme or blosum62_scheme()
     costs = cost_model or CostModel()
     encoded_all = [record.encoded for record in sequences]
-    cache = cache or AlignmentCache(lambda k: encoded_all[k], scheme)
+    if cache is None:  # explicit None test: an empty cache is falsy
+        cache = AlignmentCache(lambda k: encoded_all[k], scheme)
     local_encoded = [encoded_all[g] for g in kept]
     finder = MaximalMatchFinder(
         local_encoded, min_length=psi, max_pairs_per_node=max_pairs_per_node
@@ -189,13 +204,16 @@ def parallel_component_detection(
 
     def filter_item(pair: tuple[int, int]):
         counters["pairs"] += 1
+        obs.count("ccd.pairs")
         if pair in tested or uf.same(pair[0], pair[1]):
             counters["filtered"] += 1
+            obs.count("ccd.filtered")
             return None
         tested.add(pair)
         return pair
 
     def execute_task(pair: tuple[int, int]):
+        obs.count("ccd.alignments")
         gi, gj = kept[pair[0]], kept[pair[1]]
         aln = cache.local(gi, gj)
         passes = _overlap_passes(
@@ -223,8 +241,10 @@ def parallel_component_detection(
         setup_cost=setup_cost,
     )
     outcome, sim = run_master_worker(cluster, config, record_timeline=record_timeline)
+    components = _components_from_uf(kept, uf)
+    _observe_clustering(uf, components)
     return ClusteringResult(
-        components=_components_from_uf(kept, uf),
+        components=components,
         n_promising_pairs=counters["pairs"],
         n_filtered=counters["filtered"],
         n_alignments=outcome.tasks_executed,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.pace.bipartite_gen import ComponentGraphs
 from repro.pace.costs import CostModel
 from repro.parallel.partition import balance_items
@@ -50,13 +51,20 @@ def shingle_component(
 
     The unit of work of the DSD phase — independent per component, so the
     simulated driver batches it across ranks and the execution backends
-    (:mod:`repro.runtime`) farm it to worker processes.
+    (:mod:`repro.runtime`) farm it to worker processes.  Observability:
+    counts here (and inside :func:`shingle_dense_subgraphs`) land on the
+    ambient recorder — the master's directly in serial/simulated modes,
+    a worker-local recorder shipped back with the result batch under
+    :class:`~repro.runtime.process.ProcessBackend`.
     """
-    result = shingle_dense_subgraphs(graph, params, min_size=1, expand_b=True)
-    if reduction == "domain":
-        finals = domain_output(result.subgraphs, min_size=min_size)
-    else:
-        finals = global_similarity_output(result.subgraphs, tau=tau, min_size=min_size)
+    with obs.span("shingle.component", cat="task", left=graph.n_left):
+        result = shingle_dense_subgraphs(graph, params, min_size=1, expand_b=True)
+        if reduction == "domain":
+            finals = domain_output(result.subgraphs, min_size=min_size)
+        else:
+            finals = global_similarity_output(result.subgraphs, tau=tau, min_size=min_size)
+    obs.count("dsd.components")
+    obs.count("dsd.subgraphs", len(finals))
     return finals, result.subgraphs, result
 
 

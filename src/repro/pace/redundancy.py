@@ -20,6 +20,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.align.matrices import ScoringScheme, blosum62_scheme
 from repro.align.predicates import CONTAINMENT_COVERAGE, CONTAINMENT_SIMILARITY
 from repro.pace.cache import AlignmentCache
@@ -88,6 +89,7 @@ def _build_result(
     n_aligned: int,
     sim: SimulationResult | None,
 ) -> RedundancyResult:
+    obs.count("rr.redundant", len(redundant))
     kept = [i for i in range(n) if i not in redundant]
     return RedundancyResult(
         redundant=redundant,
@@ -112,7 +114,8 @@ def find_redundant_serial(
     """Reference serial implementation of the RR phase."""
     scheme = scheme or blosum62_scheme()
     encoded = [record.encoded for record in sequences]
-    cache = cache or AlignmentCache(lambda k: encoded[k], scheme)
+    if cache is None:  # explicit None test: an empty cache is falsy
+        cache = AlignmentCache(lambda k: encoded[k], scheme)
     finder = MaximalMatchFinder(
         encoded, min_length=psi, max_pairs_per_node=max_pairs_per_node
     )
@@ -122,9 +125,11 @@ def find_redundant_serial(
     n_aligned = 0
     for match in finder.unique_pairs():
         n_pairs += 1
+        obs.count("rr.pairs")
         i, j = match.seq_a, match.seq_b
         aln = cache.semiglobal(i, j)
         n_aligned += 1
+        obs.count("rr.alignments")
         _decide(
             redundant,
             containments,
@@ -163,7 +168,8 @@ def parallel_redundancy_removal(
     scheme = scheme or blosum62_scheme()
     costs = cost_model or CostModel()
     encoded = [record.encoded for record in sequences]
-    cache = cache or AlignmentCache(lambda k: encoded[k], scheme)
+    if cache is None:  # explicit None test: an empty cache is falsy
+        cache = AlignmentCache(lambda k: encoded[k], scheme)
     finder = MaximalMatchFinder(
         encoded, min_length=psi, max_pairs_per_node=max_pairs_per_node
     )
@@ -197,10 +203,12 @@ def parallel_redundancy_removal(
         if pair in master_seen:
             return None
         master_seen.add(pair)
+        obs.count("rr.pairs")
         return pair
 
     def execute_task(pair: tuple[int, int]):
         i, j = pair
+        obs.count("rr.alignments")
         aln = cache.semiglobal(i, j)
         result = (
             i,

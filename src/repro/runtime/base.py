@@ -179,15 +179,25 @@ class Backend(abc.ABC):
 
     @contextlib.contextmanager
     def phase(self, name: str):
-        """Record wall-clock time of a pipeline phase under ``name``."""
+        """Record wall-clock time of a pipeline phase under ``name``.
+
+        Besides the backend's own :class:`PhaseStats`, the interval is
+        mirrored as a phase span on the ambient :mod:`repro.obs`
+        recorder (when one is installed), so backend runs and serial
+        runs share one timeline vocabulary.
+        """
         from time import perf_counter
+
+        from repro import obs
 
         stats = self.stats.phases.setdefault(name, PhaseStats(name))
         previous = self._current_phase
         self._current_phase = stats
         start = perf_counter()
         try:
-            yield stats
+            with obs.span(name, cat="phase", backend=self.name,
+                          workers=self.workers):
+                yield stats
         finally:
             stats.wall_seconds += perf_counter() - start
             self._current_phase = previous

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro import obs
 from repro.graph.bipartite import duplicate_bipartite, wmer_bipartite
 from repro.graph.unionfind import UnionFind
 from repro.pace.bipartite_gen import ComponentGraphs
@@ -31,6 +32,7 @@ from repro.pace.cache import AlignmentCache
 from repro.pace.clustering import (
     ClusteringResult,
     _components_from_uf,
+    _observe_clustering,
     _overlap_passes,
 )
 from repro.pace.densesub import DsdResult
@@ -80,6 +82,8 @@ def backend_redundancy_removal(
         stream = backend.alignment_stream("semiglobal", cache)
         for match in finder.unique_pairs():
             n_pairs += 1
+            obs.count("rr.pairs")
+            obs.count("rr.alignments")
             stream.submit(*match.pair)
             for i, j, aln in stream.ready():
                 absorb(i, j, aln)
@@ -137,20 +141,25 @@ def backend_component_detection(
         stream = backend.alignment_stream("local", cache)
         for match in finder.matches():
             n_pairs += 1
+            obs.count("ccd.pairs")
             pair = match.pair
             if pair in tested or uf.same(pair[0], pair[1]):
                 n_filtered += 1
+                obs.count("ccd.filtered")
                 continue
             tested.add(pair)
             n_aligned += 1
+            obs.count("ccd.alignments")
             stream.submit(kept[pair[0]], kept[pair[1]])
             for gi, gj, aln in stream.ready():
                 absorb(gi, gj, aln)
         for gi, gj, aln in stream.drain():
             absorb(gi, gj, aln)
 
+    components = _components_from_uf(kept, uf)
+    _observe_clustering(uf, components)
     return ClusteringResult(
-        components=_components_from_uf(kept, uf),
+        components=components,
         n_promising_pairs=n_pairs,
         n_filtered=n_filtered,
         n_alignments=n_aligned,
@@ -197,6 +206,7 @@ def backend_generate_component_graphs(
                 )
                 out.components.append(members)
                 out.graphs.append(graph)
+                obs.count("bipartite.graphs")
             return out
 
         # Global index -> (component index, local index); components are
@@ -219,6 +229,7 @@ def backend_generate_component_graphs(
                 edge_similarity,
                 edge_coverage,
             ):
+                obs.count("bipartite.edges")
                 ci, li = position[gi]
                 _, lj = position[gj]
                 edges_per_component[ci].append((li, lj))
@@ -236,6 +247,7 @@ def backend_generate_component_graphs(
             )
             for match in finder.unique_pairs():
                 n_alignments += 1
+                obs.count("bipartite.pairs")
                 stream.submit(members[match.seq_a], members[match.seq_b])
                 for gi, gj, aln in stream.ready():
                     absorb(gi, gj, aln)
@@ -249,6 +261,7 @@ def backend_generate_component_graphs(
             out.graphs.append(
                 duplicate_bipartite(len(members), local_edges, labels=members)
             )
+            obs.count("bipartite.graphs")
         out.n_alignments = n_alignments
     return out
 

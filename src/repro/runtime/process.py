@@ -31,6 +31,7 @@ import traceback
 from time import perf_counter
 from typing import Iterator, Sequence
 
+from repro import obs
 from repro.align.pairwise import Alignment
 from repro.pace.cache import AlignmentCache
 from repro.runtime.base import (
@@ -74,6 +75,12 @@ def _worker_main(worker_index: int, task_queue, result_queue,
     Every exception is reported as an ("error", ...) message rather than
     allowed to kill the process silently, so the master can surface the
     original traceback.
+
+    Observability: each task runs under a private worker-local
+    :class:`repro.obs.Recorder`; its span buffer (wall-clock stamped,
+    comparable across processes) and counter snapshot ride back with the
+    result message, and the master rebases them onto the run recorder —
+    workers never share observability state with the master.
     """
     from repro.align.pairwise import local_align, semiglobal_align
     from repro.pace.densesub import shingle_component
@@ -85,26 +92,38 @@ def _worker_main(worker_index: int, task_queue, result_queue,
             if task[0] == "stop":
                 break
             try:
-                if task[0] == "align":
-                    _, stream_id, kind, pairs = task
-                    align = local_align if kind == "local" else semiglobal_align
-                    start = perf_counter()
-                    summaries = [
-                        (i, j) + _align_summary(align(store.get(i), store.get(j), scheme))
-                        for i, j in pairs
-                    ]
-                    result_queue.put(
-                        ("align", stream_id, summaries, perf_counter() - start)
-                    )
-                elif task[0] == "shingle":
-                    _, job_id, graph, reduction, params, min_size, tau = task
-                    start = perf_counter()
-                    payload = shingle_component(graph, reduction, params, min_size, tau)
-                    result_queue.put(
-                        ("shingle", job_id, payload, perf_counter() - start)
-                    )
-                else:
-                    raise ValueError(f"unknown task kind {task[0]!r}")
+                recorder = obs.Recorder()
+                with obs.recording(recorder):
+                    if task[0] == "align":
+                        _, stream_id, kind, pairs = task
+                        align = local_align if kind == "local" else semiglobal_align
+                        start = perf_counter()
+                        with recorder.span(f"align.{kind}", cat="task",
+                                           pairs=len(pairs)):
+                            summaries = [
+                                (i, j) + _align_summary(align(store.get(i), store.get(j), scheme))
+                                for i, j in pairs
+                            ]
+                        result_queue.put(
+                            ("align", stream_id, summaries,
+                             perf_counter() - start,
+                             (worker_index, recorder.wall_spans(),
+                              recorder.counters()))
+                        )
+                    elif task[0] == "shingle":
+                        # shingle_component records its own task span
+                        # and dsd.* counters on the ambient recorder.
+                        _, job_id, graph, reduction, params, min_size, tau = task
+                        start = perf_counter()
+                        payload = shingle_component(graph, reduction, params, min_size, tau)
+                        result_queue.put(
+                            ("shingle", job_id, payload,
+                             perf_counter() - start,
+                             (worker_index, recorder.wall_spans(),
+                              recorder.counters()))
+                        )
+                    else:
+                        raise ValueError(f"unknown task kind {task[0]!r}")
             except Exception:
                 result_queue.put(
                     ("error", worker_index, traceback.format_exc())
@@ -156,6 +175,7 @@ class _ProcessStream(AlignmentStream):
     def flush(self) -> None:
         if not self._batch:
             return
+        obs.count("runtime.batch_pairs", len(self._batch))
         self._backend._dispatch(
             ("align", self.stream_id, self.kind, self._batch)
         )
@@ -276,6 +296,8 @@ class ProcessBackend(Backend):
         self._require_open()
         self._tasks.put(task)
         self._outstanding += 1
+        obs.count("runtime.batches")
+        obs.set_max("runtime.max_outstanding", self._outstanding)
 
     def _throttle(self, stream: _ProcessStream) -> None:
         """Bound outstanding batches; absorb results while waiting."""
@@ -323,14 +345,30 @@ class ProcessBackend(Backend):
                 f"worker {worker_index} raised during task execution:\n{text}"
             )
         if msg[0] == "align":
-            _, stream_id, summaries, busy = msg
+            _, stream_id, summaries, busy, worker_obs = msg
+            self._absorb_worker_obs(worker_obs, busy)
             self._streams[stream_id].absorb(summaries, busy)
         elif msg[0] == "shingle":
-            _, job_id, payload, busy = msg
+            _, job_id, payload, busy, worker_obs = msg
+            self._absorb_worker_obs(worker_obs, busy)
             self._shingle_results[job_id] = payload
             self._shingle_busy += busy
         else:  # pragma: no cover - protocol bug
             raise BackendError(f"unknown result message {msg[0]!r}")
+
+    @staticmethod
+    def _absorb_worker_obs(payload, busy: float) -> None:
+        """Rebase a worker's shipped span buffer + counters onto the run
+        recorder: spans land on the worker's lane (master = lane 0, worker
+        ``w`` = lane ``w + 1``); counters merge additively, which is what
+        makes worker-recorded scientific counters mode-invariant."""
+        recorder = obs.active()
+        if recorder is None or payload is None:
+            return
+        worker_index, spans, counts = payload
+        recorder.absorb_wall_spans(spans, lane=worker_index + 1)
+        recorder.merge_counts(counts)
+        recorder.count("runtime.worker_busy_seconds", busy)
 
     # -- work primitives ---------------------------------------------------
 
@@ -355,6 +393,7 @@ class ProcessBackend(Backend):
         phase = self._phase_stats()
         self._shingle_results = {}
         self._shingle_busy = 0.0
+        obs.count("runtime.shingle_jobs", len(graphs))
         for job_id, graph in enumerate(graphs):
             self._dispatch(
                 ("shingle", job_id, graph, reduction, params, min_size, tau)

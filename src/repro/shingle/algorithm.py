@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.unionfind import KeyedUnionFind
 from repro.util.hashing import UniversalHashFamily, hash_int_tuple, hash_rows
@@ -205,4 +206,9 @@ def shingle_dense_subgraphs(
             DenseSubgraph(left=left_labels, right=right_labels, right_sampled=sampled_labels)
         )
     result.subgraphs.sort(key=lambda sg: (-sg.size, sg.left[:1]))
+    obs.count("dsd.first_shingles", result.n_first_level_shingles)
+    obs.count("dsd.second_shingles", result.n_second_level_shingles)
+    obs.count("dsd.tuples_pass1", result.n_tuples_pass1)
+    obs.count("dsd.tuples_pass2", result.n_tuples_pass2)
+    obs.count("dsd.skipped_low_degree", result.skipped_low_degree)
     return result

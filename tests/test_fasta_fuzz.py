@@ -1,0 +1,192 @@
+"""FASTA parser fuzz and round-trip tests.
+
+The contract under hostile input: :func:`parse_fasta_text` either raises
+a clean ``ValueError`` or yields records that survive a
+format -> parse round-trip unchanged — it never silently corrupts
+residues, drops records, or hangs.  Covers the malformed shapes real
+metagenomic FASTA ships with: mixed line endings, empty records,
+lowercase residues, and a truncated final record.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence.alphabet import encode
+from repro.sequence.fasta import (
+    format_fasta,
+    parse_fasta_text,
+    read_fasta,
+    write_fasta,
+)
+from repro.sequence.record import SequenceRecord
+
+AMINO = "ACDEFGHIKLMNPQRSTVWY"
+
+record_ids = st.text(
+    alphabet=string.ascii_letters + string.digits + "_.|-",
+    min_size=1,
+    max_size=12,
+)
+residue_strings = st.text(alphabet=AMINO, min_size=1, max_size=120)
+
+
+class TestLineEndings:
+    def test_crlf_text(self):
+        records = parse_fasta_text(">a desc\r\nACDE\r\nFGHI\r\n>b\r\nKLMN\r\n")
+        assert [r.id for r in records] == ["a", "b"]
+        assert records[0].residues == "ACDEFGHI"
+        assert records[0].description == "desc"
+        assert records[1].residues == "KLMN"
+
+    def test_mixed_endings_in_one_text(self):
+        records = parse_fasta_text(">a\nACDE\r\n>b\r\nFGHI\n")
+        assert [(r.id, r.residues) for r in records] == [
+            ("a", "ACDE"), ("b", "FGHI"),
+        ]
+
+    def test_cr_only_file_via_universal_newlines(self, tmp_path):
+        path = tmp_path / "cr.fa"
+        path.write_bytes(b">a\rACDE\r>b\rFGHI\r")
+        records = read_fasta(path)
+        assert [(r.id, r.residues) for r in records] == [
+            ("a", "ACDE"), ("b", "FGHI"),
+        ]
+
+    def test_missing_trailing_newline(self):
+        records = parse_fasta_text(">a\nACDE")
+        assert records[0].residues == "ACDE"
+
+
+class TestMalformedInput:
+    def test_empty_text_parses_to_empty_set(self):
+        assert len(parse_fasta_text("")) == 0
+        assert len(parse_fasta_text("\n\n\n")) == 0
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError, match="no sequence lines"):
+            parse_fasta_text(">a\n>b\nACDE\n")
+
+    def test_truncated_final_record_rejected(self):
+        """A header at EOF with no sequence lines is a truncation, not a
+        silently-empty record."""
+        with pytest.raises(ValueError, match="no sequence lines"):
+            parse_fasta_text(">a\nACDE\n>trailing\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            parse_fasta_text(">\nACDE\n")
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            parse_fasta_text(">   \nACDE\n")
+
+    def test_data_before_first_header_rejected(self):
+        with pytest.raises(ValueError, match="before first header"):
+            parse_fasta_text("ACDE\n>a\nACDE\n")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            parse_fasta_text(">a\nACDE\n>a\nFGHI\n")
+
+
+class TestLowercaseResidues:
+    def test_lowercase_parses_and_encodes(self):
+        """Lowercase (soft-masked) residues parse verbatim and encode to
+        the same symbols as their uppercase forms."""
+        records = parse_fasta_text(">a\nacde\n>b\nACDE\n")
+        assert records[0].residues == "acde"
+        assert (records[0].encoded == records[1].encoded).all()
+
+    def test_mixed_case_round_trips(self):
+        text = format_fasta(parse_fasta_text(">a\nAcDeFgHi\n"))
+        assert parse_fasta_text(text)[0].residues == "AcDeFgHi"
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(record_ids, residue_strings),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda pair: pair[0],
+        ),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_format_parse_identity(self, pairs, width):
+        records = [SequenceRecord(id=i, residues=r) for i, r in pairs]
+        parsed = parse_fasta_text(format_fasta(records, width=width))
+        assert [(r.id, r.residues) for r in parsed] == pairs
+
+    def test_file_round_trip_preserves_descriptions(self, tmp_path):
+        records = [
+            SequenceRecord(id="a", residues="ACDE", description="first one"),
+            SequenceRecord(id="b", residues="FGHI"),
+        ]
+        path = tmp_path / "out.fa"
+        write_fasta(records, path)
+        back = read_fasta(path)
+        assert back[0].description == "first one"
+        assert back[1].description == ""
+        assert [(r.id, r.residues) for r in back] == [
+            ("a", "ACDE"), ("b", "FGHI"),
+        ]
+
+    def test_seeded_random_round_trip_many_widths(self):
+        rng = random.Random(1234)
+        records = [
+            SequenceRecord(
+                id=f"seq{k}",
+                residues="".join(
+                    rng.choice(AMINO) for _ in range(rng.randint(1, 300))
+                ),
+            )
+            for k in range(25)
+        ]
+        for width in (1, 7, 70, 10_000):
+            parsed = parse_fasta_text(format_fasta(records, width=width))
+            assert [(r.id, r.residues) for r in parsed] == [
+                (r.id, r.residues) for r in records
+            ]
+
+
+class TestFuzz:
+    @given(st.text(alphabet=string.printable, max_size=400))
+    @settings(max_examples=150, deadline=None)
+    def test_parse_raises_cleanly_or_round_trips(self, text):
+        """Arbitrary printable garbage either raises ValueError or parses
+        into records that re-format and re-parse to the same content —
+        the parser never corrupts what it accepts."""
+        try:
+            records = parse_fasta_text(text)
+        except ValueError:
+            return
+        again = parse_fasta_text(format_fasta(records)) if len(records) else []
+        assert [(r.id, r.residues, r.description) for r in again] == [
+            (r.id, r.residues, r.description) for r in records
+        ]
+
+    @given(st.text(alphabet=string.printable, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_accepted_records_are_nonempty(self, text):
+        """Anything the parser accepts satisfies the record invariants
+        (non-empty id and residues) — corruption cannot hide behind an
+        empty field."""
+        try:
+            records = parse_fasta_text(text)
+        except ValueError:
+            return
+        for record in records:
+            assert record.id
+            assert record.residues
+
+    def test_invalid_residues_fail_at_encode_not_silently(self):
+        """Characters outside the amino alphabet parse (the format layer
+        is permissive) but encoding raises rather than mis-mapping."""
+        (record,) = parse_fasta_text(">a\nAC@E\n")
+        with pytest.raises(ValueError, match="invalid amino-acid"):
+            encode(record.residues)

@@ -179,3 +179,152 @@ class TestHashFamilyProperties:
         full_mins = fam.apply_all(values).min(axis=1)
         sub_mins = fam.apply_all(subset).min(axis=1)
         assert (full_mins <= sub_mins).all()
+
+
+class TestPredicateProperties:
+    """The paper's Definitions 1 and 2 must behave as *pair* predicates:
+    symmetric where the paper requires symmetry, monotone in the
+    user-tunable thresholds."""
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_verdict_symmetric(self, a, b):
+        """Definition 2 is a property of the pair: the CCD phase unions
+        (i, j) from whichever direction the alignment ran."""
+        from repro.align.predicates import overlap_test
+
+        assert overlap_test(a, b)[0] == overlap_test(b, a)[0]
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_containment_directions_swap_with_arguments(self, a, b):
+        """containment_test(a, b) = (a_in_b, b_in_a, .); swapping the
+        arguments must swap the verdicts, nothing else."""
+        from repro.align.predicates import containment_test
+
+        a_in_b, b_in_a, _ = containment_test(a, b)
+        swapped_b_in_a, swapped_a_in_b, _ = containment_test(b, a)
+        assert (a_in_b, b_in_a) == (swapped_a_in_b, swapped_b_in_a)
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_semiglobal_score_symmetric(self, a, b):
+        from repro.align.matrices import blosum62_scheme
+        from repro.align.pairwise import semiglobal_align
+
+        scheme = blosum62_scheme()
+        assert semiglobal_align(a, b, scheme).score == (
+            semiglobal_align(b, a, scheme).score
+        )
+
+    @given(encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_every_sequence_contains_itself(self, a):
+        from repro.align.predicates import containment_test
+
+        a_in_b, b_in_a, aln = containment_test(a, a)
+        assert a_in_b and b_in_a
+        assert aln.identity == 1.0
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=30, deadline=None)
+    def test_overlap_verdict_monotone_in_thresholds(self, a, b):
+        """Tightening similarity/coverage can only flip True -> False."""
+        from repro.align.predicates import overlap_test
+
+        loose = overlap_test(a, b, similarity=0.10, coverage=0.40)[0]
+        strict = overlap_test(a, b, similarity=0.60, coverage=0.90)[0]
+        assert loose or not strict
+
+
+union_ops = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=60
+)
+
+
+class TestUnionFindProperties:
+    @given(union_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_partition_model(self, ops):
+        """Model-based check against a naive shared-set partition: union
+        reports a merge iff the model sets were distinct, merge_count is
+        monotone, and a merged set is never split again."""
+        from repro.graph.unionfind import UnionFind
+
+        uf = UnionFind(12)
+        model = {i: {i} for i in range(12)}
+        bonded: list[tuple[int, int]] = []
+        previous_merge_count = 0
+        for x, y in ops:
+            merged = uf.union(x, y)
+            assert merged == (model[x] is not model[y])
+            if merged:
+                union = model[x] | model[y]
+                for element in union:
+                    model[element] = union
+            bonded.append((x, y))
+            assert uf.same(x, y)
+            assert uf.merge_count >= previous_merge_count  # monotone
+            previous_merge_count = uf.merge_count
+        # Never splits: every pair ever unioned is still together.
+        for x, y in bonded:
+            assert uf.same(x, y)
+        partition = {frozenset(members) for members in uf.groups().values()}
+        assert partition == {frozenset(s) for s in model.values()}
+
+    @given(union_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_count_equals_elements_minus_sets(self, ops):
+        """merge_count == n - |partition| for ANY union order — the
+        identity that makes the ccd.merges counter mode-invariant."""
+        from repro.graph.unionfind import UnionFind
+
+        uf = UnionFind(12)
+        for x, y in ops:
+            uf.union(x, y)
+        assert uf.merge_count == 12 - uf.n_sets()
+
+    @given(union_ops)
+    @settings(max_examples=40, deadline=None)
+    def test_final_partition_is_order_invariant(self, ops):
+        """Any permutation of the same union sequence yields the same
+        partition (and therefore the same merge_count) — why components
+        and ccd.merges agree across serial, backend, and simulator."""
+        from repro.graph.unionfind import UnionFind, connected_components_from_edges
+
+        forward = {
+            frozenset(c) for c in connected_components_from_edges(12, ops)
+        }
+        backward = {
+            frozenset(c)
+            for c in connected_components_from_edges(12, reversed(ops))
+        }
+        assert forward == backward
+        uf_fwd, uf_bwd = UnionFind(12), UnionFind(12)
+        for x, y in ops:
+            uf_fwd.union(x, y)
+        for x, y in reversed(ops):
+            uf_bwd.union(x, y)
+        assert uf_fwd.merge_count == uf_bwd.merge_count
+
+    @given(st.lists(st.tuples(st.text(max_size=3), st.text(max_size=3)),
+                    max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_keyed_union_find_agrees_with_dense(self, ops):
+        """KeyedUnionFind over strings == UnionFind over interned ids."""
+        from repro.graph.unionfind import KeyedUnionFind
+
+        keyed = KeyedUnionFind()
+        model: dict[str, set[str]] = {}
+        for a, b in ops:
+            model.setdefault(a, {a})
+            model.setdefault(b, {b})
+            merged = keyed.union(a, b)
+            assert merged == (model[a] is not model[b])
+            if merged:
+                union = model[a] | model[b]
+                for element in union:
+                    model[element] = union
+        assert {frozenset(g) for g in keyed.groups()} == (
+            {frozenset(s) for s in model.values()}
+        )

@@ -133,6 +133,42 @@ class TestCrashSafety:
             stream.submit(0, 1)
             assert [(i, j) for i, j, _ in stream.drain()] == [(0, 1)]
 
+    def test_poisoned_job_raises_deterministically(self, workload):
+        """A task of unknown kind (protocol poison) surfaces the worker's
+        original ValueError inside a WorkerCrashError — same message
+        every run, no hang, and the worker loop survives to serve the
+        next task."""
+        sequences, config = workload
+        backend = ProcessBackend(workers=1, batch_size=1)
+        encoded = [r.encoded for r in sequences]
+        cache = AlignmentCache(lambda k: encoded[k], config.scheme)
+        with backend.session(sequences, config.scheme):
+            backend._dispatch(("poison", 99))
+            with pytest.raises(WorkerCrashError, match="unknown task kind"):
+                backend._pump(block=True)
+            # The worker caught the poison and is still serving.
+            stream = backend.alignment_stream("local", cache)
+            stream.submit(0, 1)
+            assert [(i, j) for i, j, _ in stream.drain()] == [(0, 1)]
+
+    def test_liveness_sweep_detects_killed_worker(self, workload):
+        """A worker killed by signal (no error message possible) is
+        caught by the blocking pump's liveness sweep instead of hanging
+        the master forever on a lost batch."""
+        sequences, config = workload
+        backend = ProcessBackend(workers=1, batch_size=1)
+        encoded = [r.encoded for r in sequences]
+        cache = AlignmentCache(lambda k: encoded[k], config.scheme)
+        with backend.session(sequences, config.scheme):
+            victim = backend._procs[0]
+            victim.kill()
+            victim.join(timeout=5.0)
+            assert not victim.is_alive()
+            stream = backend.alignment_stream("local", cache)
+            stream.submit(0, 1)
+            with pytest.raises(WorkerCrashError, match="died unexpectedly"):
+                list(stream.drain())
+
     def test_closed_backend_rejects_work(self, workload):
         sequences, config = workload
         backend = ProcessBackend(workers=1)
