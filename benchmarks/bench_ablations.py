@@ -17,7 +17,7 @@ from repro.pace.clustering import detect_components_serial, _overlap_passes
 from repro.pace.redundancy import find_redundant_serial
 from repro.suffix.matches import MaximalMatchFinder
 
-from workloads import print_banner, scaling_cache, scaling_subset
+from workloads import print_banner, scaling_cache, scaling_subset, write_bench
 
 
 def test_ablation_psi(benchmark):
@@ -100,6 +100,16 @@ def test_ablation_transitive_closure_and_order(benchmark):
     print(f"decreasing + filter:   {filt_n:>8,d} alignments")
     print(f"decreasing, no filter: {nofilt_n:>8,d} alignments")
     print(f"arbitrary + filter:    {arb_n:>8,d} alignments")
+    write_bench(
+        "ablations",
+        params={"input": "40k", "psi": 10},
+        metrics={
+            "alignments_filtered": filt_n,
+            "alignments_unfiltered": nofilt_n,
+            "alignments_arbitrary_order": arb_n,
+            "identical_clusters": filt == nofilt == arb,
+        },
+    )
 
     # The filter never changes the clustering (the invariance the
     # parallel phases rely on)...

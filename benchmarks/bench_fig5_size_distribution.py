@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.graph.density import size_histogram
 
-from workloads import pipeline_result_22k, print_banner
+from workloads import pipeline_result_22k, print_banner, write_bench
 
 
 def test_fig5_histogram(benchmark):
@@ -23,6 +23,16 @@ def test_fig5_histogram(benchmark):
         bar = "#" * int(40 * count / width)
         print(f"{bucket:>9s} {count:>4d} {bar}")
     print(f"largest DS: {max(sizes)} sequences (excluded from plot, as in the paper)")
+    write_bench(
+        "fig5_size_distribution",
+        params={"workload": "22k-analogue"},
+        metrics={
+            "n_subgraphs": len(sizes),
+            "largest_ds": max(sizes),
+            "median_size": sizes[len(sizes) // 2],
+            "histogram": dict(hist),
+        },
+    )
 
     assert len(sizes) >= 1
     # Skew: the largest subgraph dwarfs the median, as in the paper where

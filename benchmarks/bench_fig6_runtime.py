@@ -21,6 +21,7 @@ from workloads import (
     print_banner,
     scaling_cache,
     scaling_subset,
+    write_bench,
 )
 
 
@@ -59,6 +60,16 @@ def test_fig6_runtime_grid(benchmark):
     for p in PROCESSOR_SWEEP:
         row = "".join(f"{grid[(label, p)]:>12.2f}" for label in SIZE_SWEEP_LABELS)
         print(f"{p:>6d}" + row)
+
+    write_bench(
+        "fig6_runtime",
+        params={"processors": list(PROCESSOR_SWEEP),
+                "sizes": list(SIZE_SWEEP_LABELS)},
+        metrics={
+            f"{label}/p{p}": round(seconds, 4)
+            for (label, p), seconds in grid.items()
+        },
+    )
 
     # (a) big inputs gain a lot from more processors; tiny inputs may
     # flatten (or mildly degrade from log-p overheads), as in the paper's

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from bench_fig6_runtime import rr_ccd_time
 
-from workloads import PROCESSOR_SWEEP, SIZE_SWEEP_LABELS, print_banner
+from workloads import PROCESSOR_SWEEP, SIZE_SWEEP_LABELS, print_banner, write_bench
 
 
 def compute_speedups():
@@ -32,6 +32,16 @@ def test_fig7a_speedup(benchmark):
     for label in labels:
         row = "".join(f"{speedups[(label, p)]:>9.2f}" for p in PROCESSOR_SWEEP)
         print(f"{label:>6s}" + row + f"{PROCESSOR_SWEEP[-1] // PROCESSOR_SWEEP[0]:>9d}")
+
+    write_bench(
+        "fig7a_speedup",
+        params={"base_processors": PROCESSOR_SWEEP[0],
+                "processors": list(PROCESSOR_SWEEP)},
+        metrics={
+            f"{label}/p{p}": round(s, 4)
+            for (label, p), s in speedups.items()
+        },
+    )
 
     top = PROCESSOR_SWEEP[-1]
     # Speedups are monotone in p for the larger inputs; tiny inputs may

@@ -17,7 +17,7 @@ from repro.graph.bipartite import duplicate_bipartite
 from repro.shingle.algorithm import ShingleParams, shingle_dense_subgraphs
 from repro.util.rng import make_rng
 
-from workloads import print_banner
+from workloads import print_banner, write_bench
 
 C_SWEEP = (100, 200, 300, 400)
 SIZE_SWEEP = (200, 400, 800)
@@ -68,6 +68,15 @@ def test_fig7b_series(benchmark):
     print(f"{'n':>6s}" + "".join(f"{('c=' + str(c)):>10s}" for c in C_SWEEP))
     for n in SIZE_SWEEP:
         print(f"{n:>6d}" + "".join(f"{grid[(n, c)]:>10.3f}" for c in C_SWEEP))
+
+    write_bench(
+        "fig7b_dsd_params",
+        params={"sizes": list(SIZE_SWEEP), "c_sweep": list(C_SWEEP), "s": 5},
+        metrics={
+            f"n{n}/c{c}": round(seconds, 4)
+            for (n, c), seconds in grid.items()
+        },
+    )
 
     # Run-time grows with c at every size (paper's main Fig 7b claim) —
     # allow small timer noise with a 10% tolerance on adjacent points.

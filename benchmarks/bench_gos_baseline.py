@@ -14,7 +14,7 @@ from repro.eval.metrics import compare_clusterings
 from repro.gos.baseline import GosConfig, gos_cluster
 from repro.sequence.generator import MetagenomeSpec, generate_metagenome
 
-from workloads import BENCH_CONFIG, print_banner
+from workloads import BENCH_CONFIG, print_banner, write_bench
 from repro.core.pipeline import ProteinFamilyPipeline
 
 
@@ -68,6 +68,20 @@ def test_gos_vs_pipeline(benchmark):
     print(f"{'clusters reported':>28s}{len(gos.clusters):>14d}{len(ours.families):>14d}")
     print(f"{'PR':>28s}{gos_scores.precision:>14.2%}{our_scores.precision:>14.2%}")
     print(f"{'SE':>28s}{gos_scores.sensitivity:>14.2%}{our_scores.sensitivity:>14.2%}")
+    write_bench(
+        "gos_baseline",
+        params={"n_sequences": n, "seed": 777},
+        metrics={
+            "gos_alignments": gos.n_alignments,
+            "pipeline_alignments": our_alignments,
+            "gos_graph_bytes": gos.graph_bytes,
+            "pipeline_peak_graph_bytes": our_peak_graph,
+            "gos_precision": round(gos_scores.precision, 4),
+            "pipeline_precision": round(our_scores.precision, 4),
+            "gos_sensitivity": round(gos_scores.sensitivity, 4),
+            "pipeline_sensitivity": round(our_scores.sensitivity, 4),
+        },
+    )
 
     # Who wins, as the paper claims: the filtered pipeline does far fewer
     # alignments than the all-versus-all baseline...

@@ -1,0 +1,101 @@
+"""Observability overhead: the instruments must not distort the runs.
+
+Every other benchmark reports numbers measured *with* the recorder (and,
+under ``--telemetry-dir``, the sampling thread) switched on, so those
+instruments must be close to free or the repo's performance trajectory
+measures its own tooling.  This bench runs the full four-phase pipeline
+with instrumentation off (``observe=False``: no ambient recorder, every
+``obs.count``/``span``/``gauge`` call a no-op) and with the full stack
+on (recorder + telemetry sampler at the default 250 ms interval),
+median-of-three each, interleaved so drift hits both arms equally.
+
+Gate: the instrumented median must stay within 5% of the bare one.
+Writes ``BENCH_obs_overhead.json`` in the shared schema.
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+from time import perf_counter
+
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.obs import read_telemetry
+
+from workloads import BENCH_CONFIG, print_banner, scaling_subset, write_bench
+
+#: Relative overhead ceiling for recorder + sampler (the gate).
+MAX_OVERHEAD = 0.05
+
+ROUNDS = 3
+
+WORKLOAD = "20k"
+
+
+def _run_once(sequences, *, observe: bool, telemetry_dir=None) -> float:
+    # A fresh pipeline and cache per run: both arms do identical work.
+    pipeline = ProteinFamilyPipeline(BENCH_CONFIG)
+    start = perf_counter()
+    pipeline.run(sequences, observe=observe, telemetry_dir=telemetry_dir)
+    return perf_counter() - start
+
+
+def run_comparison() -> dict:
+    sequences = scaling_subset(WORKLOAD)
+    bare: list[float] = []
+    instrumented: list[float] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for round_index in range(ROUNDS):
+            bare.append(_run_once(sequences, observe=False))
+            instrumented.append(
+                _run_once(
+                    sequences,
+                    observe=True,
+                    telemetry_dir=f"{tmp}/run{round_index}",
+                )
+            )
+        # The sampler must actually have been on during the timed runs.
+        _, samples, end = read_telemetry(f"{tmp}/run0")
+        assert samples, "telemetry produced no samples"
+        assert end is not None and end["status"] == "finished"
+    bare_median = statistics.median(bare)
+    instrumented_median = statistics.median(instrumented)
+    overhead = instrumented_median / bare_median - 1.0
+    return {
+        "n_sequences": len(sequences),
+        "bare_seconds": [round(t, 4) for t in bare],
+        "instrumented_seconds": [round(t, 4) for t in instrumented],
+        "bare_median": round(bare_median, 4),
+        "instrumented_median": round(instrumented_median, 4),
+        "overhead": round(overhead, 4),
+    }
+
+
+def _report(record: dict) -> None:
+    print_banner("Observability overhead — recorder + 250 ms sampler")
+    print(f"{record['n_sequences']} sequences, median of {ROUNDS} rounds")
+    print(f"{'bare':>14s} {record['bare_median']:>9.3f}s  {record['bare_seconds']}")
+    print(f"{'instrumented':>14s} {record['instrumented_median']:>9.3f}s  "
+          f"{record['instrumented_seconds']}")
+    print(f"{'overhead':>14s} {record['overhead']:>9.2%}  (gate: < {MAX_OVERHEAD:.0%})")
+    write_bench(
+        "obs_overhead",
+        params={"workload": WORKLOAD, "rounds": ROUNDS,
+                "telemetry_interval": 0.25},
+        metrics={k: v for k, v in record.items() if k != "n_sequences"},
+    )
+
+
+def test_obs_overhead(benchmark):
+    record = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    _report(record)
+    assert record["overhead"] < MAX_OVERHEAD, (
+        f"observability overhead {record['overhead']:.1%} exceeds "
+        f"{MAX_OVERHEAD:.0%} gate"
+    )
+
+
+if __name__ == "__main__":
+    record = run_comparison()
+    _report(record)
+    assert record["overhead"] < MAX_OVERHEAD

@@ -19,7 +19,7 @@ from repro.parallel.simulator import VirtualCluster
 from repro.shingle.algorithm import shingle_dense_subgraphs
 from repro.shingle.parallel import parallel_shingle_dense_subgraphs
 
-from workloads import BENCH_SHINGLE, pipeline_result_22k, print_banner
+from workloads import BENCH_SHINGLE, pipeline_result_22k, print_banner, write_bench
 
 P_SWEEP = (1, 2, 4, 8, 16)
 
@@ -49,6 +49,18 @@ def test_parallel_shingle_memory_and_time(benchmark):
     print(f"{'p':>4s} {'peak tuple bytes/node':>22s} {'simulated seconds':>18s}")
     for p, peak, elapsed in rows:
         print(f"{p:>4d} {peak:>22,d} {elapsed:>18.4f}")
+
+    write_bench(
+        "parallel_shingle",
+        params={"workload": "22k-analogue largest component",
+                "n_left": graph.n_left, "n_edges": graph.n_edges,
+                "processors": [r[0] for r in rows]},
+        metrics={
+            f"p{p}": {"peak_tuple_bytes": peak,
+                      "sim_seconds": round(elapsed, 4)}
+            for p, peak, elapsed in rows
+        },
+    )
 
     peaks = [r[1] for r in rows]
     times = [r[2] for r in rows]

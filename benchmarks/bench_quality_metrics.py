@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.eval.metrics import pair_confusion, quality_scores
 
-from workloads import metagenome_160k, pipeline_result_160k, print_banner
+from workloads import metagenome_160k, pipeline_result_160k, print_banner, write_bench
 
 
 def evaluate():
@@ -38,6 +38,15 @@ def test_quality_metrics(benchmark):
     for name, value in scores.as_dict().items():
         print(f"{name:>3s} = {value:7.2%}")
     print("\npaper (160K vs GOS): PR=95.75% SE=56.89% OQ=55.49% CC=73.04%")
+    write_bench(
+        "quality_metrics",
+        params={"workload": "160k-analogue", "benchmark": "planted-truth"},
+        metrics={
+            "n_families": len(families),
+            "n_benchmark_clusters": len(truth),
+            **{k: round(v, 4) for k, v in scores.as_dict().items()},
+        },
+    )
 
     # The paper's signature: precision is high...
     assert scores.precision > 0.9

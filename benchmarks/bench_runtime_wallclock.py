@@ -4,8 +4,8 @@ Unlike the Figure 6/7 benches, which charge *simulated* time to a
 machine model, this one measures physical seconds on the machine it
 runs on.  It runs the full four-phase pipeline once per backend on the
 22K-analogue workload, asserts the scientific output is identical, and
-writes ``BENCH_runtime.json`` at the repo root with the measured
-per-phase wall-clock and the speedup.
+writes ``BENCH_runtime.json`` (shared ``repro-bench/1`` schema) at the
+repo root with the measured per-phase wall-clock and the speedup.
 
 On a single-core container the process backend is expected to be
 *slower* (IPC overhead with no parallel hardware to pay for it); the
@@ -20,17 +20,13 @@ Run directly (``PYTHONPATH=src python benchmarks/bench_runtime_wallclock.py
 
 from __future__ import annotations
 
-import json
 import sys
-from pathlib import Path
 from time import perf_counter
 
 from repro.core.pipeline import ProteinFamilyPipeline
 from repro.runtime import ProcessBackend, default_worker_count, usable_cpu_count
 
-from workloads import BENCH_CONFIG, metagenome_22k, print_banner
-
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+from workloads import BENCH_CONFIG, metagenome_22k, print_banner, write_bench
 
 
 def _phase_report(runtime) -> dict:
@@ -63,43 +59,47 @@ def run_comparison(workers: int | None = None) -> dict:
     assert process.table1() == serial.table1(), "Table I diverged"
 
     return {
-        "workload": "22k-analogue",
-        "n_sequences": len(sequences),
-        "cpu_count": usable_cpu_count(),
-        "workers": workers,
-        "serial_seconds": round(serial_seconds, 3),
-        "process_seconds": round(process_seconds, 3),
-        "speedup": round(serial_seconds / process_seconds, 3),
-        "identical_output": True,
-        "serial_phases": _phase_report(serial.runtime),
-        "process_phases": _phase_report(process.runtime),
-        "process_cache": {
-            k: round(v, 4) if isinstance(v, float) else v
-            for k, v in process.runtime.cache.items()
+        "params": {
+            "workload": "22k-analogue",
+            "n_sequences": len(sequences),
+            "cpu_count": usable_cpu_count(),
+            "workers": workers,
+        },
+        "metrics": {
+            "serial_seconds": round(serial_seconds, 3),
+            "process_seconds": round(process_seconds, 3),
+            "speedup": round(serial_seconds / process_seconds, 3),
+            "identical_output": True,
+            "serial_phases": _phase_report(serial.runtime),
+            "process_phases": _phase_report(process.runtime),
+            "process_cache": {
+                k: round(v, 4) if isinstance(v, float) else v
+                for k, v in process.runtime.cache.items()
+            },
         },
     }
 
 
 def _report(record: dict) -> None:
+    params, metrics = record["params"], record["metrics"]
     print_banner("Runtime backends — measured wall-clock")
     print(
-        f"{record['n_sequences']} sequences, {record['cpu_count']} usable "
-        f"cpu(s), {record['workers']} workers"
+        f"{params['n_sequences']} sequences, {params['cpu_count']} usable "
+        f"cpu(s), {params['workers']} workers"
     )
-    print(f"{'serial':>10s} {record['serial_seconds']:>10.2f}s")
-    print(f"{'process':>10s} {record['process_seconds']:>10.2f}s")
-    print(f"{'speedup':>10s} {record['speedup']:>10.2f}x")
+    print(f"{'serial':>10s} {metrics['serial_seconds']:>10.2f}s")
+    print(f"{'process':>10s} {metrics['process_seconds']:>10.2f}s")
+    print(f"{'speedup':>10s} {metrics['speedup']:>10.2f}x")
     for name, phases in (
-        ("serial", record["serial_phases"]),
-        ("process", record["process_phases"]),
+        ("serial", metrics["serial_phases"]),
+        ("process", metrics["process_phases"]),
     ):
         for phase, row in phases.items():
             print(
                 f"  {name:<8s}{phase:<16s}{row['wall_seconds']:>9.2f}s "
                 f"util={row['utilization']:.0%}"
             )
-    RESULT_PATH.write_text(json.dumps(record, indent=1), encoding="ascii")
-    print(f"wrote {RESULT_PATH.name}")
+    write_bench("runtime", params, metrics)
 
 
 def test_runtime_wallclock(benchmark):

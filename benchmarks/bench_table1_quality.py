@@ -20,6 +20,7 @@ from workloads import (
     pipeline_result_160k,
     pipeline_result_22k,
     print_banner,
+    write_bench,
 )
 
 
@@ -40,6 +41,21 @@ def test_table1_rows(benchmark):
     print(
         "paper(22K):  NR=21,348 CC=1 DS=134 seqInDS=11,524 "
         "degree=20 density=78% maxDS=6,828"
+    )
+    write_bench(
+        "table1_quality",
+        params={"scale": "1:100", "workloads": ["160k", "22k"]},
+        metrics={
+            label: {
+                "n_input": row.n_input,
+                "n_nonredundant": row.n_nonredundant,
+                "n_components": row.n_components,
+                "n_dense_subgraphs": row.n_dense_subgraphs,
+                "mean_density": round(row.mean_density, 4),
+                "largest_ds": row.largest_ds,
+            }
+            for label, row in (("160k", row160), ("22k", row22))
+        },
     )
 
     # Shape assertions ----------------------------------------------------

@@ -22,6 +22,7 @@ from workloads import (
     print_banner,
     scaling_cache,
     scaling_subset,
+    write_bench,
 )
 
 
@@ -52,6 +53,17 @@ def test_table2_rr_ccd_scaling(benchmark):
     for p, rr_t, ccd_t, reduction in rows:
         print(f"{p:>5d} {PAPER_PROCESSORS[p]:>10d} {rr_t:>12.4f} {ccd_t:>12.4f} {reduction:>10.2%}")
     print("\npaper: RR 17476/10296/4560/2207  CCD 1068/777/528/670")
+
+    write_bench(
+        "table2_phase_scaling",
+        params={"input": "80k", "processors": list(PROCESSOR_SWEEP)},
+        metrics={
+            f"p{p}": {"rr_seconds": round(rr_t, 4),
+                      "ccd_seconds": round(ccd_t, 4),
+                      "filtered_fraction": round(reduction, 4)}
+            for p, rr_t, ccd_t, reduction in rows
+        },
+    )
 
     rr_times = [r[1] for r in rows]
     ccd_times = [r[2] for r in rows]

@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.pace.clustering import detect_components_serial
 from repro.pace.redundancy import find_redundant_serial
 
-from workloads import print_banner, scaling_cache, scaling_subset
+from workloads import print_banner, scaling_cache, scaling_subset, write_bench
 
 
 def accounting():
@@ -44,6 +44,12 @@ def test_work_reduction(benchmark):
     print(f"filtered by transitive closure: {stats['filtered_fraction']:>12.2%}")
     print(f"reduction vs all-versus-all:    {stats['vs_all_pairs_reduction']:>12.2%}")
     print("\npaper (40K): 800M all-vs-all, 168M promising, 7M aligned (99% reduction)")
+    write_bench(
+        "work_reduction",
+        params={"input": "40k", "psi": 10},
+        metrics={k: round(v, 4) if isinstance(v, float) else v
+                 for k, v in stats.items()},
+    )
 
     # The exact-match filter prunes most of the quadratic pair space...
     assert stats["promising"] < 0.5 * stats["all_vs_all"]

@@ -16,6 +16,8 @@ physical computation.
 from __future__ import annotations
 
 from functools import lru_cache
+from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
@@ -149,3 +151,17 @@ def print_banner(title: str) -> None:
     print("=" * 78)
     print(title)
     print("=" * 78)
+
+
+#: Repo root — where every benchmark's ``BENCH_<name>.json`` lands.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_bench(name: str, params: Mapping, metrics: Mapping) -> None:
+    """Persist a benchmark's headline numbers in the shared
+    ``repro-bench/1`` schema (see :mod:`repro.obs.regression`), so the
+    repo's performance trajectory is machine-readable and diffable."""
+    from repro.obs import write_bench_json
+
+    path = write_bench_json(name, params, metrics, directory=REPO_ROOT)
+    print(f"wrote {path.name}")

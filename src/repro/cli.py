@@ -16,6 +16,17 @@ profile
     ``trace_event`` timeline (``--trace-out``, loadable in
     chrome://tracing or https://ui.perfetto.dev) plus a counters JSON
     snapshot (``--counters-out``), then print the unified text summary.
+top
+    Render a run's ``telemetry.jsonl`` (written when ``run``/``profile``
+    get ``--telemetry-dir``) as a refreshing status screen — phase
+    progress/ETA, worker lanes, queue depths, cache stats.  Works live
+    (tail-follow) and post-hoc (``--once``), including on files whose
+    producer died without an end record.
+compare-metrics
+    Diff a run's counters payload against a committed baseline
+    (``BENCH_baseline.json``): scientific counters must match exactly,
+    wall-clock must stay inside the slowdown tolerance.  Exits non-zero
+    on any violation — the CI metrics-regression gate.
 runtime-info
     Print detected cores and execution-backend availability.
 
@@ -69,6 +80,18 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="stream live telemetry.jsonl snapshots into DIR "
+             "(watch with `repro top DIR`)",
+    )
+    parser.add_argument(
+        "--telemetry-interval", type=float, default=0.25, metavar="SEC",
+        help="telemetry sampling period in seconds (default: 0.25)",
+    )
+
+
 def _config_from_args(args: argparse.Namespace) -> PipelineConfig:
     return PipelineConfig(
         psi=args.psi,
@@ -111,7 +134,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     sequences = read_fasta(args.fasta)
     config = _config_from_args(args)
     result = ProteinFamilyPipeline(config).run(
-        sequences, backend=args.backend, workers=args.workers or None
+        sequences,
+        backend=args.backend,
+        workers=args.workers or None,
+        telemetry_dir=args.telemetry_dir,
+        telemetry_interval=args.telemetry_interval,
     )
     print(Table1Row.header())
     print(result.table1().formatted())
@@ -136,7 +163,11 @@ def cmd_profile(args: argparse.Namespace) -> int:
     sequences = read_fasta(args.fasta)
     config = _config_from_args(args)
     result = ProteinFamilyPipeline(config).run(
-        sequences, backend=args.backend, workers=args.workers or None
+        sequences,
+        backend=args.backend,
+        workers=args.workers or None,
+        telemetry_dir=args.telemetry_dir,
+        telemetry_interval=args.telemetry_interval,
     )
     recorder = result.obs
     write_chrome_trace(recorder, args.trace_out)
@@ -151,6 +182,49 @@ def cmd_profile(args: argparse.Namespace) -> int:
           f"https://ui.perfetto.dev)")
     print(f"counters -> {args.counters_out}")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import follow
+
+    return follow(
+        args.telemetry,
+        refresh=args.refresh,
+        max_refreshes=1 if args.once else None,
+    )
+
+
+def cmd_compare_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        baseline_from_run,
+        compare_metrics,
+        compare_report,
+    )
+
+    run_payload = json.loads(Path(args.run).read_text(encoding="ascii"))
+    baseline_path = Path(args.baseline)
+
+    if args.write_baseline:
+        baseline = baseline_from_run(run_payload)
+        baseline_path.write_text(
+            json.dumps(baseline, indent=1) + "\n", encoding="ascii"
+        )
+        n = len(baseline["metrics"]["scientific"])
+        print(f"wrote baseline ({n} scientific counters, "
+              f"{baseline['metrics']['wall_seconds']}s wall) "
+              f"-> {baseline_path}")
+        return 0
+
+    baseline = json.loads(baseline_path.read_text(encoding="ascii"))
+    violations = compare_metrics(
+        run_payload,
+        baseline,
+        slowdown_tolerance=args.slowdown_tolerance,
+        check_wallclock=not args.no_wallclock,
+    )
+    for line in compare_report(run_payload, baseline, violations):
+        print(line)
+    return 1 if violations else 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -234,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--output", help="write families as JSON")
     _add_pipeline_args(p_run)
     _add_backend_args(p_run)
+    _add_telemetry_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(
@@ -251,7 +326,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_pipeline_args(p_prof)
     _add_backend_args(p_prof)
+    _add_telemetry_args(p_prof)
     p_prof.set_defaults(func=cmd_profile)
+
+    p_top = sub.add_parser(
+        "top", help="live/post-hoc status screen for a telemetry file"
+    )
+    p_top.add_argument(
+        "telemetry",
+        help="run directory or telemetry.jsonl path (from --telemetry-dir)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="render the current state once and exit (post-hoc view)",
+    )
+    p_top.add_argument(
+        "--refresh", type=float, default=0.5, metavar="SEC",
+        help="screen refresh period when following (default: 0.5)",
+    )
+    p_top.set_defaults(func=cmd_top)
+
+    p_gate = sub.add_parser(
+        "compare-metrics",
+        help="gate a run's counters payload against a committed baseline",
+    )
+    p_gate.add_argument(
+        "run", help="counters JSON from `repro profile --counters-out`"
+    )
+    p_gate.add_argument(
+        "--baseline", default="BENCH_baseline.json",
+        help="baseline JSON path (default: BENCH_baseline.json)",
+    )
+    p_gate.add_argument(
+        "--slowdown-tolerance", type=float, default=0.20, metavar="FRAC",
+        help="relative wall-clock tolerance (default: 0.20 = +20%%)",
+    )
+    p_gate.add_argument(
+        "--no-wallclock", action="store_true",
+        help="check scientific counters only, skip the wall-clock gate",
+    )
+    p_gate.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the baseline from this run instead of comparing",
+    )
+    p_gate.set_defaults(func=cmd_compare_metrics)
 
     p_eval = sub.add_parser("evaluate", help="score families against a truth table")
     p_eval.add_argument("families", help="families JSON (from `repro run`)")

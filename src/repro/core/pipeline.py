@@ -13,11 +13,19 @@ scientific results are identical in every mode.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.config import PipelineConfig
 from repro.eval.report import Table1Row, table1_row
-from repro.obs import Recorder, record_simulation, recording
+from repro.obs import (
+    DEFAULT_INTERVAL,
+    Recorder,
+    TelemetrySampler,
+    record_simulation,
+    recording,
+)
 from repro.pace.bipartite_gen import (
     ComponentGraphs,
     generate_component_graphs,
@@ -155,6 +163,9 @@ class ProteinFamilyPipeline:
         backend: Backend | str | None = None,
         workers: int | None = None,
         recorder: Recorder | None = None,
+        observe: bool = True,
+        telemetry_dir: str | Path | None = None,
+        telemetry_interval: float = DEFAULT_INTERVAL,
     ) -> PipelineResult:
         """Run all four phases.
 
@@ -176,7 +187,12 @@ class ProteinFamilyPipeline:
         Every run records spans and counters into a
         :class:`repro.obs.Recorder` (pass ``recorder`` to supply your
         own, e.g. to accumulate several runs); it is returned as
-        ``result.obs``.
+        ``result.obs``.  ``observe=False`` runs bare — no ambient
+        recorder, no sampler — which is what the observability-overhead
+        benchmark compares against.  ``telemetry_dir`` additionally
+        starts a :class:`repro.obs.TelemetrySampler` streaming live
+        snapshots (every ``telemetry_interval`` seconds) to
+        ``<telemetry_dir>/telemetry.jsonl`` for ``repro top``.
         """
         config = self.config
         resolved = backend
@@ -184,6 +200,8 @@ class ProteinFamilyPipeline:
             resolved = config.backend
         if workers is None and config.workers:
             workers = config.workers
+        if cache is None:  # explicit None test: an empty cache is falsy
+            cache = self._make_cache(sequences)
         real_backend = make_backend(resolved, workers)
         if real_backend is not None:
             if cluster is not None or dsd_cluster is not None:
@@ -197,11 +215,12 @@ class ProteinFamilyPipeline:
                     mode=real_backend.name,
                     workers=real_backend.workers,
                 ))
-            with recording(recorder):
+            with self._observing(recorder, observe, telemetry_dir,
+                                 telemetry_interval, cache, real_backend):
                 result = self._run_on_backend(
                     sequences, real_backend, cache, recorder
                 )
-            result.obs = recorder
+            result.obs = recorder if observe else None
             return result
         simulated = cluster is not None or dsd_cluster is not None
         if recorder is None:
@@ -214,12 +233,45 @@ class ProteinFamilyPipeline:
                 mode="simulated" if simulated else "serial",
                 workers=ranks if simulated else 1,
             ))
-        with recording(recorder):
+        with self._observing(recorder, observe, telemetry_dir,
+                             telemetry_interval, cache):
             result = self._run_serial_or_simulated(
                 sequences, cluster, dsd_cluster, cache, cost_model, recorder
             )
-        result.obs = recorder
+        result.obs = recorder if observe else None
         return result
+
+    @contextlib.contextmanager
+    def _observing(
+        self,
+        recorder: Recorder,
+        observe: bool,
+        telemetry_dir: str | Path | None,
+        telemetry_interval: float,
+        cache: AlignmentCache,
+        backend: Backend | None = None,
+    ):
+        """Install the ambient recorder — and, when ``telemetry_dir`` is
+        given, the sampling thread — around one run.  A run that raises
+        still gets its telemetry end record (status "error"), so a
+        monitored crash is distinguishable from a SIGKILL."""
+        if not observe:
+            yield
+            return
+        with recording(recorder):
+            if telemetry_dir is None:
+                yield
+                return
+            sampler = TelemetrySampler(
+                recorder,
+                telemetry_dir,
+                interval=telemetry_interval,
+                probes={"cache": cache.stats},
+            )
+            if backend is not None:
+                sampler.add_probe("runtime", backend.telemetry_probe)
+            with sampler:
+                yield
 
     def _run_serial_or_simulated(
         self,

@@ -17,12 +17,24 @@ same instruments:
 * :mod:`repro.obs.export` writes Chrome ``trace_event`` JSON (open in
   ``chrome://tracing`` or Perfetto) and a counters JSON snapshot;
 * :mod:`repro.obs.bridge` mirrors simulator results onto the virtual
-  track of the same trace.
+  track of the same trace;
+* :mod:`repro.obs.clock` is the single monotonic clock source — one
+  explicit perf-counter/wall-clock pairing per recorder, with the
+  cross-process skew model documented and tested;
+* :mod:`repro.obs.telemetry` samples live run state (counters, gauges,
+  probes, RSS) to an append-only JSONL file every 250 ms;
+* :mod:`repro.obs.progress` derives per-phase progress/ETA from the
+  sample history (work-done vs. pair-generation estimate);
+* :mod:`repro.obs.top` renders a telemetry file — live or finished —
+  as the ``repro top`` status screen;
+* :mod:`repro.obs.regression` is the metrics-regression gate behind
+  ``repro compare-metrics`` and the shared ``BENCH_*.json`` schema.
 
 ``ProteinFamilyPipeline.run`` installs a recorder automatically and
 returns it as ``result.obs``; ``repro profile`` wires the exporters.
 """
 
+from repro.obs.clock import ClockSync, clamp_rebased
 from repro.obs.core import (
     HOST_TRACK,
     MASTER_LANE,
@@ -34,9 +46,26 @@ from repro.obs.core import (
     active,
     count,
     event,
+    gauge,
+    heartbeat,
     recording,
     set_max,
     span,
+)
+from repro.obs.progress import PhaseProgress, format_seconds, phase_progress
+from repro.obs.regression import (
+    BENCH_SCHEMA,
+    baseline_from_run,
+    bench_payload,
+    compare_metrics,
+    compare_report,
+    write_bench_json,
+)
+from repro.obs.telemetry import (
+    DEFAULT_INTERVAL,
+    TELEMETRY_FILENAME,
+    TelemetrySampler,
+    read_telemetry,
 )
 from repro.obs.bridge import record_simulation
 from repro.obs.export import (
@@ -55,28 +84,45 @@ from repro.obs.registry import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA",
+    "ClockSync",
     "Counter",
     "CounterSpec",
+    "DEFAULT_INTERVAL",
     "Event",
     "HOST_TRACK",
     "MASTER_LANE",
+    "PhaseProgress",
     "REGISTRY",
     "Recorder",
     "SCIENTIFIC_COUNTERS",
     "SIM_TRACK",
     "Span",
+    "TELEMETRY_FILENAME",
+    "TelemetrySampler",
     "active",
+    "baseline_from_run",
+    "bench_payload",
     "chrome_trace",
     "chrome_trace_events",
+    "clamp_rebased",
+    "compare_metrics",
+    "compare_report",
     "count",
     "counters_payload",
     "describe",
     "event",
+    "format_seconds",
+    "gauge",
+    "heartbeat",
+    "phase_progress",
+    "read_telemetry",
     "record_simulation",
     "recording",
     "scientific_view",
     "set_max",
     "span",
+    "write_bench_json",
     "write_chrome_trace",
     "write_counters_json",
 ]

@@ -1,0 +1,107 @@
+"""The single monotonic clock source behind every observability timestamp.
+
+Two clocks exist on a host and they disagree in exactly the ways that
+matter for cross-process telemetry:
+
+* ``time.perf_counter()`` is monotonic and high-resolution but its zero
+  is arbitrary *per process* — two processes' perf counters are not
+  comparable at all;
+* ``time.time()`` is comparable across processes on one host but may
+  jump (NTP slew, manual adjustment) and has coarser resolution.
+
+Historically the master stamped spans with ``perf_counter`` while
+workers shipped ``time.time()`` values, with the pairing between the two
+axes captured implicitly (two separate reads at Recorder construction).
+:class:`ClockSync` makes that pairing one explicit, tested object: it
+reads both clocks in a bracketed sequence at one instant and exposes the
+conversions every producer and consumer must share.
+
+Skew model
+----------
+``to_wall``/``from_wall`` are exact inverses *within one process*.
+Across processes, converting worker wall-clock stamps onto the master's
+monotonic axis carries two error terms, both bounded and both explicit:
+
+1. each side's ``pairing_uncertainty`` — the wall-clock width of the
+   bracketed double-read at sync time (typically < 10 us); and
+2. any divergence of the two processes' wall clocks between their sync
+   instants, which on one host is NTP slew over the run's lifetime
+   (nanoseconds for the seconds-scale runs we take).
+
+A rebased worker timestamp may therefore land slightly before the
+master's epoch (a task that started during worker spin-up, observed
+with negative skew).  Consumers that require monotonic non-negative
+times clamp with :func:`clamp_rebased`; the raw value is preserved
+wherever durations are computed, because clamping both endpoints of a
+span preserves order but not length.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockSync:
+    """A frozen pairing of the process's perf-counter and wall-clock axes.
+
+    ``now()`` is monotonic seconds since the sync instant;
+    ``to_wall``/``from_wall`` convert between that axis and host wall
+    time using the captured pairing.
+    """
+
+    epoch_perf: float
+    epoch_wall: float
+    pairing_uncertainty: float
+    """Wall seconds the bracketed double-read took: an upper bound on
+    how far ``epoch_wall`` can sit from the true wall time of
+    ``epoch_perf``."""
+
+    @classmethod
+    def capture(cls) -> "ClockSync":
+        """Pair the two clocks with a bracketed read.
+
+        ``time.time`` is read on both sides of the ``perf_counter`` read
+        and the midpoint taken, so the pairing error is at most half the
+        bracket width even if a scheduler preemption lands inside it.
+        """
+        wall_before = time.time()
+        perf = time.perf_counter()
+        wall_after = time.time()
+        return cls(
+            epoch_perf=perf,
+            epoch_wall=(wall_before + wall_after) / 2.0,
+            pairing_uncertainty=max(wall_after - wall_before, 0.0),
+        )
+
+    def now(self) -> float:
+        """Monotonic seconds since the sync instant (never goes back)."""
+        return time.perf_counter() - self.epoch_perf
+
+    def wall(self) -> float:
+        """Current wall time *as projected from the monotonic axis* —
+        immune to wall-clock jumps after the sync instant."""
+        return self.epoch_wall + self.now()
+
+    def to_wall(self, monotonic_seconds: float) -> float:
+        """Project a monotonic timestamp onto the host wall-clock axis
+        (the form workers ship, comparable across processes)."""
+        return self.epoch_wall + monotonic_seconds
+
+    def from_wall(self, wall_seconds: float) -> float:
+        """Rebase a host wall-clock stamp onto this sync's monotonic
+        axis.  May be negative for stamps taken before the sync instant;
+        see :func:`clamp_rebased`."""
+        return wall_seconds - self.epoch_wall
+
+
+def clamp_rebased(seconds: float) -> float:
+    """Clamp a rebased cross-process timestamp to the recorder's epoch.
+
+    Bounded negative values are expected skew (see the module
+    docstring), not corruption; exports that require non-negative
+    timeline positions (Chrome traces, progress math) clamp to zero
+    rather than dropping the sample.
+    """
+    return seconds if seconds > 0.0 else 0.0

@@ -24,16 +24,24 @@ Safety contract:
   :meth:`Recorder.wall_spans` buffer and counter snapshot back with
   their result batch, which the master merges via
   :meth:`Recorder.absorb_wall_spans` / :meth:`Recorder.merge_counts`.
-  Worker spans are stamped with ``time.time()`` (comparable across
-  processes on one host) and rebased onto the master's epoch.
+  Worker spans are projected onto the host wall-clock axis (comparable
+  across processes on one host) and rebased onto the master's epoch;
+  both conversions go through one explicit :class:`repro.obs.clock.
+  ClockSync` per recorder, which documents and bounds the skew.
+
+Besides counters (accumulating) the recorder holds **gauges**: named
+last-value-wins readings (current phase, queue depth, worker heartbeat
+times) that the :mod:`repro.obs.telemetry` sampler snapshots
+periodically.  Gauges never enter the scientific-counter contract.
 """
 
 from __future__ import annotations
 
 import contextlib
 import threading
-import time
 from dataclasses import dataclass, field
+
+from repro.obs.clock import ClockSync
 
 #: Chrome-trace "pid" carrying measured wall-clock activity.
 HOST_TRACK = 1
@@ -111,16 +119,16 @@ class Recorder:
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}
+        self._gauges: dict[str, object] = {}
         self.spans: list[Span] = []
         self.events: list[Event] = []
-        self._epoch_perf = time.perf_counter()
-        self._epoch_wall = time.time()
+        self.clock = ClockSync.capture()
 
     # -- clock -------------------------------------------------------------
 
     def now(self) -> float:
         """Seconds since this recorder was created (monotonic)."""
-        return time.perf_counter() - self._epoch_perf
+        return self.clock.now()
 
     # -- counters ----------------------------------------------------------
 
@@ -154,17 +162,43 @@ class Recorder:
             for name, n in counts.items():
                 self._counters[name] = self._counters.get(name, 0) + n
 
+    # -- gauges ------------------------------------------------------------
+
+    def gauge(self, name: str, value: object) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_value(self, name: str, default: object = None) -> object:
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    def gauges(self) -> dict[str, object]:
+        """Name-sorted snapshot of every gauge."""
+        with self._lock:
+            return dict(sorted(self._gauges.items()))
+
     # -- spans and events --------------------------------------------------
 
     @contextlib.contextmanager
     def span(self, name: str, cat: str = "phase",
              lane: int = MASTER_LANE, **args: object):
-        """Record the enclosed block as one host-track span."""
+        """Record the enclosed block as one host-track span.
+
+        Phase-category spans also drive the live ``phase``/
+        ``phase.start`` gauges while they are open, so the telemetry
+        sampler can report which phase a running pipeline is in.
+        """
         start = self.now()
+        if cat == "phase":
+            self.gauge("phase", name)
+            self.gauge("phase.start", start)
         try:
             yield self
         finally:
             self.add_span(name, cat, start, self.now(), lane=lane, **args)
+            if cat == "phase" and self.gauge_value("phase") == name:
+                self.gauge("phase", "")
 
     def add_span(self, name: str, cat: str, start: float, end: float, *,
                  track: int = HOST_TRACK, lane: int = MASTER_LANE,
@@ -188,20 +222,28 @@ class Recorder:
     def wall_spans(self) -> list[tuple[str, str, float, float]]:
         """This recorder's spans as wall-clock tuples, for shipping to
         another process (the worker half of the span-buffer protocol)."""
+        to_wall = self.clock.to_wall
         with self._lock:
             return [
-                (s.name, s.cat, self._epoch_wall + s.start,
-                 self._epoch_wall + s.end)
+                (s.name, s.cat, to_wall(s.start), to_wall(s.end))
                 for s in self.spans
             ]
 
     def absorb_wall_spans(self, spans: list[tuple[str, str, float, float]],
                           *, lane: int) -> None:
         """Rebase wall-clock span tuples from a worker onto this
-        recorder's epoch, placing them in the given host-track lane."""
+        recorder's epoch, placing them in the given host-track lane.
+
+        The rebase goes through the recorder's :class:`ClockSync`; a
+        span that started during worker spin-up may land marginally
+        before this recorder's epoch (bounded pairing skew, see
+        :mod:`repro.obs.clock`), which is preserved here — duration
+        math must not be distorted — and clamped at export time.
+        """
+        from_wall = self.clock.from_wall
         rebased = [
-            Span(name=name, cat=cat, start=start - self._epoch_wall,
-                 end=end - self._epoch_wall, track=HOST_TRACK, lane=lane)
+            Span(name=name, cat=cat, start=from_wall(start),
+                 end=from_wall(end), track=HOST_TRACK, lane=lane)
             for name, cat, start, end in spans
         ]
         with self._lock:
@@ -267,6 +309,26 @@ def set_max(name: str, value: int | float) -> None:
     recorder = _active
     if recorder is not None:
         recorder.set_max(name, value)
+
+
+def gauge(name: str, value: object) -> None:
+    recorder = _active
+    if recorder is not None:
+        recorder.gauge(name, value)
+
+
+def heartbeat(worker_index: int, busy: float | None = None) -> None:
+    """Mark worker ``worker_index`` as alive now (both runtime backends
+    call this per absorbed result); ``busy`` adds to the worker's
+    per-lane busy-seconds counter, from which ``repro top`` derives the
+    lane's busy fraction."""
+    recorder = _active
+    if recorder is None:
+        return
+    recorder.gauge(f"worker.{worker_index}.last_seen", recorder.now())
+    recorder.count("runtime.heartbeats")
+    if busy:
+        recorder.count(f"runtime.worker.{worker_index}.busy_seconds", busy)
 
 
 def event(name: str, cat: str = "event", **args: object) -> None:

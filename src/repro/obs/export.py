@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.obs.clock import clamp_rebased
 from repro.obs.core import HOST_TRACK, MASTER_LANE, SIM_TRACK, Recorder
 from repro.obs.registry import scientific_view
 
@@ -44,7 +45,10 @@ def chrome_trace_events(recorder: Recorder) -> list[dict]:
             "name": s.name,
             "cat": s.cat,
             "ph": "X",
-            "ts": _us(s.start),
+            # Rebased worker spans may carry bounded negative skew
+            # (repro.obs.clock); the timeline position is clamped while
+            # the duration uses the unclamped endpoints.
+            "ts": _us(clamp_rebased(s.start)),
             "dur": _us(max(s.duration, 0.0)),
             "pid": s.track,
             "tid": s.lane,

@@ -112,6 +112,17 @@ _SPECS = [
                 "component Shingle jobs dispatched to workers"),
     CounterSpec("runtime.worker_busy_seconds", "runtime",
                 "summed task compute seconds reported by workers"),
+    CounterSpec("runtime.heartbeats", "runtime",
+                "worker result messages seen by the master "
+                "(the heartbeat source behind `repro top` lane ages)"),
+    CounterSpec("runtime.pairs_done.redundancy", "runtime",
+                "RR alignment results absorbed (cache-answered or "
+                "worker-completed) — the progress model's done figure"),
+    CounterSpec("runtime.pairs_done.clustering", "runtime",
+                "CCD alignment results absorbed — progress done figure"),
+    CounterSpec("runtime.pairs_done.bipartite", "runtime",
+                "bipartite alignment results absorbed — progress done "
+                "figure"),
 ]
 
 REGISTRY: dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}
@@ -129,5 +140,6 @@ def scientific_view(counters: Mapping[str, float]) -> dict[str, float]:
 
 def describe(name: str) -> CounterSpec | None:
     """Registry entry for ``name``; None for ad-hoc counters (``sim.*``
-    virtual-time mirrors and future extensions are allowed unregistered)."""
+    virtual-time mirrors, per-worker ``runtime.worker.<w>.busy_seconds``
+    lanes, and future extensions are allowed unregistered)."""
     return REGISTRY.get(name)

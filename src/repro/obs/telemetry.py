@@ -1,0 +1,294 @@
+"""Live run telemetry: a sampling thread beside the Recorder.
+
+The Recorder answers "what happened" after a run; this module answers
+"what is happening" *during* one.  A :class:`TelemetrySampler` owns a
+background thread that every ``interval`` seconds (default 250 ms)
+snapshots the live state of a run — the recorder's counters and gauges
+(current phase, queue depths, worker heartbeats), registered probe
+callables (alignment-cache statistics, backend worker liveness), and
+the process RSS — and appends each snapshot as one JSON line to
+``<run_dir>/telemetry.jsonl``.
+
+The file is the contract, not the sampler: ``repro top`` renders either
+a live file (tail-follow) or a finished one (post-hoc), tests replay
+recorded files, and the regression gate never needs the producing
+process.  Records are one of three types:
+
+``{"type": "meta", ...}``
+    First line.  Schema version, sampling interval, the recorder's
+    run metadata, and the clock pairing (``epoch_wall`` plus its
+    bounded ``pairing_uncertainty`` — see :mod:`repro.obs.clock`).
+``{"type": "sample", ...}``
+    One per tick: ``seq``, monotonic ``t`` and projected ``wall``
+    timestamps, current ``phase``, full ``counters`` and ``gauges``
+    snapshots, ``rss_bytes``, and a ``probes`` object with one entry
+    per registered probe.
+``{"type": "end", ...}``
+    Last line of a *clean* shutdown: final status ("finished" or
+    "error" plus the message).  A file without an end record is a run
+    that is still alive — or died without warning; consumers must
+    treat its absence as "unknown", which is exactly what ``repro
+    top`` renders for a SIGKILLed run.
+
+Failure posture: sampling must never take a run down, and a dying run
+must never stop sampling.  Every probe call is individually guarded —
+a probe that raises contributes ``{"error": ...}`` to that sample and
+the loop keeps ticking, so the telemetry of a run whose workers were
+killed shows the collapse instead of ending at it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.core import Recorder
+
+#: Telemetry JSONL schema version (bump on incompatible record changes).
+SCHEMA_VERSION = 1
+
+#: File name inside a run directory.
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+#: Default sampling period in seconds.
+DEFAULT_INTERVAL = 0.25
+
+
+def process_rss_bytes() -> int | None:
+    """Resident set size of this process, or None if undiscoverable."""
+    try:
+        with open("/proc/self/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS bytes; normalise to bytes.
+        return usage * 1024 if os.uname().sysname == "Linux" else usage
+    except Exception:  # pragma: no cover - no resource module
+        return None
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort coercion of gauge/probe values to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+class TelemetrySampler:
+    """Periodic JSONL snapshots of one run's live observable state.
+
+    Usage::
+
+        sampler = TelemetrySampler(recorder, run_dir, interval=0.25)
+        sampler.add_probe("cache", cache.stats)
+        with sampler:                      # starts the thread
+            ... run the pipeline ...
+        # stopped; telemetry.jsonl carries meta + samples + end
+
+    ``probes`` are zero-argument callables returning a JSON-compatible
+    dict; they run on the sampler thread, so they must only read
+    state that is safe to read concurrently (all Recorder accessors
+    are; backend probes are written to be).
+    """
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        run_dir: str | Path,
+        *,
+        interval: float = DEFAULT_INTERVAL,
+        probes: dict[str, Callable[[], dict]] | None = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.recorder = recorder
+        self.run_dir = Path(run_dir)
+        self.path = self.run_dir / TELEMETRY_FILENAME
+        self.interval = interval
+        self._probes: dict[str, Callable[[], dict]] = dict(probes or {})
+        self._seq = 0
+        self._fh = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._write_lock = threading.Lock()
+
+    # -- probe registry ----------------------------------------------------
+
+    def add_probe(self, name: str, fn: Callable[[], dict]) -> None:
+        """Register ``fn`` to contribute ``probes[name]`` to each sample."""
+        self._probes[name] = fn
+
+    def remove_probe(self, name: str) -> None:
+        self._probes.pop(name, None)
+
+    # -- record construction -----------------------------------------------
+
+    def _meta_record(self) -> dict:
+        clock = self.recorder.clock
+        return {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "interval": self.interval,
+            "meta": _jsonable(dict(self.recorder.meta)),
+            "clock": {
+                "epoch_wall": clock.epoch_wall,
+                "pairing_uncertainty": clock.pairing_uncertainty,
+            },
+            "pid": os.getpid(),
+        }
+
+    def _sample_record(self) -> dict:
+        recorder = self.recorder
+        t = recorder.now()
+        gauges = recorder.gauges()
+        probes: dict[str, object] = {}
+        for name, fn in list(self._probes.items()):
+            try:
+                probes[name] = _jsonable(fn())
+            except Exception as exc:  # keep sampling through any failure
+                probes[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        self._seq += 1
+        return {
+            "type": "sample",
+            "seq": self._seq,
+            "t": t,
+            "wall": recorder.clock.to_wall(t),
+            "phase": gauges.get("phase", ""),
+            "counters": recorder.counters(),
+            "gauges": _jsonable(gauges),
+            "rss_bytes": process_rss_bytes(),
+            "probes": probes,
+        }
+
+    def _end_record(self, status: str, error: str | None) -> dict:
+        return {
+            "type": "end",
+            "t": self.recorder.now(),
+            "status": status,
+            "error": error,
+            "samples": self._seq,
+        }
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"))
+        with self._write_lock:
+            if self._fh is None:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()  # live consumers tail this file
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> "TelemetrySampler":
+        """Create the run directory and write the meta record."""
+        if self._fh is not None:
+            return self
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="ascii")
+        self._write(self._meta_record())
+        return self
+
+    def sample_now(self) -> dict:
+        """Take and append one sample immediately (also used by tests)."""
+        record = self._sample_record()
+        self._write(record)
+        return record
+
+    def start(self) -> "TelemetrySampler":
+        """Open the file and start the background sampling thread."""
+        self.open()
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.sample_now()
+            except Exception:  # pragma: no cover - sampler must survive
+                continue
+
+    def stop(self, status: str = "finished",
+             error: str | None = None) -> None:
+        """Stop the thread, take a final sample, append the end record."""
+        if self._fh is None:
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.sample_now()
+        self._write(self._end_record(status, error))
+        with self._write_lock:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.stop("finished")
+        else:
+            self.stop("error", f"{exc_type.__name__}: {exc}")
+
+
+# ---------------------------------------------------------------------------
+# Reading side (shared by `repro top`, the progress model, and tests).
+# ---------------------------------------------------------------------------
+
+
+def read_telemetry(
+    path: str | Path,
+) -> tuple[dict | None, list[dict], dict | None]:
+    """Parse a telemetry JSONL file into ``(meta, samples, end)``.
+
+    Tolerant by design: a live file's last line may be half-written
+    (the producer flushes whole lines, but a reader can race the OS
+    buffer) and a SIGKILLed producer leaves no end record — malformed
+    trailing lines are skipped, ``meta``/``end`` are None when absent.
+    """
+    path = Path(path)
+    if path.is_dir():
+        path = path / TELEMETRY_FILENAME
+    meta: dict | None = None
+    end: dict | None = None
+    samples: list[dict] = []
+    try:
+        text = path.read_text(encoding="ascii", errors="replace")
+    except OSError:
+        return None, [], None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # truncated tail of a live file
+        kind = record.get("type")
+        if kind == "meta" and meta is None:
+            meta = record
+        elif kind == "sample":
+            samples.append(record)
+        elif kind == "end":
+            end = record
+    return meta, samples, end

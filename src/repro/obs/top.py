@@ -1,0 +1,238 @@
+"""``repro top``: render a telemetry file as a refreshing status screen.
+
+Works on both ends of a run's life: attached to a *live*
+``telemetry.jsonl`` it re-reads the file each refresh (the producer
+flushes every line, so tailing the file is the whole protocol — no
+socket, no signal handling, no shared state with the producing
+process), and pointed at a *finished* file it renders the final state
+once.  Because the file is the only coupling, a run that died without
+an end record (SIGKILL, OOM) still renders — as a degraded view:
+status "no end record", worker lanes whose heartbeats went stale
+marked ``LOST``, and the last known queue/cache/counter state.
+
+Rendering is pure (``render_screen`` returns lines for a parsed file),
+so tests replay recorded files byte-for-byte; the refresh loop is the
+only part that touches the terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.obs.progress import format_seconds, phase_progress
+from repro.obs.telemetry import read_telemetry
+
+#: A heartbeat older than this many sampling intervals marks the lane
+#: as stale; combined with a dead liveness probe it renders as LOST.
+STALE_INTERVALS = 4.0
+
+#: Never flag staleness under this age (seconds) — protects runs whose
+#: task granularity is naturally coarser than the sampling interval.
+MIN_STALE_AGE = 2.0
+
+_BAR_WIDTH = 24
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = round(width * fraction)
+    return f"|{'#' * filled:<{width}s}|"
+
+
+def _worker_indices(samples: list[dict], meta: dict | None) -> list[int]:
+    """Every worker lane the run has mentioned, in index order."""
+    indices: set[int] = set()
+    for sample in samples:
+        for name in sample.get("gauges", {}):
+            if name.startswith("worker.") and name.endswith(".last_seen"):
+                try:
+                    indices.add(int(name.split(".")[1]))
+                except ValueError:
+                    continue
+        runtime = sample.get("probes", {}).get("runtime") or {}
+        for row in runtime.get("workers", []) or []:
+            if isinstance(row, dict) and "index" in row:
+                indices.add(int(row["index"]))
+    if not indices and meta:
+        workers = meta.get("meta", {}).get("workers")
+        if isinstance(workers, int):
+            indices.update(range(workers))
+    return sorted(indices)
+
+
+def _worker_rows(
+    samples: list[dict], meta: dict | None, interval: float, now: float
+) -> list[str]:
+    last = samples[-1]
+    runtime_probe = last.get("probes", {}).get("runtime") or {}
+    alive_by_index = {
+        int(row["index"]): row
+        for row in runtime_probe.get("workers", []) or []
+        if isinstance(row, dict) and "index" in row
+    }
+    stale_after = max(STALE_INTERVALS * interval, MIN_STALE_AGE)
+    window = samples[-8:]
+    dt = window[-1]["t"] - window[0]["t"] if len(window) >= 2 else 0.0
+    rows = []
+    for w in _worker_indices(samples, meta):
+        busy_name = f"runtime.worker.{w}.busy_seconds"
+        busy_now = last.get("counters", {}).get(busy_name, 0.0)
+        busy_then = window[0].get("counters", {}).get(busy_name, 0.0)
+        busy_frac = min((busy_now - busy_then) / dt, 1.0) if dt > 0 else 0.0
+        seen = last.get("gauges", {}).get(f"worker.{w}.last_seen")
+        age = now - seen if isinstance(seen, (int, float)) else None
+        probe_row = alive_by_index.get(w)
+        dead = probe_row is not None and probe_row.get("alive") is False
+        stale = age is None or age > stale_after
+        if dead or (stale and probe_row is None and age is not None):
+            state = "LOST"
+        elif age is None:
+            state = "idle"
+        elif stale:
+            state = "stale"
+        else:
+            state = "busy" if busy_frac > 0.05 else "idle"
+        age_txt = f"{age:6.1f}s ago" if age is not None else "  never    "
+        rows.append(
+            f"  worker {w:<3d} {_bar(busy_frac)} {busy_frac:>4.0%} busy   "
+            f"heartbeat {age_txt}  {state}"
+        )
+    return rows
+
+
+def _stream_rows(last: dict) -> list[str]:
+    gauges = last.get("gauges", {})
+    rows = []
+    for name in sorted(gauges):
+        if not (name.startswith("stream.") and name.endswith(".in_flight")):
+            continue
+        stream_id = name.split(".")[1]
+        kind = gauges.get(f"stream.{stream_id}.kind", "?")
+        rows.append(
+            f"  stream {stream_id} ({kind}): "
+            f"{gauges[name]} batch(es) in flight"
+        )
+    outstanding = gauges.get("runtime.outstanding")
+    if outstanding is not None:
+        rows.append(f"  task queue: {outstanding} batch(es) outstanding")
+    return rows
+
+
+def render_screen(
+    meta: dict | None,
+    samples: list[dict],
+    end: dict | None,
+    *,
+    live: bool = False,
+) -> list[str]:
+    """The full status screen for one parsed telemetry file."""
+    if not samples:
+        return ["repro top: no samples yet" if live else
+                "repro top: telemetry file has no samples"]
+    last = samples[-1]
+    now = last["t"]
+    run_meta = (meta or {}).get("meta", {})
+    interval = float((meta or {}).get("interval") or 0.25)
+
+    if end is not None:
+        status = end.get("status", "finished")
+        if status == "error":
+            status = f"error ({end.get('error')})"
+    elif live:
+        status = "running"
+    else:
+        status = "no end record — run still live or died unreported"
+
+    lines = [
+        "repro top — "
+        + " ".join(f"{k}={v}" for k, v in run_meta.items()),
+        f"status: {status}   t={format_seconds(now)}   "
+        f"samples={last.get('seq', len(samples))}",
+    ]
+
+    progress = phase_progress(samples)
+    if progress is not None:
+        lines.append("")
+        frac = progress.fraction if progress.fraction is not None else 0.0
+        lines.append(f"phase {_bar(frac)} {progress.describe()}")
+    elif end is None:
+        lines.append("")
+        lines.append("phase: (none active)")
+
+    worker_rows = _worker_rows(samples, meta, interval, now)
+    if worker_rows:
+        lines.append("")
+        lines.append("workers:")
+        lines.extend(worker_rows)
+
+    stream_rows = _stream_rows(last)
+    if stream_rows:
+        lines.append("")
+        lines.append("queues:")
+        lines.extend(stream_rows)
+
+    counters = last.get("counters", {})
+    cache = last.get("probes", {}).get("cache") or {}
+    lines.append("")
+    lines.append("counters:")
+    pair_bits = []
+    for label, name in (
+        ("pairs", "rr.pairs"), ("ccd pairs", "ccd.pairs"),
+        ("filtered", "ccd.filtered"), ("bipartite", "bipartite.pairs"),
+    ):
+        if name in counters:
+            pair_bits.append(f"{label}={int(counters[name]):,d}")
+    if pair_bits:
+        lines.append("  " + "  ".join(pair_bits))
+    components = last.get("gauges", {}).get("ccd.components_now")
+    if components is not None:
+        lines.append(f"  union-find components: {int(components):,d}")
+    if isinstance(cache, dict) and "hit_rate" in cache:
+        lines.append(
+            f"  cache: {int(cache.get('entries', 0)):,d} entries, "
+            f"{cache['hit_rate']:.1%} hit rate"
+        )
+    elif isinstance(cache, dict) and "error" in cache:
+        lines.append(f"  cache: probe degraded ({cache['error']})")
+    rss = last.get("rss_bytes")
+    if rss:
+        lines.append(f"  rss: {rss / (1024 * 1024):,.1f} MiB")
+    return lines
+
+
+def follow(
+    path: str | Path,
+    *,
+    refresh: float = 0.5,
+    stream: IO[str] | None = None,
+    clear: bool = True,
+    max_refreshes: int | None = None,
+) -> int:
+    """Refresh loop: re-read and re-render until an end record appears.
+
+    Returns 0 on a finished run, 1 when the telemetry never produced a
+    sample.  ``max_refreshes`` bounds the loop for tests and for
+    attaching to a file that will never finish.
+    """
+    out = stream if stream is not None else sys.stdout
+    refreshes = 0
+    while True:
+        meta, samples, end = read_telemetry(path)
+        refreshes += 1
+        done = end is not None or (
+            max_refreshes is not None and refreshes >= max_refreshes
+        )
+        try:
+            if clear and out.isatty():  # pragma: no cover - terminal only
+                out.write("\x1b[2J\x1b[H")
+            for line in render_screen(meta, samples, end, live=end is None):
+                out.write(line + "\n")
+            out.flush()
+        except BrokenPipeError:  # downstream pager/head closed the pipe
+            return 0 if samples else 1
+        if done:
+            return 0 if samples else 1
+        time.sleep(refresh)

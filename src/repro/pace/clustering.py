@@ -74,6 +74,7 @@ def _observe_clustering(uf: UnionFind, components: list[list[int]]) -> None:
     here so the counts are defined once)."""
     obs.count("ccd.merges", uf.merge_count)
     obs.count("ccd.components", len(components))
+    obs.gauge("ccd.components_now", len(components))
 
 
 def _components_from_uf(kept: Sequence[int], uf: UnionFind) -> list[list[int]]:
@@ -136,6 +137,7 @@ def detect_components_serial(
             coverage,
         ):
             uf.union(pair[0], pair[1])
+            obs.gauge("ccd.components_now", len(kept) - uf.merge_count)
     components = _components_from_uf(kept, uf)
     _observe_clustering(uf, components)
     return ClusteringResult(

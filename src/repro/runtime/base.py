@@ -208,6 +208,20 @@ class Backend(abc.ABC):
             return self.stats.phases.setdefault("adhoc", PhaseStats("adhoc"))
         return self._current_phase
 
+    # -- telemetry ---------------------------------------------------------
+
+    def telemetry_probe(self) -> dict:
+        """Live backend state for the telemetry sampler (thread-safe).
+
+        Backends with worker processes override this to report queue
+        depth and per-worker liveness; the default describes an
+        in-process backend where the lone "worker" is the master itself.
+        """
+        return {
+            "outstanding": 0,
+            "workers": [{"index": 0, "alive": True, "exitcode": None}],
+        }
+
     # -- work primitives ---------------------------------------------------
 
     @abc.abstractmethod

@@ -136,6 +136,7 @@ def backend_component_detection(
             coverage,
         ):
             uf.union(local_of[gi], local_of[gj])
+            obs.gauge("ccd.components_now", len(kept) - uf.merge_count)
 
     with backend.phase("clustering"):
         stream = backend.alignment_stream("local", cache)

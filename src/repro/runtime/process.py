@@ -164,6 +164,7 @@ class _ProcessStream(AlignmentStream):
                 else self._cache.semiglobal(i, j)
             )
             self._phase.cache_hits += 1
+            obs.count(f"runtime.pairs_done.{self._phase.name}")
             self.done.append((i, j, aln))
             return
         self._batch.append((i, j))
@@ -181,11 +182,14 @@ class _ProcessStream(AlignmentStream):
         )
         self._batch = []
         self.in_flight += 1
+        obs.gauge(f"stream.{self.stream_id}.in_flight", self.in_flight)
 
     def absorb(self, summaries: list[tuple], busy: float) -> None:
         """Route one worker batch result into this stream (backend hook)."""
         self.in_flight -= 1
+        obs.gauge(f"stream.{self.stream_id}.in_flight", self.in_flight)
         self._phase.busy_seconds += busy
+        obs.count(f"runtime.pairs_done.{self._phase.name}", len(summaries))
         for item in summaries:
             i, j = item[0], item[1]
             aln = _summary_alignment(item[2:], self.kind)
@@ -298,6 +302,7 @@ class ProcessBackend(Backend):
         self._outstanding += 1
         obs.count("runtime.batches")
         obs.set_max("runtime.max_outstanding", self._outstanding)
+        obs.gauge("runtime.outstanding", self._outstanding)
 
     def _throttle(self, stream: _ProcessStream) -> None:
         """Bound outstanding batches; absorb results while waiting."""
@@ -339,6 +344,7 @@ class ProcessBackend(Backend):
 
     def _route(self, msg: tuple) -> None:
         self._outstanding -= 1
+        obs.gauge("runtime.outstanding", self._outstanding)
         if msg[0] == "error":
             _, worker_index, text = msg
             raise WorkerCrashError(
@@ -369,6 +375,31 @@ class ProcessBackend(Backend):
         recorder.absorb_wall_spans(spans, lane=worker_index + 1)
         recorder.merge_counts(counts)
         recorder.count("runtime.worker_busy_seconds", busy)
+        obs.heartbeat(worker_index, busy)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def telemetry_probe(self) -> dict:
+        """Live backend state for the telemetry sampler.
+
+        Called from the sampler thread, so it only touches fields that
+        are safe to read racily: integers, and per-process liveness via
+        ``Process.is_alive()`` (a kill-safe syscall).  A worker that
+        died without reporting shows up here as ``alive: false`` long
+        before the master's liveness sweep raises, which is what lets
+        ``repro top`` render the degraded view of a dying run.
+        """
+        return {
+            "outstanding": self._outstanding,
+            "workers": [
+                {
+                    "index": w,
+                    "alive": proc.is_alive(),
+                    "exitcode": proc.exitcode,
+                }
+                for w, proc in enumerate(self._procs)
+            ],
+        }
 
     # -- work primitives ---------------------------------------------------
 
@@ -379,6 +410,7 @@ class ProcessBackend(Backend):
         )
         self._streams[stream.stream_id] = stream
         self._next_stream_id += 1
+        obs.gauge(f"stream.{stream.stream_id}.kind", kind)
         return stream
 
     def map_components(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Iterator, Sequence
 
+from repro import obs
 from repro.pace.cache import AlignmentCache
 from repro.runtime.base import AlignmentStream, Backend, PhaseStats
 
@@ -34,10 +35,12 @@ class _SerialStream(AlignmentStream):
             aln = self._cache.local(i, j)
         else:
             aln = self._cache.semiglobal(i, j)
-        self._phase.busy_seconds += perf_counter() - start
+        elapsed = perf_counter() - start
+        self._phase.busy_seconds += elapsed
         self._phase.tasks += 1
         if hit:
             self._phase.cache_hits += 1
+        obs.heartbeat(0, elapsed)
         self._done.append((i, j, aln))
 
     def ready(self) -> list[tuple[int, int, object]]:
@@ -83,6 +86,8 @@ class SerialBackend(Backend):
         for graph in graphs:
             start = perf_counter()
             out.append(shingle_component(graph, reduction, params, min_size, tau))
-            phase.busy_seconds += perf_counter() - start
+            elapsed = perf_counter() - start
+            phase.busy_seconds += elapsed
             phase.tasks += 1
+            obs.heartbeat(0, elapsed)
         return out

@@ -165,6 +165,101 @@ class TestRuntimeBackend:
         )
 
 
+class TestTelemetryAndGate:
+    @pytest.fixture()
+    def profiled(self, generated, tmp_path):
+        """One profiled run with telemetry on: (run_dir, counters.json)."""
+        fasta, _ = generated
+        run_dir = tmp_path / "rundir"
+        counters = tmp_path / "counters.json"
+        rc = main(
+            [
+                "profile", str(fasta),
+                "--shingle-c", "40", "--shingle-s", "3", "--min-size", "4",
+                "--trace-out", str(tmp_path / "trace.json"),
+                "--counters-out", str(counters),
+                "--telemetry-dir", str(run_dir),
+                "--telemetry-interval", "0.02",
+            ]
+        )
+        assert rc == 0
+        return run_dir, counters
+
+    def test_run_streams_telemetry_and_top_renders_it(
+        self, profiled, capsys
+    ):
+        run_dir, _ = profiled
+        assert (run_dir / "telemetry.jsonl").exists()
+        capsys.readouterr()
+        rc = main(["top", str(run_dir), "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "status: finished" in out
+        assert "rss:" in out
+
+    def test_top_accepts_file_path_too(self, profiled, capsys):
+        run_dir, _ = profiled
+        rc = main(["top", str(run_dir / "telemetry.jsonl"), "--once"])
+        assert rc == 0
+        assert "status: finished" in capsys.readouterr().out
+
+    def test_compare_metrics_round_trip_and_drift(
+        self, profiled, tmp_path, capsys
+    ):
+        _, counters = profiled
+        baseline = tmp_path / "BENCH_baseline.json"
+
+        rc = main(
+            ["compare-metrics", str(counters),
+             "--baseline", str(baseline), "--write-baseline"]
+        )
+        assert rc == 0
+        assert "wrote baseline" in capsys.readouterr().out
+        doc = json.loads(baseline.read_text())
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["metrics"]["scientific"]
+
+        # The same run passes its own baseline.
+        rc = main(
+            ["compare-metrics", str(counters), "--baseline", str(baseline)]
+        )
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+        # Injected scientific drift must fail the gate.
+        payload = json.loads(counters.read_text())
+        name = sorted(payload["scientific"])[0]
+        payload["scientific"][name] += 1
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(json.dumps(payload))
+        rc = main(
+            ["compare-metrics", str(drifted), "--baseline", str(baseline)]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "counter drift" in out and name in out
+
+        # Wall-clock slowdown beyond tolerance fails, and --no-wallclock
+        # turns that check off.
+        slow = json.loads(counters.read_text())
+        slow["phase_seconds"] = {
+            k: v * 10 for k, v in slow["phase_seconds"].items()
+        }
+        slow_path = tmp_path / "slow.json"
+        slow_path.write_text(json.dumps(slow))
+        rc = main(
+            ["compare-metrics", str(slow_path), "--baseline", str(baseline)]
+        )
+        assert rc == 1
+        assert "wall-clock regression" in capsys.readouterr().out
+        rc = main(
+            ["compare-metrics", str(slow_path),
+             "--baseline", str(baseline), "--no-wallclock"]
+        )
+        assert rc == 0
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -177,6 +177,60 @@ class TestCrashSafety:
         with pytest.raises(BackendError, match="not open"):
             backend.alignment_stream("local", cache)
 
+    def test_telemetry_survives_sigkilled_worker(self, workload, tmp_path):
+        """The sampler keeps emitting through a worker SIGKILL, the
+        liveness probe reports the corpse before the master notices,
+        and ``repro top`` renders the end-less file as a degraded view
+        instead of refusing it."""
+        from repro.obs import Recorder, TelemetrySampler, read_telemetry, recording
+        from repro.obs.top import render_screen
+
+        sequences, config = workload
+        backend = ProcessBackend(workers=1, batch_size=1)
+        encoded = [r.encoded for r in sequences]
+        cache = AlignmentCache(lambda k: encoded[k], config.scheme)
+        recorder = Recorder(meta={"mode": "process", "workers": 1})
+        sampler = TelemetrySampler(
+            recorder,
+            tmp_path,
+            interval=0.01,
+            probes={"runtime": backend.telemetry_probe, "cache": cache.stats},
+        )
+        with recording(recorder), backend.session(sequences, config.scheme):
+            with recorder.span("clustering", cat="phase"):
+                sampler.open()
+                stream = backend.alignment_stream("local", cache)
+                stream.submit(0, 1)
+                list(stream.drain())  # healthy batch: heartbeat flows
+                healthy = sampler.sample_now()
+
+                victim = backend._procs[0]
+                victim.kill()
+                victim.join(timeout=5.0)
+                assert not victim.is_alive()
+
+                # Sampling does not stop — nor raise — on a dead backend.
+                degraded = sampler.sample_now()
+                stream.submit(0, 2)
+                with pytest.raises(WorkerCrashError, match="died unexpectedly"):
+                    list(stream.drain())
+                post_crash = sampler.sample_now()
+        # Run dies without sampler.stop(): no end record, like a SIGKILL
+        # of the whole process tree.
+
+        assert healthy["probes"]["runtime"]["workers"][0]["alive"] is True
+        assert healthy["gauges"].get("worker.0.last_seen") is not None
+        assert degraded["probes"]["runtime"]["workers"][0]["alive"] is False
+        assert degraded["probes"]["runtime"]["workers"][0]["exitcode"] == -9
+        assert post_crash["seq"] == healthy["seq"] + 2
+
+        meta, samples, end = read_telemetry(tmp_path)
+        assert end is None
+        assert [s["seq"] for s in samples] == [1, 2, 3]
+        screen = "\n".join(render_screen(meta, samples, end))
+        assert "no end record" in screen
+        assert "LOST" in screen
+
 
 class TestSharedSequenceStore:
     def test_round_trip(self):
