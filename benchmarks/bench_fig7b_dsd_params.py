@@ -9,13 +9,12 @@ phase serially per graph), via pytest-benchmark.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.graph.bipartite import duplicate_bipartite
 from repro.shingle.algorithm import ShingleParams, shingle_dense_subgraphs
 from repro.util.rng import make_rng
+from repro.util.timing import monotonic_now
 
 from workloads import print_banner, write_bench
 
@@ -58,9 +57,9 @@ def test_fig7b_series(benchmark):
             graph = planted_graph(n)
             for c in C_SWEEP:
                 params = ShingleParams(s1=5, c1=c, s2=5, c2=max(c // 3, 1), seed=7)
-                t0 = time.perf_counter()
+                t0 = monotonic_now()
                 shingle_dense_subgraphs(graph, params, min_size=5)
-                grid[(n, c)] = time.perf_counter() - t0
+                grid[(n, c)] = monotonic_now() - t0
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import statistics
 import tempfile
-from time import perf_counter
+from repro.util.timing import monotonic_now
 
 from repro.core.pipeline import ProteinFamilyPipeline
 from repro.obs import read_telemetry
@@ -35,9 +35,9 @@ WORKLOAD = "20k"
 def _run_once(sequences, *, observe: bool, telemetry_dir=None) -> float:
     # A fresh pipeline and cache per run: both arms do identical work.
     pipeline = ProteinFamilyPipeline(BENCH_CONFIG)
-    start = perf_counter()
+    start = monotonic_now()
     pipeline.run(sequences, observe=observe, telemetry_dir=telemetry_dir)
-    return perf_counter() - start
+    return monotonic_now() - start
 
 
 def run_comparison() -> dict:

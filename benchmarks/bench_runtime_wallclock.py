@@ -21,7 +21,7 @@ Run directly (``PYTHONPATH=src python benchmarks/bench_runtime_wallclock.py
 from __future__ import annotations
 
 import sys
-from time import perf_counter
+from repro.util.timing import monotonic_now
 
 from repro.core.pipeline import ProteinFamilyPipeline
 from repro.runtime import ProcessBackend, default_worker_count, usable_cpu_count
@@ -42,18 +42,19 @@ def _phase_report(runtime) -> dict:
 
 def run_comparison(workers: int | None = None) -> dict:
     """Serial vs process wall-clock; asserts identical families/Table I."""
-    workers = workers or max(default_worker_count(), 4)
+    if not workers:  # 0 = auto-size, deliberately falsy
+        workers = max(default_worker_count(), 4)
     sequences = metagenome_22k().sequences
     pipeline = ProteinFamilyPipeline(BENCH_CONFIG)
 
-    start = perf_counter()
+    start = monotonic_now()
     serial = pipeline.run(sequences, backend="serial")
-    serial_seconds = perf_counter() - start
+    serial_seconds = monotonic_now() - start
 
     backend = ProcessBackend(workers=workers)
-    start = perf_counter()
+    start = monotonic_now()
     process = pipeline.run(sequences, backend=backend)
-    process_seconds = perf_counter() - start
+    process_seconds = monotonic_now() - start
 
     assert process.families == serial.families, "backend output diverged"
     assert process.table1() == serial.table1(), "Table I diverged"

@@ -220,7 +220,8 @@ def _traceback_affine(M, X, Y, sub, a, b, scheme: AffineScheme,
 def affine_global_align(a: np.ndarray, b: np.ndarray,
                         scheme: AffineScheme | None = None) -> Alignment:
     """Needleman-Wunsch-Gotoh global alignment with affine gaps."""
-    scheme = scheme or blosum62_affine()
+    if scheme is None:
+        scheme = blosum62_affine()
     a = _as_encoded(a)
     b = _as_encoded(b)
     M, X, Y, sub = _fill_affine(a, b, scheme, local=False)
@@ -230,7 +231,8 @@ def affine_global_align(a: np.ndarray, b: np.ndarray,
 def affine_local_align(a: np.ndarray, b: np.ndarray,
                        scheme: AffineScheme | None = None) -> Alignment:
     """Smith-Waterman-Gotoh local alignment with affine gaps."""
-    scheme = scheme or blosum62_affine()
+    if scheme is None:
+        scheme = blosum62_affine()
     a = _as_encoded(a)
     b = _as_encoded(b)
     M, X, Y, sub = _fill_affine(a, b, scheme, local=True)

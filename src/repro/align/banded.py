@@ -30,7 +30,8 @@ def banded_global_align(
     The returned alignment equals :func:`global_align`'s whenever the
     unrestricted optimum stays within the band.
     """
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     a = _as_encoded(a)
     b = _as_encoded(b)
     m, n = len(a), len(b)

@@ -161,7 +161,8 @@ def global_align(
     a: np.ndarray, b: np.ndarray, scheme: ScoringScheme | None = None
 ) -> Alignment:
     """Needleman-Wunsch global alignment of two encoded sequences."""
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     a = _as_encoded(a)
     b = _as_encoded(b)
     H, sub = _fill(a, b, scheme, "global")
@@ -172,7 +173,8 @@ def local_align(
     a: np.ndarray, b: np.ndarray, scheme: ScoringScheme | None = None
 ) -> Alignment:
     """Smith-Waterman local alignment of two encoded sequences."""
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     a = _as_encoded(a)
     b = _as_encoded(b)
     H, sub = _fill(a, b, scheme, "local")
@@ -190,7 +192,8 @@ def semiglobal_align(
     ends of either sequence are unpenalised — the natural formulation for
     the paper's containment and overlap tests.
     """
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     a = _as_encoded(a)
     b = _as_encoded(b)
     H, sub = _fill(a, b, scheme, "semiglobal")

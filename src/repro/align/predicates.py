@@ -42,7 +42,8 @@ def containment_test(
     used for the decision.  One alignment answers both directions, which
     is how the redundancy-removal phase avoids aligning each pair twice.
     """
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     aln = semiglobal_align(a, b, scheme)
     if aln.length == 0 or aln.identity < similarity:
         return False, False, aln
@@ -64,7 +65,8 @@ def overlap_test(
     Returns ``(overlaps, alignment)``.  The coverage requirement applies
     to the longer of the two sequences, per the paper.
     """
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     aln = local_align(a, b, scheme)
     if aln.length == 0 or aln.identity < similarity:
         return False, aln

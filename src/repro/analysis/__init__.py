@@ -1,0 +1,50 @@
+"""Static analysis: the AST-based invariant checker behind ``repro lint``.
+
+The framework (:mod:`repro.analysis.framework`) walks each file's AST
+once and dispatches nodes to repo-specific rules
+(:mod:`repro.analysis.rules`, R1–R8) that enforce the pipeline's
+correctness contracts — counter-registry closure, seed and clock
+discipline, picklable worker tasks, ``is None`` defaulting, lock
+hygiene, and the shared benchmark schema.  Reporters
+(:mod:`repro.analysis.reporters`) render results as text or the
+``repro-lint/1`` JSON document.
+
+DESIGN.md's "Invariants & static analysis" section documents what each
+rule protects, how to add a rule, and the suppression policy.
+"""
+
+from repro.analysis.framework import (
+    FileContext,
+    LintEngine,
+    LintError,
+    LintResult,
+    ProjectContext,
+    Rule,
+    Violation,
+    dotted_name,
+    iter_python_files,
+)
+from repro.analysis.reporters import (
+    LINT_SCHEMA,
+    describe_rules,
+    json_report,
+    text_report,
+)
+from repro.analysis.rules import default_rules
+
+__all__ = [
+    "FileContext",
+    "LINT_SCHEMA",
+    "LintEngine",
+    "LintError",
+    "LintResult",
+    "ProjectContext",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "describe_rules",
+    "dotted_name",
+    "iter_python_files",
+    "json_report",
+    "text_report",
+]

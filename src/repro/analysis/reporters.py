@@ -1,0 +1,68 @@
+"""Text and JSON reporters for :class:`~repro.analysis.framework.LintResult`.
+
+The text form is the human/CI-log view; the JSON form
+(``repro-lint/1``) is the machine view uploaded as a CI artifact and
+diffable across runs, mirroring the ``repro-bench/1`` convention.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.analysis.framework import LintResult, Rule
+
+#: Schema tag of the JSON report.
+LINT_SCHEMA = "repro-lint/1"
+
+
+def text_report(result: LintResult) -> list[str]:
+    """Human-readable report lines, one per violation plus a summary."""
+    lines = [v.formatted() for v in result.violations]
+    counts = result.counts_by_rule()
+    if counts:
+        per_rule = ", ".join(f"{rule}={n}" for rule, n in counts.items())
+        lines.append(
+            f"{len(result.violations)} violation(s) in "
+            f"{result.files_checked} file(s) [{per_rule}]"
+        )
+    else:
+        lines.append(
+            f"0 violations in {result.files_checked} file(s) "
+            f"[rules: {', '.join(result.rules)}]"
+        )
+    return lines
+
+
+def json_report(result: LintResult) -> dict:
+    """The ``repro-lint/1`` JSON document for a result."""
+    return {
+        "schema": LINT_SCHEMA,
+        "files_checked": result.files_checked,
+        "rules": list(result.rules),
+        "counts": result.counts_by_rule(),
+        "violations": [
+            {
+                "rule": v.rule,
+                "severity": v.severity,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+        "errors": [
+            {"path": e.path, "message": e.message} for e in result.errors
+        ],
+    }
+
+
+def describe_rules(rules: Mapping[str, type[Rule]] | None = None) -> list[str]:
+    """``--list-rules`` output: one aligned line per registered rule."""
+    from repro.analysis.rules import default_rules
+
+    classes = list(rules.values()) if rules is not None else list(default_rules())
+    return [
+        f"{cls.name:<4s} {cls.slug:<18s} {cls.severity:<8s} {cls.description}"
+        for cls in classes
+    ]

@@ -1,0 +1,592 @@
+"""The repo-specific rule set enforced by ``repro lint``.
+
+Each rule pins one of the pipeline's correctness contracts (see
+DESIGN.md "Invariants & static analysis" for the full rationale):
+
+========  ===================  ====================================================
+rule      slug                 contract protected
+========  ===================  ====================================================
+``R1``    or-default           falsy containers survive ``None`` defaulting
+``R2``    counter-registry     cross-mode counter identity stays checkable
+``R3``    rng-discipline       every random draw is seed-derived (GKT semantics)
+``R4``    clock-discipline     one clock source; skew model stays honest
+``R5``    picklable-task       worker targets ship to processes and stay stateless
+``R6``    mutable-default      no shared mutable default arguments
+``R7``    lock-discipline      obs locks are exception-safe (``with``, not acquire)
+``R8``    bench-schema         benchmarks emit the shared ``repro-bench/1`` schema
+========  ===================  ====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.framework import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    dotted_name,
+)
+
+
+class OrDefaultRule(Rule):
+    """R1: ``x = x or Default()`` silently discards *falsy* arguments.
+
+    PR 2 paid for this nine times: ``cache or AlignmentCache(...)``
+    threw away a deliberately-passed *empty* cache, so cross-phase
+    memoisation quietly never happened.  Any parameter whose type can
+    be falsy-but-meaningful (containers, caches, recorders, empty
+    strings, zero counts) must be defaulted with ``if x is None``.
+    """
+
+    name = "R1"
+    slug = "or-default"
+    severity = "error"
+    description = (
+        "no `x or Default()` defaulting on container/cache/recorder "
+        "parameters; use `if x is None: x = Default()`"
+    )
+
+    _FALLBACKS = (ast.Call, ast.Dict, ast.List, ast.Set, ast.Tuple)
+
+    def visit_Assign(self, ctx: FileContext, node: ast.Assign) -> None:
+        self._check(ctx, node.value)
+
+    def visit_AnnAssign(self, ctx: FileContext, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check(ctx, node.value)
+
+    def _check(self, ctx: FileContext, value: ast.AST) -> None:
+        if not (isinstance(value, ast.BoolOp) and isinstance(value.op, ast.Or)):
+            return
+        first, last = value.values[0], value.values[-1]
+        if isinstance(first, ast.Name) and isinstance(last, self._FALLBACKS):
+            ctx.report(
+                self,
+                value,
+                f"`{first.id} or ...` discards a falsy `{first.id}` "
+                f"(empty cache/container); default with "
+                f"`if {first.id} is None: {first.id} = ...`",
+            )
+
+
+class CounterRegistryRule(Rule):
+    """R2: the counter vocabulary is closed over ``obs/registry.py``.
+
+    The cross-mode identity contract ("scientific counters are
+    bit-identical across serial / process / simulator") is only
+    mechanically checkable if every counter a call site bumps is
+    declared — and every declared counter is actually bumped.  Both
+    directions are enforced: literal names must resolve against
+    ``REGISTRY``/``GAUGES`` (f-strings against a declared dynamic
+    prefix), and in ``finish_project`` every registry entry must have
+    at least one bumping call site.
+    """
+
+    name = "R2"
+    slug = "counter-registry"
+    severity = "error"
+    description = (
+        "counter/gauge names must be declared in obs/registry.py, and "
+        "every declared counter must be bumped by some call site"
+    )
+
+    _COUNTER_ATTRS = frozenset({"count", "set_max", "counter"})
+
+    def __init__(self) -> None:
+        self._literal_names: set[str] = set()
+        self._fstring_prefixes: set[str] = set()
+
+    # -- call-site side ----------------------------------------------------
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        if attr not in self._COUNTER_ATTRS and attr != "gauge":
+            return
+        if not self._counterish_receiver(ctx, func.value):
+            return
+        if not node.args:
+            return
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            self._check_literal(ctx, node, attr, arg.value)
+        elif isinstance(arg, ast.JoinedStr):
+            self._check_fstring(ctx, node, attr, arg)
+
+    def _counterish_receiver(self, ctx: FileContext, value: ast.AST) -> bool:
+        """Is this ``<receiver>.count/gauge/...`` one of ours?
+
+        Receivers: the ambient ``obs`` module, anything whose dotted
+        name mentions ``recorder``, and ``self`` inside the ``obs``
+        package (the Recorder's own internal gauge writes).
+        """
+        dotted = dotted_name(value)
+        if dotted is None:
+            return False
+        lowered = dotted.lower()
+        if dotted == "obs" or "recorder" in lowered:
+            return True
+        return dotted == "self" and "obs" in ctx.parts
+
+    def _check_literal(
+        self, ctx: FileContext, node: ast.Call, attr: str, name: str
+    ) -> None:
+        from repro.obs import registry
+
+        if attr == "gauge":
+            if name in registry.GAUGES or self._has_prefix(
+                name, registry.DYNAMIC_GAUGE_PREFIXES
+            ):
+                return
+            ctx.report(
+                self,
+                node,
+                f"gauge name {name!r} is not declared in "
+                f"obs/registry.py GAUGES",
+            )
+            return
+        self._literal_names.add(name)
+        if name in registry.REGISTRY or self._has_prefix(
+            name, registry.DYNAMIC_COUNTER_PREFIXES
+        ):
+            return
+        ctx.report(
+            self,
+            node,
+            f"counter name {name!r} is not declared in obs/registry.py",
+        )
+
+    def _check_fstring(
+        self, ctx: FileContext, node: ast.Call, attr: str, arg: ast.JoinedStr
+    ) -> None:
+        from repro.obs import registry
+
+        prefix = ""
+        if arg.values and isinstance(arg.values[0], ast.Constant):
+            prefix = str(arg.values[0].value)
+        if not prefix:
+            ctx.report(
+                self,
+                node,
+                "dynamic counter/gauge name without a constant prefix "
+                "cannot be checked against the registry; start the "
+                "f-string with a declared dynamic prefix",
+            )
+            return
+        allowed = (
+            registry.DYNAMIC_GAUGE_PREFIXES
+            if attr == "gauge"
+            else registry.DYNAMIC_COUNTER_PREFIXES
+        )
+        if attr != "gauge":
+            self._fstring_prefixes.add(prefix)
+        if any(prefix.startswith(p) for p in allowed):
+            return
+        kind = "gauge" if attr == "gauge" else "counter"
+        ctx.report(
+            self,
+            node,
+            f"dynamic {kind} prefix {prefix!r} is not declared in "
+            f"obs/registry.py dynamic prefixes",
+        )
+
+    @staticmethod
+    def _has_prefix(name: str, prefixes: tuple[str, ...]) -> bool:
+        return any(name.startswith(p) for p in prefixes)
+
+    # -- registry completeness side ----------------------------------------
+
+    def finish_project(self, project: ProjectContext) -> None:
+        registry_ctx = project.find_file("obs/registry.py")
+        if registry_ctx is None:
+            # Not linting the tree that owns the registry (e.g. a
+            # fixture directory) — the completeness half does not apply.
+            return
+        from repro.obs import registry
+
+        for name in registry.REGISTRY:
+            if name in self._literal_names:
+                continue
+            if any(name.startswith(p) for p in self._fstring_prefixes):
+                continue
+            registry_ctx.report(
+                self,
+                self._declaration_line(registry_ctx, name),
+                f"registry counter {name!r} is never bumped by any "
+                f"count/set_max call site",
+            )
+
+    @staticmethod
+    def _declaration_line(ctx: FileContext, name: str) -> int:
+        needle = f'"{name}"'
+        for lineno, line in enumerate(ctx.lines, start=1):
+            if needle in line:
+                return lineno
+        return 1
+
+
+class RngDisciplineRule(Rule):
+    """R3: randomness in the algorithm packages flows through
+    ``util/rng.py``.
+
+    The Shingle phase implements Gibson–Kumar–Tomkins min-wise
+    permutations: result invariance across backends holds only because
+    every permutation is derived from the run seed.  A bare
+    ``random.random()`` or ``np.random.default_rng()`` in ``pace/``,
+    ``graph/``, or ``suffix/`` would break cross-mode identity without
+    failing a single test on most seeds.
+    """
+
+    name = "R3"
+    slug = "rng-discipline"
+    severity = "error"
+    description = (
+        "no bare random.*/numpy.random.* in pace/, graph/, suffix/; "
+        "derive generators via util/rng.py (make_rng/derive_seed)"
+    )
+
+    _PACKAGES = frozenset({"pace", "graph", "suffix"})
+    _BANNED_ROOTS = ("random.", "np.random.", "numpy.random.")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(self._PACKAGES & set(ctx.parts[:-1]))
+
+    def visit_Import(self, ctx: FileContext, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                ctx.report(
+                    self,
+                    node,
+                    "import of `random` in an algorithm package; use "
+                    "repro.util.rng.make_rng(seed, ...) instead",
+                )
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        if node.module in ("random", "numpy.random"):
+            ctx.report(
+                self,
+                node,
+                f"import from `{node.module}` in an algorithm package; "
+                f"use repro.util.rng.make_rng(seed, ...) instead",
+            )
+
+    def visit_Attribute(self, ctx: FileContext, node: ast.Attribute) -> None:
+        dotted = dotted_name(node)
+        if dotted is None:
+            return
+        qualified = dotted + "."
+        if not qualified.startswith(self._BANNED_ROOTS):
+            return
+        # A bare module reference (`np.random` as the inner node of a
+        # longer chain) and type references (np.random.Generator
+        # annotations) are fine — only *state* access breaks seed
+        # discipline.
+        if qualified in self._BANNED_ROOTS or dotted.endswith(".Generator"):
+            return
+        ctx.report(
+            self,
+            node,
+            f"`{dotted}` bypasses seed discipline; derive a generator "
+            f"with repro.util.rng.make_rng(seed, ...)",
+        )
+
+
+class ClockDisciplineRule(Rule):
+    """R4: one clock source.
+
+    Every observability timestamp goes through the single explicit
+    :class:`repro.obs.clock.ClockSync` pairing; ad-hoc wall-clock
+    measurement uses :func:`repro.util.timing.monotonic_now` (or
+    ``Stopwatch``).  A stray ``time.time()`` reintroduces exactly the
+    implicit perf/wall pairing the clock model was built to eliminate.
+    """
+
+    name = "R4"
+    slug = "clock-discipline"
+    severity = "error"
+    description = (
+        "no time.time()/perf_counter()/monotonic() outside obs/clock.py "
+        "and util/timing.py; use util.timing.monotonic_now or obs.clock"
+    )
+
+    _ALLOWED_SUFFIXES = ("obs/clock.py", "util/timing.py")
+    _BANNED_TIME_ATTRS = frozenset(
+        {"time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return not ctx.relpath.endswith(self._ALLOWED_SUFFIXES)
+
+    def visit_ImportFrom(self, ctx: FileContext, node: ast.ImportFrom) -> None:
+        if node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in self._BANNED_TIME_ATTRS:
+                ctx.report(
+                    self,
+                    node,
+                    f"`from time import {alias.name}` outside the "
+                    f"sanctioned clock modules; use "
+                    f"repro.util.timing.monotonic_now",
+                )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        dotted = dotted_name(node.func)
+        if dotted is None:
+            return
+        if "." in dotted:
+            root, _, attr = dotted.rpartition(".")
+            if root == "time" and attr in self._BANNED_TIME_ATTRS:
+                ctx.report(
+                    self,
+                    node,
+                    f"`{dotted}()` outside the sanctioned clock modules; "
+                    f"use repro.util.timing.monotonic_now (durations) or "
+                    f"repro.obs.clock.ClockSync (timestamps)",
+                )
+
+
+class PicklableTaskRule(Rule):
+    """R5: functions shipped to worker processes must be module-level
+    (picklable under spawn) and must not write module globals.
+
+    The master/worker contract says workers are stateless engines: a
+    lambda or closure target fails at ``spawn`` start; a target that
+    writes globals works under ``fork`` and silently diverges — each
+    worker mutates its own copy, and nothing comes back.
+    """
+
+    name = "R5"
+    slug = "picklable-task"
+    severity = "error"
+    description = (
+        "Process targets must be module-level functions with no "
+        "`global` writes (stateless, picklable workers)"
+    )
+
+    def start_file(self, ctx: FileContext) -> None:
+        self._module_defs: dict[str, ast.FunctionDef] = {}
+        self._nested_defs: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._module_defs[node.name] = node
+        for top in ast.walk(ctx.tree):
+            if isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                for inner in ast.walk(top):
+                    if inner is top:
+                        continue
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._nested_defs.add(inner.name)
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        dotted = dotted_name(node.func) or ""
+        if not (dotted == "Process" or dotted.endswith(".Process")):
+            return
+        for keyword in node.keywords:
+            if keyword.arg == "target":
+                self._check_target(ctx, keyword.value)
+
+    def _check_target(self, ctx: FileContext, target: ast.AST) -> None:
+        if isinstance(target, ast.Lambda):
+            ctx.report(
+                self,
+                target,
+                "lambda worker target is not picklable under spawn; "
+                "define a module-level function",
+            )
+            return
+        if isinstance(target, ast.Attribute):
+            ctx.report(
+                self,
+                target,
+                f"worker target `{dotted_name(target)}` is a bound/"
+                f"attribute reference; pass a module-level function",
+            )
+            return
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if name in self._module_defs:
+            fn = self._module_defs[name]
+            for inner in ast.walk(fn):
+                if isinstance(inner, ast.Global):
+                    ctx.report(
+                        self,
+                        inner,
+                        f"worker target `{name}` writes module globals "
+                        f"(`global {', '.join(inner.names)}`); workers "
+                        f"must be stateless — ship state through the "
+                        f"result queue",
+                    )
+            return
+        if name in self._nested_defs:
+            ctx.report(
+                self,
+                target,
+                f"worker target `{name}` is a nested function (closure); "
+                f"it cannot be pickled to a spawned worker — move it to "
+                f"module level",
+            )
+
+
+class MutableDefaultRule(Rule):
+    """R6: no mutable default arguments anywhere.
+
+    A ``def f(x, acc=[])`` default is evaluated once and shared by
+    every call — in this codebase that is a cross-run, cross-phase
+    state leak of exactly the kind the master-side-state contract
+    forbids.
+    """
+
+    name = "R6"
+    slug = "mutable-default"
+    severity = "error"
+    description = "no mutable default arguments (list/dict/set displays or constructors)"
+
+    _MUTABLE_DISPLAYS = (
+        ast.Dict,
+        ast.List,
+        ast.Set,
+        ast.ListComp,
+        ast.DictComp,
+        ast.SetComp,
+    )
+    _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def visit_FunctionDef(self, ctx: FileContext, node: ast.FunctionDef) -> None:
+        self._check_args(ctx, node.args)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: FileContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._check_args(ctx, node.args)
+
+    def visit_Lambda(self, ctx: FileContext, node: ast.Lambda) -> None:
+        self._check_args(ctx, node.args)
+
+    def _check_args(self, ctx: FileContext, args: ast.arguments) -> None:
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if isinstance(default, self._MUTABLE_DISPLAYS):
+                ctx.report(
+                    self,
+                    default,
+                    "mutable default argument is shared across calls; "
+                    "default to None and create inside the function",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self._MUTABLE_CONSTRUCTORS
+            ):
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default `{default.func.id}()` is shared "
+                    f"across calls; default to None and create inside "
+                    f"the function",
+                )
+
+
+class LockDisciplineRule(Rule):
+    """R7: observability locks are taken with ``with``, never bare
+    ``acquire()``.
+
+    The telemetry sampler's failure posture ("sampling must never take
+    a run down") only holds if an exception between ``acquire`` and
+    ``release`` cannot leave the recorder lock held — a held recorder
+    lock deadlocks every instrumented hot path at the next counter
+    bump.
+    """
+
+    name = "R7"
+    slug = "lock-discipline"
+    severity = "error"
+    description = (
+        "locks in the obs package must be acquired with `with`, never "
+        "bare .acquire()/.release()"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "obs" in ctx.parts[:-1]
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in ("acquire", "release"):
+            ctx.report(
+                self,
+                node,
+                f"bare `.{func.attr}()` is not exception-safe; hold the "
+                f"lock with a `with` block",
+            )
+
+
+class BenchSchemaRule(Rule):
+    """R8: benchmark scripts emit through ``workloads.write_bench``.
+
+    The metrics-regression gate and the repo's performance trajectory
+    depend on every benchmark landing a ``BENCH_<name>.json`` in the
+    shared ``repro-bench/1`` schema; a script that dumps its own JSON
+    is invisible to the gate.
+    """
+
+    name = "R8"
+    slug = "bench-schema"
+    severity = "error"
+    description = (
+        "benchmarks/bench_*.py must emit results via "
+        "workloads.write_bench (shared repro-bench/1 schema)"
+    )
+
+    _ARTIFACT = re.compile(r"^BENCH_.*\.json$")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "benchmarks" in ctx.parts[:-1] and ctx.filename.startswith("bench_")
+
+    def start_file(self, ctx: FileContext) -> None:
+        self._saw_write_bench = False
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        dotted = dotted_name(node.func) or ""
+        leaf = dotted.rpartition(".")[2]
+        if leaf in ("write_bench", "write_bench_json"):
+            self._saw_write_bench = True
+
+    def visit_Constant(self, ctx: FileContext, node: ast.Constant) -> None:
+        if isinstance(node.value, str) and self._ARTIFACT.match(node.value):
+            ctx.report(
+                self,
+                node,
+                f"benchmark writes {node.value!r} directly, bypassing "
+                f"the repro-bench/1 schema; emit via "
+                f"workloads.write_bench",
+                severity="warning",
+            )
+
+    def finish_file(self, ctx: FileContext) -> None:
+        if not self._saw_write_bench:
+            ctx.report(
+                self,
+                1,
+                "benchmark never calls workloads.write_bench; its "
+                "results are invisible to the metrics gate",
+            )
+
+
+def default_rules() -> tuple[type[Rule], ...]:
+    """Every rule, in report order."""
+    return (
+        OrDefaultRule,
+        CounterRegistryRule,
+        RngDisciplineRule,
+        ClockDisciplineRule,
+        PicklableTaskRule,
+        MutableDefaultRule,
+        LockDisciplineRule,
+        BenchSchemaRule,
+    )

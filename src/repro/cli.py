@@ -27,8 +27,18 @@ compare-metrics
     (``BENCH_baseline.json``): scientific counters must match exactly,
     wall-clock must stay inside the slowdown tolerance.  Exits non-zero
     on any violation — the CI metrics-regression gate.
+lint
+    Run the repo-specific AST invariant checker
+    (:mod:`repro.analysis`): counter-registry closure, seed/clock
+    discipline, picklable worker targets, ``is None`` defaulting, lock
+    hygiene, benchmark schema.  Exit 0 = clean, 1 = violations at or
+    above ``--fail-on``, 2 = unreadable/missing input.
 runtime-info
     Print detected cores and execution-backend availability.
+
+Exit-code convention: every subcommand returns 0 on success, 1 on a
+failed check (metric drift, lint violations), and 2 on unusable input
+(missing or truncated file) — never a traceback.
 
 ``run`` accepts ``--backend {serial,process}`` and ``--workers N`` to
 execute on a real multi-core backend (see :mod:`repro.runtime`); the
@@ -184,14 +194,38 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _usage_error(message: str) -> int:
+    """Report unusable input on stderr with the conventional exit 2."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 2
+
+
 def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import TELEMETRY_FILENAME
     from repro.obs.top import follow
 
+    telemetry = Path(args.telemetry)
+    if telemetry.is_dir():
+        telemetry = telemetry / TELEMETRY_FILENAME
+    if not telemetry.exists():
+        return _usage_error(f"no telemetry file at {telemetry}")
     return follow(
-        args.telemetry,
+        telemetry,
         refresh=args.refresh,
         max_refreshes=1 if args.once else None,
     )
+
+
+def _load_json(path: Path, what: str) -> tuple[dict | None, int]:
+    """Read a JSON document, mapping IO/parse failures to exit 2."""
+    try:
+        return json.loads(path.read_text(encoding="ascii")), 0
+    except OSError as exc:
+        return None, _usage_error(f"cannot read {what} {path}: {exc.strerror}")
+    except json.JSONDecodeError as exc:
+        return None, _usage_error(
+            f"{what} {path} is truncated or not JSON (line {exc.lineno})"
+        )
 
 
 def cmd_compare_metrics(args: argparse.Namespace) -> int:
@@ -201,7 +235,9 @@ def cmd_compare_metrics(args: argparse.Namespace) -> int:
         compare_report,
     )
 
-    run_payload = json.loads(Path(args.run).read_text(encoding="ascii"))
+    run_payload, rc = _load_json(Path(args.run), "run payload")
+    if run_payload is None:
+        return rc
     baseline_path = Path(args.baseline)
 
     if args.write_baseline:
@@ -215,7 +251,9 @@ def cmd_compare_metrics(args: argparse.Namespace) -> int:
               f"-> {baseline_path}")
         return 0
 
-    baseline = json.loads(baseline_path.read_text(encoding="ascii"))
+    baseline, rc = _load_json(baseline_path, "baseline")
+    if baseline is None:
+        return rc
     violations = compare_metrics(
         run_payload,
         baseline,
@@ -225,6 +263,54 @@ def cmd_compare_metrics(args: argparse.Namespace) -> int:
     for line in compare_report(run_payload, baseline, violations):
         print(line)
     return 1 if violations else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        LintEngine,
+        describe_rules,
+        json_report,
+        text_report,
+    )
+
+    if args.list_rules:
+        for line in describe_rules():
+            print(line)
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    if not paths:
+        paths = [p for p in (Path("src"), Path("benchmarks")) if p.exists()]
+        if not paths:
+            return _usage_error(
+                "no paths given and no src/ or benchmarks/ under the "
+                "current directory"
+            )
+    try:
+        engine = LintEngine(
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+        )
+    except ValueError as exc:
+        return _usage_error(str(exc))
+    result = engine.run(paths, root=Path.cwd())
+
+    if args.format == "json":
+        rendered = json.dumps(json_report(result), indent=1)
+    else:
+        rendered = "\n".join(text_report(result))
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        print(f"lint report -> {args.output}")
+    else:
+        print(rendered)
+
+    if result.errors:
+        for error in result.errors:
+            print(f"repro: error: {error.path}: {error.message}",
+                  file=sys.stderr)
+        return 2
+    return 1 if result.fails(args.fail_on) else 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -370,6 +456,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the baseline from this run instead of comparing",
     )
     p_gate.set_defaults(func=cmd_compare_metrics)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="AST-based invariant checker for the pipeline's contracts",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/ benchmarks/)",
+    )
+    p_lint.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule names/slugs to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule names/slugs to skip",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json = the repro-lint/1 document)",
+    )
+    p_lint.add_argument(
+        "--output", metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    p_lint.add_argument(
+        "--fail-on", choices=("error", "warning", "never"), default="error",
+        help="lowest severity that causes exit 1 (default: error)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule with its severity and contract, then exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_eval = sub.add_parser("evaluate", help="score families against a truth table")
     p_eval.add_argument("families", help="families JSON (from `repro run`)")

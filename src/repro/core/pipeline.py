@@ -133,7 +133,7 @@ class ProteinFamilyPipeline:
     """
 
     def __init__(self, config: PipelineConfig | None = None):
-        self.config = config or PipelineConfig()
+        self.config = PipelineConfig() if config is None else config
 
     def _make_cache(self, sequences: SequenceSet) -> AlignmentCache:
         encoded = [record.encoded for record in sequences]

@@ -77,8 +77,10 @@ def gos_cluster(
     cache: AlignmentCache | None = None,
 ) -> GosResult:
     """Run the three GOS stages and return clusters of global indices."""
-    config = config or GosConfig()
-    scheme = scheme or blosum62_scheme()
+    if config is None:
+        config = GosConfig()
+    if scheme is None:
+        scheme = blosum62_scheme()
     encoded = [record.encoded for record in sequences]
     if cache is None:  # explicit None test: an empty cache is falsy
         cache = AlignmentCache(lambda k: encoded[k], scheme)

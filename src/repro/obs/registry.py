@@ -132,6 +132,37 @@ SCIENTIFIC_COUNTERS: tuple[str, ...] = tuple(
     spec.name for spec in _SPECS if spec.scientific
 )
 
+#: Declared gauges (last-value-wins readings; never scientific).
+#: ``repro lint`` rule R2 rejects any literal gauge name not listed
+#: here, which keeps the telemetry vocabulary as closed as the counter
+#: vocabulary.
+GAUGES: dict[str, str] = {
+    "phase": "name of the currently open phase span (\"\" between phases)",
+    "phase.start": "recorder-epoch start time of the current phase",
+    "ccd.components_now": "live union-find component count during CCD",
+    "runtime.outstanding": "work batches currently in flight to workers",
+}
+
+#: Families of counter names constructed at runtime (f-strings).  A
+#: dynamic counter is legal iff its constant prefix matches one of
+#: these; everything else must be a declared literal.  ``sim.*``
+#: mirrors virtual-time simulator results, ``runtime.worker.<w>.*``
+#: are per-worker lanes, ``runtime.pairs_done.<phase>`` feeds the
+#: progress model (the three declared phases are also listed above).
+DYNAMIC_COUNTER_PREFIXES: tuple[str, ...] = (
+    "sim.",
+    "runtime.worker.",
+    "runtime.pairs_done.",
+)
+
+#: Families of gauge names constructed at runtime: per-worker
+#: heartbeats (``worker.<w>.last_seen``) and per-stream queue state
+#: (``stream.<id>.in_flight`` / ``stream.<id>.kind``).
+DYNAMIC_GAUGE_PREFIXES: tuple[str, ...] = (
+    "worker.",
+    "stream.",
+)
+
 
 def scientific_view(counters: Mapping[str, float]) -> dict[str, float]:
     """The mode-invariant slice of a counter snapshot (absent -> 0)."""
@@ -139,7 +170,8 @@ def scientific_view(counters: Mapping[str, float]) -> dict[str, float]:
 
 
 def describe(name: str) -> CounterSpec | None:
-    """Registry entry for ``name``; None for ad-hoc counters (``sim.*``
-    virtual-time mirrors, per-worker ``runtime.worker.<w>.busy_seconds``
-    lanes, and future extensions are allowed unregistered)."""
+    """Registry entry for ``name``; None for dynamic counters (names
+    matching :data:`DYNAMIC_COUNTER_PREFIXES` — ``sim.*`` virtual-time
+    mirrors and per-worker ``runtime.worker.<w>.*`` lanes — carry no
+    per-name spec)."""
     return REGISTRY.get(name)

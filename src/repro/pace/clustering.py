@@ -103,7 +103,8 @@ def detect_components_serial(
     ``kept`` is the non-redundant index list from the RR phase; indices
     in the result are global (into ``sequences``).
     """
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     encoded_all = [record.encoded for record in sequences]
     if cache is None:  # explicit None test: an empty cache is falsy
         cache = AlignmentCache(lambda k: encoded_all[k], scheme)
@@ -172,8 +173,9 @@ def parallel_component_detection(
     paper's Table II scaling collapse — while leaving the scientific
     output identical to :func:`detect_components_serial`.
     """
-    scheme = scheme or blosum62_scheme()
-    costs = cost_model or CostModel()
+    if scheme is None:
+        scheme = blosum62_scheme()
+    costs = CostModel() if cost_model is None else cost_model
     encoded_all = [record.encoded for record in sequences]
     if cache is None:  # explicit None test: an empty cache is falsy
         cache = AlignmentCache(lambda k: encoded_all[k], scheme)

@@ -76,7 +76,8 @@ def detect_dense_subgraphs_serial(
     tau: float = 0.5,
 ) -> DsdResult:
     """Reference serial DSD over all component graphs."""
-    params = params or ShingleParams()
+    if params is None:
+        params = ShingleParams()
     out = DsdResult(subgraphs=[])
     for graph in component_graphs.graphs:
         finals, raw, stats = shingle_component(
@@ -105,8 +106,9 @@ def parallel_dense_subgraph_detection(
     subgraphs.  Output equals the serial run exactly (components are
     independent).
     """
-    params = params or ShingleParams()
-    costs = cost_model or CostModel()
+    if params is None:
+        params = ShingleParams()
+    costs = CostModel() if cost_model is None else cost_model
     graphs = component_graphs.graphs
     reduction = component_graphs.reduction
 

@@ -112,7 +112,8 @@ def find_redundant_serial(
     max_pairs_per_node: int | None = None,
 ) -> RedundancyResult:
     """Reference serial implementation of the RR phase."""
-    scheme = scheme or blosum62_scheme()
+    if scheme is None:
+        scheme = blosum62_scheme()
     encoded = [record.encoded for record in sequences]
     if cache is None:  # explicit None test: an empty cache is falsy
         cache = AlignmentCache(lambda k: encoded[k], scheme)
@@ -165,8 +166,9 @@ def parallel_redundancy_removal(
     size), generate promising pairs locally and align the deduplicated
     survivors; the master only merges verdicts.
     """
-    scheme = scheme or blosum62_scheme()
-    costs = cost_model or CostModel()
+    if scheme is None:
+        scheme = blosum62_scheme()
+    costs = CostModel() if cost_model is None else cost_model
     encoded = [record.encoded for record in sequences]
     if cache is None:  # explicit None test: an empty cache is falsy
         cache = AlignmentCache(lambda k: encoded[k], scheme)

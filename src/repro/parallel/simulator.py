@@ -492,7 +492,8 @@ class VirtualCluster:
         With ``record_timeline`` every compute/send/wait interval is
         recorded for :class:`repro.parallel.trace.Timeline` analysis.
         """
-        kwargs = kwargs or {}
+        if kwargs is None:
+            kwargs = {}
         if per_rank_kwargs is not None and len(per_rank_kwargs) != self.n_ranks:
             raise ValueError("per_rank_kwargs must have one entry per rank")
 

@@ -186,20 +186,19 @@ class Backend(abc.ABC):
         recorder (when one is installed), so backend runs and serial
         runs share one timeline vocabulary.
         """
-        from time import perf_counter
-
         from repro import obs
+        from repro.util.timing import monotonic_now
 
         stats = self.stats.phases.setdefault(name, PhaseStats(name))
         previous = self._current_phase
         self._current_phase = stats
-        start = perf_counter()
+        start = monotonic_now()
         try:
             with obs.span(name, cat="phase", backend=self.name,
                           workers=self.workers):
                 yield stats
         finally:
-            stats.wall_seconds += perf_counter() - start
+            stats.wall_seconds += monotonic_now() - start
             self._current_phase = previous
 
     def _phase_stats(self) -> PhaseStats:

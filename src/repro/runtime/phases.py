@@ -276,7 +276,8 @@ def backend_dense_subgraph_detection(
     tau: float = 0.5,
 ) -> DsdResult:
     """DSD phase on a backend: parallel map over component graphs."""
-    params = params or ShingleParams()
+    if params is None:
+        params = ShingleParams()
     with backend.phase("dense_subgraphs"):
         results = backend.map_components(
             component_graphs.graphs,

@@ -28,7 +28,6 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_mod
 import traceback
-from time import perf_counter
 from typing import Iterator, Sequence
 
 from repro import obs
@@ -44,6 +43,7 @@ from repro.runtime.base import (
     preferred_start_method,
 )
 from repro.runtime.sharedseq import SharedSequenceStore, StoreSpec
+from repro.util.timing import monotonic_now
 
 #: Pairs per task — large enough to amortise queue/pickle overhead over
 #: ~100 ms of alignment work, small enough to keep the filter fresh.
@@ -97,7 +97,7 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                     if task[0] == "align":
                         _, stream_id, kind, pairs = task
                         align = local_align if kind == "local" else semiglobal_align
-                        start = perf_counter()
+                        start = monotonic_now()
                         with recorder.span(f"align.{kind}", cat="task",
                                            pairs=len(pairs)):
                             summaries = [
@@ -106,7 +106,7 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                             ]
                         result_queue.put(
                             ("align", stream_id, summaries,
-                             perf_counter() - start,
+                             monotonic_now() - start,
                              (worker_index, recorder.wall_spans(),
                               recorder.counters()))
                         )
@@ -114,11 +114,11 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                         # shingle_component records its own task span
                         # and dsd.* counters on the ambient recorder.
                         _, job_id, graph, reduction, params, min_size, tau = task
-                        start = perf_counter()
+                        start = monotonic_now()
                         payload = shingle_component(graph, reduction, params, min_size, tau)
                         result_queue.put(
                             ("shingle", job_id, payload,
-                             perf_counter() - start,
+                             monotonic_now() - start,
                              (worker_index, recorder.wall_spans(),
                               recorder.counters()))
                         )
@@ -229,7 +229,9 @@ class ProcessBackend(Backend):
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         super().__init__()
         self.batch_size = batch_size
-        self._start_method = start_method or preferred_start_method()
+        self._start_method = (
+            preferred_start_method() if start_method is None else start_method
+        )
         self._max_outstanding = max_outstanding_factor * self.workers
         self._store: SharedSequenceStore | None = None
         self._procs: list[multiprocessing.Process] = []

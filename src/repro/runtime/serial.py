@@ -9,12 +9,12 @@ classic serial pipeline plus wall-clock accounting.
 
 from __future__ import annotations
 
-from time import perf_counter
 from typing import Iterator, Sequence
 
 from repro import obs
 from repro.pace.cache import AlignmentCache
 from repro.runtime.base import AlignmentStream, Backend, PhaseStats
+from repro.util.timing import monotonic_now
 
 
 class _SerialStream(AlignmentStream):
@@ -30,12 +30,12 @@ class _SerialStream(AlignmentStream):
         if i > j:
             i, j = j, i
         hit = self._cache.peek(self._kind, i, j) is not None
-        start = perf_counter()
+        start = monotonic_now()
         if self._kind == "local":
             aln = self._cache.local(i, j)
         else:
             aln = self._cache.semiglobal(i, j)
-        elapsed = perf_counter() - start
+        elapsed = monotonic_now() - start
         self._phase.busy_seconds += elapsed
         self._phase.tasks += 1
         if hit:
@@ -84,9 +84,9 @@ class SerialBackend(Backend):
         phase = self._phase_stats()
         out = []
         for graph in graphs:
-            start = perf_counter()
+            start = monotonic_now()
             out.append(shingle_component(graph, reduction, params, min_size, tau))
-            elapsed = perf_counter() - start
+            elapsed = monotonic_now() - start
             phase.busy_seconds += elapsed
             phase.tasks += 1
             obs.heartbeat(0, elapsed)

@@ -118,7 +118,8 @@ def shingle_dense_subgraphs(
     Returns a :class:`ShingleResult`; subgraphs are sorted by descending
     size then by smallest left label for determinism.
     """
-    params = params or ShingleParams()
+    if params is None:
+        params = ShingleParams()
     family1 = UniversalHashFamily(params.c1, seed=params.seed)
     family2 = UniversalHashFamily(params.c2, seed=params.seed + 1)
 

@@ -187,8 +187,9 @@ def parallel_shingle_dense_subgraphs(
     the peak tuple memory per node (the quantity the parallelisation is
     designed to divide by p).
     """
-    params = params or ShingleParams()
-    costs = cost_model or CostModel()
+    if params is None:
+        params = ShingleParams()
+    costs = CostModel() if cost_model is None else cost_model
     degrees = [graph.out_degree(v) for v in range(graph.n_left)]
     assignment = balance_items(degrees, cluster.n_ranks)
 

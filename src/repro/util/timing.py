@@ -6,6 +6,20 @@ import time
 from dataclasses import dataclass, field
 
 
+def monotonic_now() -> float:
+    """The sanctioned ad-hoc monotonic read for duration measurement.
+
+    ``repro lint`` rule R4 bans raw ``time.time()``/``perf_counter()``
+    everywhere except this module and :mod:`repro.obs.clock`:
+    *timestamps* that must be comparable across processes go through
+    one explicit :class:`~repro.obs.clock.ClockSync` pairing, while
+    plain elapsed-time measurement (backends, benchmarks) subtracts two
+    ``monotonic_now()`` reads.  The value is process-local and has an
+    arbitrary zero — never ship it to another process.
+    """
+    return time.perf_counter()
+
+
 def format_seconds(seconds: float) -> str:
     """Render a duration like the paper does ("3h 20m", "45.2s")."""
     if seconds < 0:

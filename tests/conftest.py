@@ -9,6 +9,10 @@ from repro.align.matrices import blosum62_scheme
 from repro.pace.cache import AlignmentCache
 from repro.sequence.generator import MetagenomeSpec, generate_metagenome
 
+# Lint fixtures are parsed by `repro lint`, never imported; the
+# bench_*.py ones would otherwise match `python_files` and fail import.
+collect_ignore = ["lint_fixtures"]
+
 
 @pytest.fixture(scope="session")
 def small_metagenome():

@@ -1,0 +1,13 @@
+"""R8 bad: a benchmark that dumps its own JSON, invisible to the gate."""
+
+import json
+
+
+def main():
+    metrics = {"wall_seconds": 1.0}
+    with open("BENCH_r8.json", "w") as fh:
+        json.dump(metrics, fh)
+
+
+if __name__ == "__main__":
+    main()

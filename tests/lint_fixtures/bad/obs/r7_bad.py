@@ -1,0 +1,14 @@
+"""R7 bad: bare acquire/release leaves the lock held on exception."""
+
+import threading
+
+_LOCK = threading.Lock()
+_COUNTERS = {}
+
+
+def bump(name):
+    _LOCK.acquire()
+    try:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + 1
+    finally:
+        _LOCK.release()

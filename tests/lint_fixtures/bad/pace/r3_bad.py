@@ -1,0 +1,14 @@
+"""R3 bad: bare stdlib/numpy randomness inside an algorithm package."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_pairs(pairs):
+    random.shuffle(pairs)
+    return pairs
+
+
+def draw():
+    return np.random.default_rng().random()

@@ -1,0 +1,12 @@
+"""R1 bad: `or` defaulting discards a deliberately-passed empty cache."""
+
+
+class Cache:
+    def __init__(self):
+        self.entries = {}
+
+
+def configure(cache=None, options=None):
+    cache = cache or Cache()
+    options = options or {}
+    return cache, options

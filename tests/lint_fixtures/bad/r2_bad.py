@@ -1,0 +1,9 @@
+"""R2 bad: counter/gauge names that obs/registry.py never declared."""
+
+from repro import obs
+
+
+def tick(recorder, worker):
+    obs.count("rr.paris")  # typo'd counter name
+    obs.gauge("no.such.gauge", 1.0)
+    recorder.count(f"{worker}.pairs")  # no constant prefix to check

@@ -1,0 +1,12 @@
+"""R4 bad: ad-hoc clock reads outside the sanctioned clock modules."""
+
+import time
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def elapsed(start):
+    return perf_counter() - start

@@ -1,0 +1,30 @@
+"""R5 bad: worker targets that cannot ship to a spawned process, or
+that mutate module globals."""
+
+import multiprocessing
+
+TOTAL = 0
+
+
+def accumulate(n):
+    global TOTAL
+    TOTAL += n
+
+
+class Runner:
+    def run(self):
+        return 1
+
+
+def launch():
+    def nested_worker():
+        return 2
+
+    runner = Runner()
+    jobs = [
+        multiprocessing.Process(target=lambda: 3),
+        multiprocessing.Process(target=nested_worker),
+        multiprocessing.Process(target=runner.run),
+        multiprocessing.Process(target=accumulate, args=(1,)),
+    ]
+    return jobs

@@ -1,0 +1,11 @@
+"""R6 bad: mutable defaults shared across every call."""
+
+
+def extend(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def index(key, table=dict(), *, seen=set()):
+    seen.add(key)
+    return table.setdefault(key, len(table))

@@ -1,0 +1,11 @@
+"""R8 good: results flow through the shared repro-bench/1 writer."""
+
+from workloads import write_bench
+
+
+def main():
+    write_bench("r8_fixture", params={}, metrics={"wall_seconds": 1.0})
+
+
+if __name__ == "__main__":
+    main()

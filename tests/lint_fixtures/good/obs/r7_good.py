@@ -1,0 +1,11 @@
+"""R7 good: the lock is held with `with`, exception-safe by construction."""
+
+import threading
+
+_LOCK = threading.Lock()
+_COUNTERS = {}
+
+
+def bump(name):
+    with _LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + 1

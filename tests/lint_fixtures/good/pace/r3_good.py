@@ -1,0 +1,10 @@
+"""R3 good: every generator is derived from the run seed via util/rng."""
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def draw(seed: int) -> float:
+    rng: np.random.Generator = make_rng(seed, "fixture.draw")
+    return float(rng.random())

@@ -1,0 +1,14 @@
+"""R1 good: `is None` defaulting keeps falsy-but-meaningful arguments."""
+
+
+class Cache:
+    def __init__(self):
+        self.entries = {}
+
+
+def configure(cache=None, options=None):
+    if cache is None:
+        cache = Cache()
+    if options is None:
+        options = {}
+    return cache, options

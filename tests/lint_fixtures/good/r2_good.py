@@ -1,0 +1,10 @@
+"""R2 good: literal names from the registry, dynamic names from a
+declared prefix."""
+
+from repro import obs
+
+
+def tick(recorder, worker):
+    obs.count("rr.pairs")
+    obs.gauge("phase", "redundancy")
+    recorder.count(f"runtime.worker.{worker}.tasks")

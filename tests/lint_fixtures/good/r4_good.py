@@ -1,0 +1,7 @@
+"""R4 good: durations via the sanctioned monotonic_now helper."""
+
+from repro.util.timing import monotonic_now
+
+
+def elapsed(start: float) -> float:
+    return monotonic_now() - start

@@ -1,0 +1,11 @@
+"""R5 good: a stateless module-level worker target."""
+
+import multiprocessing
+
+
+def worker(n, results):
+    results.put(n + 1)
+
+
+def launch(results):
+    return multiprocessing.Process(target=worker, args=(1, results))

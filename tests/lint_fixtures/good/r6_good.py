@@ -1,0 +1,17 @@
+"""R6 good: None defaults, fresh containers created per call."""
+
+
+def extend(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc
+
+
+def index(key, table=None, *, seen=None):
+    if table is None:
+        table = {}
+    if seen is None:
+        seen = set()
+    seen.add(key)
+    return table.setdefault(key, len(table))

@@ -260,6 +260,42 @@ class TestTelemetryAndGate:
         assert rc == 0
 
 
+class TestUnusableInputExitsTwo:
+    """Missing or truncated input files exit 2 — never a traceback."""
+
+    def test_top_missing_file(self, tmp_path, capsys):
+        rc = main(["top", str(tmp_path / "nope.jsonl"), "--once"])
+        assert rc == 2
+        assert "no telemetry file" in capsys.readouterr().err
+
+    def test_top_dir_without_telemetry(self, tmp_path, capsys):
+        rc = main(["top", str(tmp_path), "--once"])
+        assert rc == 2
+        assert "no telemetry file" in capsys.readouterr().err
+
+    def test_compare_metrics_missing_run(self, tmp_path, capsys):
+        rc = main(["compare-metrics", str(tmp_path / "run.json")])
+        assert rc == 2
+        assert "cannot read run payload" in capsys.readouterr().err
+
+    def test_compare_metrics_truncated_run(self, tmp_path, capsys):
+        run = tmp_path / "run.json"
+        run.write_text('{"schema": "repro-run/1", "metri', encoding="ascii")
+        rc = main(["compare-metrics", str(run)])
+        assert rc == 2
+        assert "truncated or not JSON" in capsys.readouterr().err
+
+    def test_compare_metrics_missing_baseline(self, tmp_path, capsys):
+        run = tmp_path / "run.json"
+        run.write_text("{}", encoding="ascii")
+        rc = main(
+            ["compare-metrics", str(run),
+             "--baseline", str(tmp_path / "baseline.json")]
+        )
+        assert rc == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
