@@ -14,6 +14,7 @@ rule      slug                 contract protected
 ``R6``    mutable-default      no shared mutable default arguments
 ``R7``    lock-discipline      obs locks are exception-safe (``with``, not acquire)
 ``R8``    bench-schema         benchmarks emit the shared ``repro-bench/1`` schema
+``R9``    swallowed-exception  recovery paths never swallow exceptions silently
 ========  ===================  ====================================================
 """
 
@@ -578,6 +579,68 @@ class BenchSchemaRule(Rule):
             )
 
 
+class SwallowedExceptionRule(Rule):
+    """R9: fault-handling code never swallows exceptions silently.
+
+    The fault-tolerant runtime's contract is that every failure is
+    either *handled* — re-raised, exited via return/continue/break, or
+    converted into a fallback value — or *recorded* through the obs
+    facade (a counter bump, an event, a queue put).  An ``except``
+    body in ``runtime/`` or ``faults/`` that merely ``pass``es is a
+    recovery decision nobody can observe, test, or count; it is exactly
+    how lost tasks and dead workers go unnoticed until results drift.
+    """
+
+    name = "R9"
+    slug = "swallowed-exception"
+    severity = "error"
+    description = (
+        "except bodies in runtime/ and faults/ must re-raise, exit via "
+        "return/continue/break, bind a fallback value, or record the "
+        "failure via obs (count/event/gauge/...) — never silently pass"
+    )
+
+    _PACKAGES = frozenset({"runtime", "faults"})
+    #: Statement types that count as an explicit handling outcome.
+    _HANDLED_STMTS = (
+        ast.Raise,
+        ast.Return,
+        ast.Continue,
+        ast.Break,
+        ast.Assign,
+        ast.AnnAssign,
+        ast.AugAssign,
+    )
+    #: Call leaves that record the failure (obs facade + queue hand-off).
+    _RECORDING_LEAVES = frozenset(
+        {"count", "event", "set_max", "gauge", "heartbeat",
+         "put", "put_nowait", "report"}
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return bool(self._PACKAGES & set(ctx.parts[:-1]))
+
+    def visit_ExceptHandler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> None:
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, self._HANDLED_STMTS):
+                    return
+                if isinstance(sub, ast.Call):
+                    dotted = dotted_name(sub.func) or ""
+                    if dotted.rpartition(".")[2] in self._RECORDING_LEAVES:
+                        return
+        caught = ast.unparse(node.type) if node.type is not None else "BaseException"
+        ctx.report(
+            self,
+            node,
+            f"`except {caught}` swallows the exception; re-raise, "
+            f"return/continue/break, bind a fallback value, or record "
+            f"it with obs.count/obs.event",
+        )
+
+
 def default_rules() -> tuple[type[Rule], ...]:
     """Every rule, in report order."""
     return (
@@ -589,4 +652,5 @@ def default_rules() -> tuple[type[Rule], ...]:
         MutableDefaultRule,
         LockDisciplineRule,
         BenchSchemaRule,
+        SwallowedExceptionRule,
     )

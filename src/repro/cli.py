@@ -6,6 +6,17 @@ generate
     Write a synthetic metagenome (FASTA + truth table).
 run
     Run the four-phase pipeline on a FASTA file and print families.
+    ``--run-dir DIR`` journals crash-consistent phase checkpoints;
+    ``--resume DIR`` continues an interrupted run from that journal
+    (finished phases are skipped, a half-finished CCD replays its
+    journaled unions).  ``--fault-plan FILE`` injects deterministic
+    faults (testing only).
+chaos
+    Deterministic fault-injection identity check: run the workload
+    fault-free and again under a :mod:`repro.faults` plan (worker
+    kills, delays, poisoned tasks), then verify the scientific
+    counters and final families are bit-identical.  Exit 1 on drift —
+    a recovery bug.
 evaluate
     Compare a clustering against a truth table (PR/SE/OQ/CC).
 simulate
@@ -88,6 +99,11 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=0,
         help="worker processes for --backend process (0 = auto)",
     )
+    parser.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SEC",
+        help="kill a worker whose in-flight task ages past SEC "
+             "(process backend hang detection; default: off)",
+    )
 
 
 def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
@@ -102,7 +118,8 @@ def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _config_from_args(args: argparse.Namespace) -> PipelineConfig:
+def _config_from_args(args: argparse.Namespace, *,
+                      fault_plan=None) -> PipelineConfig:
     return PipelineConfig(
         psi=args.psi,
         tau=args.tau,
@@ -117,6 +134,8 @@ def _config_from_args(args: argparse.Namespace) -> PipelineConfig:
         seed=args.seed,
         backend=getattr(args, "backend", "serial"),
         workers=getattr(args, "workers", 0),
+        fault_plan=fault_plan,
+        task_deadline=getattr(args, "task_deadline", None),
     )
 
 
@@ -140,16 +159,57 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_fasta_or_none(path: str):
+    """FASTA records, or None after reporting the usual exit-2 line."""
+    try:
+        return read_fasta(path)
+    except OSError as exc:
+        _usage_error(f"cannot read FASTA {path}: {exc}")
+    except ValueError as exc:
+        _usage_error(f"unparseable FASTA {path}: {exc}")
+    return None
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    """(plan_or_None, error_rc_or_None) from ``--fault-plan``."""
+    from repro.faults.plan import FaultPlan, FaultPlanError
+
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return None, None
+    try:
+        return FaultPlan.load(path), None
+    except FaultPlanError as exc:
+        return None, _usage_error(str(exc))
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    sequences = read_fasta(args.fasta)
-    config = _config_from_args(args)
-    result = ProteinFamilyPipeline(config).run(
-        sequences,
-        backend=args.backend,
-        workers=args.workers or None,
-        telemetry_dir=args.telemetry_dir,
-        telemetry_interval=args.telemetry_interval,
-    )
+    from repro.core.checkpoint import CheckpointError
+
+    sequences = _read_fasta_or_none(args.fasta)
+    if sequences is None:
+        return 2
+    plan, rc = _load_fault_plan(args)
+    if rc is not None:
+        return rc
+    try:
+        config = _config_from_args(args, fault_plan=plan)
+    except ValueError as exc:
+        return _usage_error(f"invalid configuration: {exc}")
+    resume_dir = getattr(args, "resume", None)
+    run_dir = resume_dir if resume_dir else getattr(args, "run_dir", None)
+    try:
+        result = ProteinFamilyPipeline(config).run(
+            sequences,
+            backend=args.backend,
+            workers=args.workers or None,
+            telemetry_dir=args.telemetry_dir,
+            telemetry_interval=args.telemetry_interval,
+            run_dir=run_dir,
+            resume=bool(resume_dir),
+        )
+    except CheckpointError as exc:
+        return _usage_error(str(exc))
     print(Table1Row.header())
     print(result.table1().formatted())
     if result.runtime is not None:
@@ -165,6 +225,46 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         print(f"wrote {len(families)} families to {args.output}")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection identity check: faulted run == fault-free run.
+
+    Exit 0 when the scientific counters and the final families are
+    bit-identical, 1 on drift (a recovery bug), 2 on unusable input.
+    """
+    from repro.faults.harness import run_chaos
+    from repro.faults.plan import FaultPlan, FaultPlanError
+
+    if args.plan:
+        plan, rc = _load_fault_plan(argparse.Namespace(fault_plan=args.plan))
+        if rc is not None:
+            return rc
+    else:
+        plan = FaultPlan.random(args.seed, workers=max(args.workers, 1) or 2,
+                                n_faults=args.faults)
+    if args.fasta:
+        sequences = _read_fasta_or_none(args.fasta)
+        if sequences is None:
+            return 2
+    else:
+        spec = MetagenomeSpec(n_families=6, mean_family_size=8,
+                              redundant_fraction=0.1, noise_fraction=0.05,
+                              seed=args.seed)
+        sequences = generate_metagenome(spec).sequences
+        print(f"chaos: no FASTA given; generated {len(sequences)} "
+              f"synthetic sequences (seed {args.seed})")
+    try:
+        config = _config_from_args(args)
+    except ValueError as exc:
+        return _usage_error(f"invalid configuration: {exc}")
+    try:
+        report = run_chaos(sequences, config, plan, run_dir=args.run_dir)
+    except FaultPlanError as exc:
+        return _usage_error(str(exc))
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -392,10 +492,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run the pipeline on a FASTA file")
     p_run.add_argument("fasta")
     p_run.add_argument("--output", help="write families as JSON")
+    p_run.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="journal crash-consistent phase checkpoints into DIR "
+             "(resume later with --resume DIR)",
+    )
+    p_run.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="resume an interrupted run from DIR's checkpoint journal "
+             "(skips finished phases, replays CCD unions)",
+    )
+    p_run.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="inject faults from a FaultPlan JSON file (testing only)",
+    )
     _add_pipeline_args(p_run)
     _add_backend_args(p_run)
     _add_telemetry_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="verify fault recovery changes nothing: run fault-free and "
+             "under a fault plan, diff scientific counters + families",
+    )
+    p_chaos.add_argument(
+        "fasta", nargs="?", default=None,
+        help="input FASTA (omitted: a small synthetic workload)",
+    )
+    p_chaos.add_argument(
+        "--plan", default=None, metavar="FILE",
+        help="FaultPlan JSON (default: a seed-derived random plan)",
+    )
+    p_chaos.add_argument(
+        "--faults", type=int, default=3,
+        help="faults in the seed-derived plan (default: 3)",
+    )
+    p_chaos.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="write chaos_report.json + faulted-run telemetry into DIR",
+    )
+    _add_pipeline_args(p_chaos)
+    _add_backend_args(p_chaos)
+    p_chaos.set_defaults(func=cmd_chaos, backend="process", workers=2)
 
     p_prof = sub.add_parser(
         "profile",

@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.align.matrices import ScoringScheme, blosum62_scheme
+from repro.faults.plan import FaultPlan
 from repro.shingle.algorithm import ShingleParams
 
 
@@ -52,6 +53,17 @@ class PipelineConfig:
     workers:
         Worker processes for the process backend (0 = auto-detect:
         usable cores minus one for the master).
+    fault_plan:
+        Deterministic fault-injection plan (:mod:`repro.faults`) threaded
+        into the execution backend; None runs fault-free.  Results are
+        unaffected by construction — that is the chaos contract.
+    task_deadline:
+        Seconds an in-flight task may age before its worker is presumed
+        hung and killed (process backend; None = no deadline).
+    respawn_budget:
+        Maximum worker respawns per run (process backend; None = the
+        backend default of 2 x workers).  Exhausting it degrades to
+        in-master serial completion.
     """
 
     psi: int = 10
@@ -72,6 +84,9 @@ class PipelineConfig:
     scheme: ScoringScheme = field(default_factory=blosum62_scheme)
     backend: str = "serial"
     workers: int = 0
+    fault_plan: FaultPlan | None = None
+    task_deadline: float | None = None
+    respawn_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.psi < 2:
@@ -99,3 +114,15 @@ class PipelineConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ValueError(
+                f"fault_plan must be a FaultPlan, got {type(self.fault_plan).__name__}"
+            )
+        if self.task_deadline is not None and self.task_deadline <= 0:
+            raise ValueError(
+                f"task_deadline must be > 0, got {self.task_deadline}"
+            )
+        if self.respawn_budget is not None and self.respawn_budget < 0:
+            raise ValueError(
+                f"respawn_budget must be >= 0, got {self.respawn_budget}"
+            )

@@ -152,6 +152,33 @@ class ProteinFamilyPipeline:
             "reduction": self.config.reduction,
         }
 
+    def _open_journal(
+        self,
+        sequences: SequenceSet,
+        run_dir: str | Path | None,
+        resume: bool,
+    ):
+        """Open the checkpoint journal for this run, or None."""
+        if run_dir is None and not resume:
+            return None
+        if resume and run_dir is None:
+            raise ValueError("resume requires run_dir")
+        from repro.core import checkpoint
+        from repro.faults.plan import FaultInjector
+
+        injector = None
+        if self.config.fault_plan is not None and self.config.fault_plan:
+            injector = FaultInjector(self.config.fault_plan)
+        opener = checkpoint.CheckpointJournal.resume if resume \
+            else checkpoint.CheckpointJournal.start
+        return opener(
+            run_dir,
+            config_dig=checkpoint.config_digest(self.config),
+            input_dig=checkpoint.input_digest(sequences),
+            n_input=len(sequences),
+            injector=injector,
+        )
+
     def run(
         self,
         sequences: SequenceSet,
@@ -166,6 +193,8 @@ class ProteinFamilyPipeline:
         observe: bool = True,
         telemetry_dir: str | Path | None = None,
         telemetry_interval: float = DEFAULT_INTERVAL,
+        run_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> PipelineResult:
         """Run all four phases.
 
@@ -193,33 +222,61 @@ class ProteinFamilyPipeline:
         starts a :class:`repro.obs.TelemetrySampler` streaming live
         snapshots (every ``telemetry_interval`` seconds) to
         ``<telemetry_dir>/telemetry.jsonl`` for ``repro top``.
+
+        ``run_dir`` additionally journals phase checkpoints to
+        ``<run_dir>/checkpoint.jsonl`` (crash-consistent, CRC-framed;
+        see :mod:`repro.core.checkpoint`); ``resume=True`` reopens that
+        journal, skips phases it records as done, and replays CCD from
+        the last checkpointed union.  Both require an execution
+        backend (the default serial reference included via
+        ``backend="serial"``) — checkpointing the simulator's virtual
+        timeline is not supported.
         """
         config = self.config
         resolved = backend
         if resolved is None and config.backend != "serial":
             resolved = config.backend
+        if resolved is None and (run_dir is not None or resume):
+            if cluster is not None or dsd_cluster is not None:
+                raise ValueError(
+                    "checkpointing (run_dir/resume) requires an execution "
+                    "backend, not a simulated cluster"
+                )
+            resolved = config.backend
         if workers is None and config.workers:
             workers = config.workers
         if cache is None:  # explicit None test: an empty cache is falsy
             cache = self._make_cache(sequences)
-        real_backend = make_backend(resolved, workers)
+        real_backend = make_backend(
+            resolved,
+            workers,
+            fault_plan=config.fault_plan,
+            task_deadline=config.task_deadline,
+            respawn_budget=config.respawn_budget,
+        )
         if real_backend is not None:
             if cluster is not None or dsd_cluster is not None:
                 raise ValueError(
                     "a simulated cluster and an execution backend are "
                     "mutually exclusive; pass one or the other"
                 )
+            journal = self._open_journal(sequences, run_dir, resume)
             if recorder is None:
                 recorder = Recorder(meta=self._run_meta(
                     sequences,
                     mode=real_backend.name,
                     workers=real_backend.workers,
                 ))
-            with self._observing(recorder, observe, telemetry_dir,
-                                 telemetry_interval, cache, real_backend):
-                result = self._run_on_backend(
-                    sequences, real_backend, cache, recorder
-                )
+            try:
+                with self._observing(recorder, observe, telemetry_dir,
+                                     telemetry_interval, cache, real_backend):
+                    result = self._run_on_backend(
+                        sequences, real_backend, cache, recorder,
+                        journal=journal,
+                    )
+            finally:
+                if journal is not None:
+                    journal.close()
             result.obs = recorder if observe else None
             return result
         simulated = cluster is not None or dsd_cluster is not None
@@ -430,51 +487,112 @@ class ProteinFamilyPipeline:
         backend: Backend,
         cache: AlignmentCache | None,
         recorder: Recorder,
+        journal=None,
     ) -> PipelineResult:
-        """Run all four phases on a real execution backend."""
+        """Run all four phases on a real execution backend.
+
+        With a checkpoint ``journal``: each phase is bracketed by
+        ``phase_start``/``phase_done`` records, and on resume a phase
+        the journal records as done is *rebuilt from its payload* —
+        skipped entirely (its counters are not re-emitted; see
+        :mod:`repro.core.checkpoint`).  A half-finished CCD resumes by
+        replaying the journaled unions into the fresh union–find before
+        re-running the phase.
+        """
+        from repro.core import checkpoint as ckpt
+
         config = self.config
         if cache is None:  # explicit None test: an empty cache is falsy
             cache = self._make_cache(sequences)
+        state = journal.resume_state if journal is not None else None
+
+        def skip(phase: str) -> bool:
+            if state is None or not state.has(phase):
+                return False
+            recorder.count("checkpoint.phases_skipped")
+            return True
+
         with backend.session(sequences, config.scheme):
-            rr = backend_redundancy_removal(
-                sequences,
-                backend,
-                cache,
-                psi=config.psi,
-                similarity=config.containment_similarity,
-                coverage=config.containment_coverage,
-                max_pairs_per_node=config.max_pairs_per_node,
-            )
-            ccd = backend_component_detection(
-                sequences,
-                rr.kept,
-                backend,
-                cache,
-                psi=config.psi,
-                similarity=config.overlap_similarity,
-                coverage=config.overlap_coverage,
-                max_pairs_per_node=config.max_pairs_per_node,
-            )
-            graphs = backend_generate_component_graphs(
-                sequences,
-                ccd.components_of_size(config.min_component_size),
-                backend,
-                cache,
-                reduction=config.reduction,
-                psi=config.psi,
-                edge_similarity=config.edge_similarity,
-                edge_coverage=config.edge_coverage,
-                w=config.w,
-                min_size=config.min_component_size,
-                max_pairs_per_node=config.max_pairs_per_node,
-            )
-            dense = backend_dense_subgraph_detection(
-                graphs,
-                backend,
-                params=config.shingle,
-                min_size=config.min_subgraph_size,
-                tau=config.tau,
-            )
+            if skip("redundancy"):
+                rr = ckpt.redundancy_from_payload(
+                    state.payload("redundancy"), len(sequences)
+                )
+            else:
+                if journal is not None:
+                    journal.phase_start("redundancy")
+                rr = backend_redundancy_removal(
+                    sequences,
+                    backend,
+                    cache,
+                    psi=config.psi,
+                    similarity=config.containment_similarity,
+                    coverage=config.containment_coverage,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+                if journal is not None:
+                    journal.phase_done("redundancy",
+                                       ckpt.redundancy_payload(rr))
+            if skip("clustering"):
+                ccd = ckpt.clustering_from_payload(state.payload("clustering"))
+            else:
+                if journal is not None:
+                    journal.phase_start("clustering")
+                ccd = backend_component_detection(
+                    sequences,
+                    rr.kept,
+                    backend,
+                    cache,
+                    psi=config.psi,
+                    similarity=config.overlap_similarity,
+                    coverage=config.overlap_coverage,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                    journal=journal,
+                    replay_unions=state.ccd_unions if state is not None else None,
+                )
+                if journal is not None:
+                    journal.phase_done("clustering",
+                                       ckpt.clustering_payload(ccd))
+            if skip("bipartite"):
+                graphs = ckpt.bipartite_from_payload(state.payload("bipartite"))
+            else:
+                if journal is not None:
+                    journal.phase_start("bipartite")
+                graphs = backend_generate_component_graphs(
+                    sequences,
+                    ccd.components_of_size(config.min_component_size),
+                    backend,
+                    cache,
+                    reduction=config.reduction,
+                    psi=config.psi,
+                    edge_similarity=config.edge_similarity,
+                    edge_coverage=config.edge_coverage,
+                    w=config.w,
+                    min_size=config.min_component_size,
+                    max_pairs_per_node=config.max_pairs_per_node,
+                )
+                if journal is not None:
+                    # None for the domain reduction: alignment-free,
+                    # cheaper to recompute on resume than to serialise.
+                    payload = ckpt.bipartite_payload(graphs)
+                    if payload is not None:
+                        journal.phase_done("bipartite", payload)
+            if skip("dense_subgraphs"):
+                dense = ckpt.dense_from_payload(
+                    state.payload("dense_subgraphs")
+                )
+            else:
+                if journal is not None:
+                    journal.phase_start("dense_subgraphs")
+                dense = backend_dense_subgraph_detection(
+                    graphs,
+                    backend,
+                    params=config.shingle,
+                    min_size=config.min_subgraph_size,
+                    tau=config.tau,
+                )
+                if journal is not None:
+                    journal.phase_done("dense_subgraphs",
+                                       ckpt.dense_payload(dense))
         backend.stats.cache = cache.stats()
         cache.record_observations(recorder)
         return PipelineResult(

@@ -1,0 +1,49 @@
+"""Deterministic fault injection and the chaos verification harness.
+
+``repro.faults`` answers one question: *does recovery change the
+science?*  A seed-driven :class:`FaultPlan` injects worker kills,
+delays, poisoned tasks, and checkpoint damage at deterministic
+coordinates; :func:`run_chaos` runs the same workload fault-free and
+faulted and diffs the scientific-counter slice plus the final families
+through the existing ``compare-metrics`` machinery.  Identity is the
+contract — see DESIGN.md, "Fault model & recovery".
+"""
+
+from repro.faults.plan import (
+    ABORT_EXIT_CODE,
+    CHECKPOINT_FAULT_KINDS,
+    FAULT_KINDS,
+    PHASES,
+    TRUNCATE_EXIT_CODE,
+    WORKER_FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+)
+
+__all__ = [
+    "ABORT_EXIT_CODE",
+    "CHECKPOINT_FAULT_KINDS",
+    "FAULT_KINDS",
+    "PHASES",
+    "TRUNCATE_EXIT_CODE",
+    "WORKER_FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "ChaosReport",
+    "run_chaos",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: the harness imports the pipeline, which imports runtime
+    # backends; keep ``repro.faults.plan`` importable from config
+    # without that cycle.
+    if name in ("ChaosReport", "run_chaos"):
+        from repro.faults import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

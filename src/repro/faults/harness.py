@@ -1,0 +1,150 @@
+"""The chaos harness: prove recovery never changes the science.
+
+``run_chaos`` executes the same workload twice — fault-free baseline,
+then under a :class:`~repro.faults.plan.FaultPlan` — and diffs the two
+runs through the existing ``compare-metrics`` machinery: the
+scientific-counter slice must match **bit-exactly** and the final
+families must be identical.  Any divergence means the recovery path
+(requeue, respawn, quarantine, degraded completion) leaked into the
+algorithm's decisions, which is exactly the bug class this harness
+exists to catch.
+
+Only worker-task faults (kill/delay/poison) are verifiable in-process:
+checkpoint faults (``abort_master``/``truncate_checkpoint``) terminate
+the run by design and are exercised by the resume round-trip tests
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan, FaultPlanError
+from repro.obs.export import counters_payload
+from repro.obs.regression import baseline_from_run, compare_metrics
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.core.config import PipelineConfig
+    from repro.sequence.record import SequenceSet
+
+#: Recovery counters reported alongside the verdict.
+RECOVERY_COUNTERS = (
+    "faults.injected",
+    "runtime.tasks_requeued",
+    "runtime.worker_respawns",
+    "runtime.poison_quarantined",
+    "runtime.duplicate_results",
+)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one fault-free versus faulted comparison."""
+
+    plan: FaultPlan
+    violations: list[str] = field(default_factory=list)
+    families_identical: bool = True
+    baseline_families: int = 0
+    faulted_families: int = 0
+    recovery: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.families_identical
+
+    def lines(self) -> list[str]:
+        verdict = "IDENTICAL" if self.ok else "DRIFT"
+        out = [
+            f"chaos: {len(self.plan)} fault(s) planned, "
+            f"{int(self.recovery.get('faults.injected', 0))} injected",
+            "  " + "  ".join(
+                f"{name.split('.')[-1]}={int(self.recovery.get(name, 0))}"
+                for name in RECOVERY_COUNTERS[1:]
+            ),
+            f"families: baseline={self.baseline_families} "
+            f"faulted={self.faulted_families} "
+            f"{'identical' if self.families_identical else 'DIFFERENT'}",
+        ]
+        out.extend(f"  {v}" for v in self.violations)
+        out.append(f"chaos verdict: {verdict}")
+        return out
+
+
+def run_chaos(
+    sequences: "SequenceSet",
+    config: "PipelineConfig",
+    plan: FaultPlan,
+    *,
+    run_dir: "str | Path | None" = None,
+) -> ChaosReport:
+    """Run fault-free and faulted, return the identity verdict.
+
+    Both runs use the configuration's backend/worker settings; the
+    faulted run additionally streams telemetry into ``run_dir`` (when
+    given) so the recovery can be inspected with ``repro top``.
+    """
+    from repro.core.pipeline import ProteinFamilyPipeline
+
+    if plan.checkpoint_faults:
+        raise FaultPlanError(
+            "chaos verification only supports worker-task faults "
+            "(kill_worker/delay_task/poison_task); checkpoint faults "
+            "terminate the run and are covered by --resume"
+        )
+
+    base_config = replace(config, fault_plan=None)
+    fault_config = replace(config, fault_plan=plan)
+
+    baseline = ProteinFamilyPipeline(base_config).run(
+        sequences, backend=base_config.backend
+    )
+    faulted = ProteinFamilyPipeline(fault_config).run(
+        sequences,
+        backend=fault_config.backend,
+        telemetry_dir=run_dir,
+    )
+
+    baseline_doc = baseline_from_run(
+        counters_payload(baseline.obs), name="chaos-baseline"
+    )
+    faulted_payload = counters_payload(faulted.obs)
+    violations = compare_metrics(
+        faulted_payload, baseline_doc, check_wallclock=False
+    )
+
+    report = ChaosReport(
+        plan=plan,
+        violations=violations,
+        families_identical=baseline.families == faulted.families,
+        baseline_families=len(baseline.families),
+        faulted_families=len(faulted.families),
+        recovery={
+            name: faulted_payload["counters"].get(name, 0.0)
+            for name in RECOVERY_COUNTERS
+        },
+    )
+    if run_dir is not None:
+        _write_report(report, run_dir)
+    return report
+
+
+def _write_report(report: ChaosReport, run_dir: "str | Path") -> Path:
+    import json
+
+    path = Path(run_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    doc = {
+        "schema": "repro-chaos/1",
+        "ok": report.ok,
+        "plan": [f.to_dict() for f in report.plan.faults],
+        "violations": report.violations,
+        "families_identical": report.families_identical,
+        "baseline_families": report.baseline_families,
+        "faulted_families": report.faulted_families,
+        "recovery": report.recovery,
+    }
+    out = path / "chaos_report.json"
+    out.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+    return out

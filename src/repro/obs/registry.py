@@ -123,6 +123,25 @@ _SPECS = [
     CounterSpec("runtime.pairs_done.bipartite", "runtime",
                 "bipartite alignment results absorbed — progress done "
                 "figure"),
+    # -- Fault tolerance & recovery ----------------------------------------
+    CounterSpec("runtime.tasks_requeued", "runtime",
+                "in-flight tasks requeued to survivors after their "
+                "worker died"),
+    CounterSpec("runtime.worker_respawns", "runtime",
+                "dead workers relaunched under the respawn budget"),
+    CounterSpec("runtime.poison_quarantined", "runtime",
+                "tasks that killed two workers, quarantined and "
+                "computed in-master"),
+    CounterSpec("runtime.duplicate_results", "runtime",
+                "late/duplicate task results dropped by the "
+                "exactly-once ledger gate"),
+    CounterSpec("faults.injected", "faults",
+                "faults fired from the run's FaultPlan "
+                "(deterministic chaos injection)"),
+    CounterSpec("checkpoint.records", "checkpoint",
+                "records appended to the run-dir checkpoint journal"),
+    CounterSpec("checkpoint.phases_skipped", "checkpoint",
+                "finished phases rebuilt from checkpoint on --resume"),
 ]
 
 REGISTRY: dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}
@@ -141,6 +160,8 @@ GAUGES: dict[str, str] = {
     "phase.start": "recorder-epoch start time of the current phase",
     "ccd.components_now": "live union-find component count during CCD",
     "runtime.outstanding": "work batches currently in flight to workers",
+    "runtime.degraded": "1 once the backend fell back to in-master "
+                        "serial completion (respawn budget exhausted)",
 }
 
 #: Families of counter names constructed at runtime (f-strings).  A

@@ -190,6 +190,19 @@ def render_screen(
     components = last.get("gauges", {}).get("ccd.components_now")
     if components is not None:
         lines.append(f"  union-find components: {int(components):,d}")
+    recovery_bits = []
+    for label, name in (
+        ("requeued", "runtime.tasks_requeued"),
+        ("respawns", "runtime.worker_respawns"),
+        ("quarantined", "runtime.poison_quarantined"),
+        ("faults", "faults.injected"),
+    ):
+        if counters.get(name):
+            recovery_bits.append(f"{label}={int(counters[name]):,d}")
+    if last.get("gauges", {}).get("runtime.degraded"):
+        recovery_bits.append("DEGRADED(in-master)")
+    if recovery_bits:
+        lines.append("  recovery: " + "  ".join(recovery_bits))
     if isinstance(cache, dict) and "hit_rate" in cache:
         lines.append(
             f"  cache: {int(cache.get('entries', 0)):,d} entries, "

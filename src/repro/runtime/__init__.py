@@ -40,18 +40,30 @@ BACKENDS = ("serial", "process")
 def make_backend(
     spec: "str | Backend | None",
     workers: int | None = None,
+    *,
+    fault_plan=None,
+    task_deadline: float | None = None,
+    respawn_budget: int | None = None,
 ) -> Backend | None:
     """Resolve a backend specification.
 
     ``None`` -> ``None`` (caller decides the default), a :class:`Backend`
     instance passes through, ``"serial"``/``"process"`` construct one.
+    The fault-tolerance knobs (``fault_plan``, ``task_deadline``,
+    ``respawn_budget``) only apply when this call constructs the
+    backend; a passed-in instance keeps its own settings.
     """
     if spec is None or isinstance(spec, Backend):
         return spec
     if spec == "serial":
-        return SerialBackend()
+        return SerialBackend(fault_plan=fault_plan)
     if spec == "process":
-        return ProcessBackend(workers=workers)
+        return ProcessBackend(
+            workers=workers,
+            fault_plan=fault_plan,
+            task_deadline=task_deadline,
+            respawn_budget=respawn_budget,
+        )
     raise ValueError(
         f"unknown backend {spec!r}; expected one of {', '.join(BACKENDS)}"
     )

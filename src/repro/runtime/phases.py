@@ -105,6 +105,8 @@ def backend_component_detection(
     similarity: float,
     coverage: float,
     max_pairs_per_node: int | None = None,
+    journal=None,
+    replay_unions: Sequence[tuple[int, int]] | None = None,
 ) -> ClusteringResult:
     """CCD phase on a backend.
 
@@ -114,6 +116,16 @@ def backend_component_detection(
     flight, so slightly more pairs get aligned than in the serial
     reference — the components are provably identical (see module
     docstring), only the work counters move, as in the paper.
+
+    Checkpointing: when a :class:`~repro.core.checkpoint.CheckpointJournal`
+    is passed, every union that actually merges two clusters is
+    journaled (global indices).  On resume, ``replay_unions`` pre-seeds
+    the union–find with those journaled merges before the pair stream
+    re-runs — a head start for the transitive-closure filter, which can
+    only skip *more* intra-component pairs, never change the final
+    components.  The replayed merges themselves are not re-journaled
+    (``uf.union`` returns False for them), so the journal never holds
+    duplicates.
     """
     encoded_all = [record.encoded for record in sequences]
     local_encoded = [encoded_all[g] for g in kept]
@@ -122,6 +134,11 @@ def backend_component_detection(
     )
     local_of = {g: l for l, g in enumerate(kept)}
     uf = UnionFind(len(kept))
+    if replay_unions:
+        for gi, gj in replay_unions:
+            li, lj = local_of.get(gi), local_of.get(gj)
+            if li is not None and lj is not None:
+                uf.union(li, lj)
     tested: set[tuple[int, int]] = set()
     n_pairs = 0
     n_filtered = 0
@@ -135,7 +152,8 @@ def backend_component_detection(
             similarity,
             coverage,
         ):
-            uf.union(local_of[gi], local_of[gj])
+            if uf.union(local_of[gi], local_of[gj]) and journal is not None:
+                journal.ccd_union(gi, gj)
             obs.gauge("ccd.components_now", len(kept) - uf.merge_count)
 
     with backend.phase("clustering"):

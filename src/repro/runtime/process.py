@@ -3,10 +3,10 @@
 Topology mirrors PaCE: one master (this process) owns all clustering
 state — promising-pair generation, the dedup sets, the union–find, and
 the alignment cache — while ``N`` worker processes are stateless
-alignment/Shingle engines.  Work flows through a chunked queue:
+alignment/Shingle engines.  Work flows through per-worker task queues:
 
-* the master batches promising pairs (``batch_size`` per task) and fans
-  them out over a shared task queue;
+* the master batches promising pairs (``batch_size`` per task) and
+  deals them to the least-loaded worker queue;
 * workers align each batch against the shared-memory encoded-sequence
   store (:mod:`repro.runtime.sharedseq` — sequences are written once and
   mapped zero-copy by every worker, never re-pickled) and stream compact
@@ -16,19 +16,35 @@ alignment/Shingle engines.  Work flows through a chunked queue:
   while workers are busy.
 
 Backpressure caps outstanding batches at ``max_outstanding_factor *
-workers`` so the task queue stays small and absorbed verdicts reach the
-filter quickly.  Worker exceptions are caught, serialised, and re-raised
-on the master as :class:`~repro.runtime.base.WorkerCrashError`; a worker
-that dies without reporting (OOM-kill, signal) is detected by a liveness
-sweep, so the master never hangs on a lost batch.
+workers`` so the queues stay small and absorbed verdicts reach the
+filter quickly.
+
+Fault tolerance (the PaCE paper assumed BlueGene nodes that never die;
+we do not): every in-flight task is held in a master-side **ledger**
+keyed by a unique ``task_id`` and owned by exactly one worker slot.
+When a worker dies — crash, OOM-kill, or a hang past ``task_deadline``
+— its ledger entries are requeued to survivors, the worker is respawned
+under a bounded **respawn budget**, and a task that has now killed two
+workers is **quarantined**: computed in-master, isolating poison inputs.
+With the budget exhausted and no workers left the backend degrades to
+in-master serial completion instead of raising.  Results are absorbed
+exactly once (a late result from a presumed-dead worker is dropped by
+the task-id dedup gate), which is what keeps worker-recorded scientific
+counters bit-identical under recovery.  Worker *exceptions* are still
+caught, serialised, and re-raised on the master as
+:class:`~repro.runtime.base.WorkerCrashError` — a deterministic bug in
+a task is surfaced, not retried.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_mod
+import time
 import traceback
-from typing import Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro import obs
 from repro.align.pairwise import Alignment
@@ -45,9 +61,18 @@ from repro.runtime.base import (
 from repro.runtime.sharedseq import SharedSequenceStore, StoreSpec
 from repro.util.timing import monotonic_now
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.faults.plan import FaultPlan
+
 #: Pairs per task — large enough to amortise queue/pickle overhead over
 #: ~100 ms of alignment work, small enough to keep the filter fresh.
 DEFAULT_BATCH_SIZE = 32
+
+#: Respawn budget default: each slot may be refilled twice.
+DEFAULT_RESPAWN_FACTOR = 2
+
+#: A task that has killed this many workers is quarantined in-master.
+POISON_DEATHS = 2
 
 _STOP = ("stop",)
 
@@ -72,6 +97,14 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                  store_spec: StoreSpec, scheme) -> None:
     """Worker loop: attach the store once, then serve tasks until "stop".
 
+    Task wire format is ``(kind, task_id, fault, *payload)``.  The
+    ``fault`` slot is normally None; under a
+    :class:`~repro.faults.plan.FaultPlan` the master attaches
+    ``("die",)`` (exit immediately — the SIGKILL/OOM stand-in, injected
+    *before* any result exists so recovery decides the science) or
+    ``("delay", seconds)`` (sleep, then compute — exercises the hang
+    detector).
+
     Every exception is reported as an ("error", ...) message rather than
     allowed to kill the process silently, so the master can surface the
     original traceback.
@@ -91,11 +124,17 @@ def _worker_main(worker_index: int, task_queue, result_queue,
             task = task_queue.get()
             if task[0] == "stop":
                 break
+            task_id, fault = task[1], task[2]
+            if fault is not None:
+                if fault[0] == "die":
+                    os._exit(137)
+                if fault[0] == "delay":
+                    time.sleep(fault[1])
             try:
                 recorder = obs.Recorder()
                 with obs.recording(recorder):
                     if task[0] == "align":
-                        _, stream_id, kind, pairs = task
+                        _, _, _, stream_id, kind, pairs = task
                         align = local_align if kind == "local" else semiglobal_align
                         start = monotonic_now()
                         with recorder.span(f"align.{kind}", cat="task",
@@ -105,7 +144,7 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                                 for i, j in pairs
                             ]
                         result_queue.put(
-                            ("align", stream_id, summaries,
+                            ("align", task_id, stream_id, summaries,
                              monotonic_now() - start,
                              (worker_index, recorder.wall_spans(),
                               recorder.counters()))
@@ -113,11 +152,11 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                     elif task[0] == "shingle":
                         # shingle_component records its own task span
                         # and dsd.* counters on the ambient recorder.
-                        _, job_id, graph, reduction, params, min_size, tau = task
+                        _, _, _, job_id, graph, reduction, params, min_size, tau = task
                         start = monotonic_now()
                         payload = shingle_component(graph, reduction, params, min_size, tau)
                         result_queue.put(
-                            ("shingle", job_id, payload,
+                            ("shingle", task_id, job_id, payload,
                              monotonic_now() - start,
                              (worker_index, recorder.wall_spans(),
                               recorder.counters()))
@@ -126,10 +165,25 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                         raise ValueError(f"unknown task kind {task[0]!r}")
             except Exception:
                 result_queue.put(
-                    ("error", worker_index, traceback.format_exc())
+                    ("error", worker_index, task_id, traceback.format_exc())
                 )
     finally:
         store.close()
+
+
+@dataclass
+class _TaskRecord:
+    """One in-flight task in the master-side ledger."""
+
+    task_id: int
+    body: tuple
+    """Bare task body, fault-free: ("align", stream_id, kind, pairs) or
+    ("shingle", job_id, graph, reduction, params, min_size, tau)."""
+    phase: str
+    worker: int = -1
+    dispatched_at: float = 0.0
+    deaths: int = 0
+    poisoned: bool = False
 
 
 class _ProcessStream(AlignmentStream):
@@ -177,15 +231,19 @@ class _ProcessStream(AlignmentStream):
         if not self._batch:
             return
         obs.count("runtime.batch_pairs", len(self._batch))
-        self._backend._dispatch(
-            ("align", self.stream_id, self.kind, self._batch)
-        )
+        self._backend._submit(("align", self.stream_id, self.kind, self._batch))
         self._batch = []
         self.in_flight += 1
         obs.gauge(f"stream.{self.stream_id}.in_flight", self.in_flight)
 
     def absorb(self, summaries: list[tuple], busy: float) -> None:
-        """Route one worker batch result into this stream (backend hook)."""
+        """Route one batch result into this stream (backend hook).
+
+        Called exactly once per ledger entry — by the dedup gate in
+        :meth:`ProcessBackend._route` — whether the batch was computed
+        by its first worker, a survivor after requeue, or the master
+        under quarantine/degraded mode.
+        """
         self.in_flight -= 1
         obs.gauge(f"stream.{self.stream_id}.in_flight", self.in_flight)
         self._phase.busy_seconds += busy
@@ -195,6 +253,23 @@ class _ProcessStream(AlignmentStream):
             aln = _summary_alignment(item[2:], self.kind)
             self._cache.insert(self.kind, i, j, aln)
             self.done.append((i, j, aln))
+
+    def compute_batch(self, pairs: list[tuple[int, int]]) -> list[tuple]:
+        """Compute one batch in-master (quarantine / degraded path).
+
+        Goes through the cache accessors, which run the identical
+        alignment kernels the workers run — result invariance does not
+        depend on *where* a pair was aligned.
+        """
+        summaries = []
+        for i, j in pairs:
+            aln = (
+                self._cache.local(i, j)
+                if self.kind == "local"
+                else self._cache.semiglobal(i, j)
+            )
+            summaries.append((i, j) + _align_summary(aln))
+        return summaries
 
     def ready(self) -> list[tuple[int, int, Alignment]]:
         self._backend._pump(block=False)
@@ -221,27 +296,54 @@ class ProcessBackend(Backend):
         batch_size: int = DEFAULT_BATCH_SIZE,
         start_method: str | None = None,
         max_outstanding_factor: int = 4,
+        fault_plan: "FaultPlan | None" = None,
+        task_deadline: float | None = None,
+        respawn_budget: int | None = None,
     ):
         self.workers = int(workers) if workers else default_worker_count()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if task_deadline is not None and task_deadline <= 0:
+            raise ValueError(f"task_deadline must be > 0, got {task_deadline}")
+        if respawn_budget is not None and respawn_budget < 0:
+            raise ValueError(
+                f"respawn_budget must be >= 0, got {respawn_budget}"
+            )
         super().__init__()
         self.batch_size = batch_size
         self._start_method = (
             preferred_start_method() if start_method is None else start_method
         )
         self._max_outstanding = max_outstanding_factor * self.workers
+        self.task_deadline = task_deadline
+        self.respawn_budget = (
+            DEFAULT_RESPAWN_FACTOR * self.workers
+            if respawn_budget is None else respawn_budget
+        )
+        self._injector = None
+        if fault_plan is not None and fault_plan:
+            from repro.faults.plan import FaultInjector
+
+            self._injector = FaultInjector(fault_plan)
+        self._ctx = None
         self._store: SharedSequenceStore | None = None
-        self._procs: list[multiprocessing.Process] = []
-        self._tasks = None
+        self._scheme = None
+        self._procs: list[multiprocessing.Process | None] = []
+        self._task_queues: list = []
+        self._dead_queues: list = []
+        self._incarnation: list[int] = []
         self._results = None
         self._streams: dict[int, _ProcessStream] = {}
         self._next_stream_id = 0
+        self._next_task_id = 0
+        self._ledger: dict[int, _TaskRecord] = {}
+        self._worker_tasks: dict[int, set[int]] = {}
+        self._respawns_used = 0
+        self._degraded = False
         self._shingle_results: dict[int, tuple] = {}
         self._shingle_busy = 0.0
-        self._outstanding = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -250,60 +352,148 @@ class ProcessBackend(Backend):
             raise BackendError("backend already open")
         encoded = [record.encoded for record in sequences]
         self._store = SharedSequenceStore.create(encoded)
-        ctx = multiprocessing.get_context(self._start_method)
-        self._tasks = ctx.Queue()
-        self._results = ctx.Queue()
-        spec = self._store.spec()
-        self._procs = [
-            ctx.Process(
-                target=_worker_main,
-                args=(w, self._tasks, self._results, spec, scheme),
-                daemon=True,
-                name=f"repro-worker-{w}",
-            )
-            for w in range(self.workers)
-        ]
-        for proc in self._procs:
-            proc.start()
+        self._scheme = scheme
+        self._ctx = multiprocessing.get_context(self._start_method)
+        self._results = self._ctx.Queue()
+        self._procs = [None] * self.workers
+        self._task_queues = [None] * self.workers
+        self._dead_queues = []
+        self._incarnation = [0] * self.workers
+        self._worker_tasks = {w: set() for w in range(self.workers)}
+        self._respawns_used = 0
+        self._degraded = False
+        obs.gauge("runtime.degraded", 0)
+        for w in range(self.workers):
+            self._start_worker(w)
+
+    def _start_worker(self, slot: int) -> None:
+        """Launch (or relaunch) the worker in ``slot`` with a fresh
+        private task queue — a dead incarnation's queued tasks must
+        never execute twice, so its queue dies with it."""
+        task_queue = self._ctx.Queue()
+        self._task_queues[slot] = task_queue
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(slot, task_queue, self._results,
+                  self._store.spec(), self._scheme),
+            daemon=True,
+            name=f"repro-worker-{slot}",
+        )
+        self._procs[slot] = proc
+        proc.start()
 
     def close(self) -> None:
-        if self._tasks is not None:
-            for _ in self._procs:
+        """Shut everything down; idempotent, and cannot hang.
+
+        The result queue is drained *while* joining (a worker blocked on
+        a full result queue can never exit), and a worker that ignores
+        both the stop sentinel and ``terminate()`` is ``kill()``-ed.
+        """
+        for slot, proc in enumerate(self._procs):
+            task_queue = self._task_queues[slot]
+            if proc is not None and proc.is_alive() and task_queue is not None:
                 try:
-                    self._tasks.put(_STOP)
-                except (OSError, ValueError):  # pragma: no cover
-                    break
+                    task_queue.put(_STOP)
+                except (OSError, ValueError):
+                    obs.event("runtime.close_put_failed", slot=slot)
+        deadline = monotonic_now() + 5.0
+        while monotonic_now() < deadline:
+            self._drain_results_nonblocking()
+            if all(p is None or not p.is_alive() for p in self._procs):
+                break
+            time.sleep(0.02)
         for proc in self._procs:
-            proc.join(timeout=5.0)
-        for proc in self._procs:
-            if proc.is_alive():  # pragma: no cover - stuck worker
+            if proc is not None and proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
+            if proc is not None and proc.is_alive():  # pragma: no cover
+                proc.kill()
+                proc.join(timeout=1.0)
+        for proc in self._procs:
+            if proc is not None and not proc.is_alive():
+                proc.join(timeout=0.1)
         self._procs = []
-        for q in (self._tasks, self._results):
+        self._drain_results_nonblocking()
+        for q in [*self._task_queues, *self._dead_queues, self._results]:
             if q is not None:
                 q.close()
-                q.join_thread()
-        self._tasks = None
+                q.cancel_join_thread()
+        self._task_queues = []
+        self._dead_queues = []
         self._results = None
         if self._store is not None:
             self._store.close()
             self._store = None
         self._streams = {}
-        self._outstanding = 0
+        self._ledger = {}
+        self._worker_tasks = {}
+
+    def _drain_results_nonblocking(self) -> None:
+        """Discard queued result messages during shutdown (the run is
+        over; nothing absorbs them, but a full pipe would block worker
+        exit)."""
+        if self._results is None:
+            return
+        while True:
+            try:
+                self._results.get(block=False)
+            except (queue_mod.Empty, OSError, ValueError):
+                return
 
     # -- master-side plumbing ----------------------------------------------
 
+    @property
+    def _outstanding(self) -> int:
+        return len(self._ledger)
+
     def _require_open(self) -> None:
-        if not self._procs:
+        if self._results is None:
             raise BackendError("backend is not open (use session())")
 
-    def _dispatch(self, task: tuple) -> None:
+    def _alive_slots(self) -> list[int]:
+        return [w for w, p in enumerate(self._procs)
+                if p is not None and p.is_alive()]
+
+    def _submit(self, body: tuple) -> None:
+        """Enter a new task into the ledger and send it to a worker."""
         self._require_open()
-        self._tasks.put(task)
-        self._outstanding += 1
+        record = _TaskRecord(self._next_task_id, body,
+                             self._phase_stats().name)
+        self._next_task_id += 1
+        if (self._injector is not None
+                and self._injector.poison_new_task(record.phase)):
+            record.poisoned = True
+            obs.count("faults.injected")
+            obs.event("fault.injected", kind="poison_task",
+                      task=record.task_id, phase=record.phase)
+        self._ledger[record.task_id] = record
         obs.count("runtime.batches")
         obs.set_max("runtime.max_outstanding", self._outstanding)
+        self._send(record)
+
+    def _send(self, record: _TaskRecord) -> None:
+        """Dispatch a ledger entry to the least-loaded live worker, or
+        run it in-master when degraded (no workers left)."""
+        slots = self._alive_slots()
+        if self._degraded or not slots:
+            self._run_in_master(record)
+            return
+        slot = min(slots, key=lambda w: (len(self._worker_tasks[w]), w))
+        record.worker = slot
+        record.dispatched_at = monotonic_now()
+        self._worker_tasks[slot].add(record.task_id)
+        fault = None
+        if record.poisoned:
+            fault = ("die",)
+        elif self._injector is not None and self._incarnation[slot] == 0:
+            fault = self._injector.marker_for_send(record.phase, slot)
+            if fault is not None:
+                obs.count("faults.injected")
+                obs.event("fault.injected", kind=fault[0], worker=slot,
+                          task=record.task_id, phase=record.phase)
+        body = record.body
+        self._task_queues[slot].put((body[0], record.task_id, fault,
+                                     *body[1:]))
         obs.gauge("runtime.outstanding", self._outstanding)
 
     def _throttle(self, stream: _ProcessStream) -> None:
@@ -312,19 +502,121 @@ class ProcessBackend(Backend):
         while self._outstanding > self._max_outstanding:
             self._pump(block=True)
 
-    def _check_liveness(self) -> None:
-        for proc in self._procs:
-            if not proc.is_alive():
-                raise WorkerCrashError(
-                    f"worker {proc.name} died unexpectedly "
-                    f"(exitcode {proc.exitcode})"
-                )
+    # -- failure recovery --------------------------------------------------
+
+    def _sweep(self) -> None:
+        # Kill hung workers first so the same sweep's death recovery
+        # requeues their work immediately.
+        self._kill_hung_workers()
+        self._recover_dead_workers()
+
+    def _kill_hung_workers(self) -> None:
+        """Deadline hang detection: a worker whose oldest in-flight task
+        is older than ``task_deadline`` is presumed wedged and killed;
+        the normal death recovery then requeues its work."""
+        if self.task_deadline is None:
+            return
+        now = monotonic_now()
+        for slot in self._alive_slots():
+            ages = [now - self._ledger[tid].dispatched_at
+                    for tid in self._worker_tasks[slot]
+                    if tid in self._ledger]
+            if ages and max(ages) > self.task_deadline:
+                obs.event("worker.hung", worker=slot,
+                          oldest_task_age=round(max(ages), 3))
+                proc = self._procs[slot]
+                proc.kill()
+                proc.join(timeout=5.0)
+
+    def _recover_dead_workers(self) -> None:
+        """The heart of fault tolerance: detect dead workers, respawn
+        under budget, requeue their ledger entries, quarantine poison."""
+        dead = [w for w, p in enumerate(self._procs)
+                if p is not None and not p.is_alive()]
+        if not dead:
+            return
+        orphans: list[_TaskRecord] = []
+        for slot in dead:
+            proc = self._procs[slot]
+            obs.event("worker.died", worker=slot, exitcode=proc.exitcode,
+                      incarnation=self._incarnation[slot],
+                      tasks_lost=len(self._worker_tasks[slot]))
+            proc.join(timeout=1.0)
+            for task_id in sorted(self._worker_tasks[slot]):
+                record = self._ledger.get(task_id)
+                if record is not None:
+                    record.deaths += 1
+                    record.worker = -1
+                    orphans.append(record)
+            self._worker_tasks[slot] = set()
+            # The dead incarnation's queue may still hold undelivered
+            # tasks; park it for close() so they can never run twice.
+            self._dead_queues.append(self._task_queues[slot])
+            self._task_queues[slot] = None
+            self._incarnation[slot] += 1
+            if self._respawns_used < self.respawn_budget:
+                self._respawns_used += 1
+                self._start_worker(slot)
+                obs.count("runtime.worker_respawns")
+                obs.event("worker.respawned", worker=slot,
+                          incarnation=self._incarnation[slot],
+                          budget_left=self.respawn_budget - self._respawns_used)
+            else:
+                self._procs[slot] = None
+                obs.event("worker.retired", worker=slot,
+                          reason="respawn budget exhausted")
+        if not self._alive_slots() and not self._degraded:
+            self._degraded = True
+            obs.gauge("runtime.degraded", 1)
+            obs.event("runtime.degraded",
+                      reason="all workers lost, budget exhausted; "
+                             "completing in-master")
+        for record in orphans:
+            if record.deaths >= POISON_DEATHS:
+                obs.count("runtime.poison_quarantined")
+                obs.event("task.quarantined", task=record.task_id,
+                          deaths=record.deaths, phase=record.phase)
+                self._run_in_master(record)
+            else:
+                obs.count("runtime.tasks_requeued")
+                obs.event("task.requeued", task=record.task_id,
+                          deaths=record.deaths, phase=record.phase)
+                self._send(record)
+
+    def _run_in_master(self, record: _TaskRecord) -> None:
+        """Execute a ledger entry on the master (quarantine or degraded
+        mode) and route it through the normal absorption path.  Fault
+        markers are never applied here — injection only targets workers,
+        so a poison task's *computation* is clean."""
+        body = record.body
+        start = monotonic_now()
+        if body[0] == "align":
+            _, stream_id, kind, pairs = body
+            stream = self._streams[stream_id]
+            with obs.span(f"align.{kind}", cat="task", pairs=len(pairs),
+                          in_master=True):
+                summaries = stream.compute_batch(pairs)
+            self._route(("align", record.task_id, stream_id, summaries,
+                         monotonic_now() - start, None))
+        elif body[0] == "shingle":
+            from repro.pace.densesub import shingle_component
+
+            _, job_id, graph, reduction, params, min_size, tau = body
+            payload = shingle_component(graph, reduction, params,
+                                        min_size, tau)
+            self._route(("shingle", record.task_id, job_id, payload,
+                         monotonic_now() - start, None))
+        else:  # pragma: no cover - protocol bug
+            raise BackendError(f"unknown ledger task kind {body[0]!r}")
+
+    # -- result routing ----------------------------------------------------
 
     def _pump(self, *, block: bool) -> None:
         """Receive and route result messages.
 
         Non-blocking: drain whatever is queued.  Blocking: wait (with a
-        liveness sweep every 0.5 s) until at least one message arrives.
+        recovery sweep every 0.5 s) until at least one message arrives
+        or recovery retires the outstanding work.
         """
         self._require_open()
         received = False
@@ -334,7 +626,11 @@ class ProcessBackend(Backend):
             except queue_mod.Empty:
                 if not block or received:
                     return
-                self._check_liveness()
+                self._sweep()
+                if self._outstanding == 0:
+                    # Recovery (quarantine/degraded) completed the work
+                    # in-master; nothing further is coming.
+                    return
                 try:
                     msg = self._results.get(timeout=0.5)
                 except queue_mod.Empty:
@@ -345,19 +641,32 @@ class ProcessBackend(Backend):
                 block = False  # got one; drain the rest non-blocking
 
     def _route(self, msg: tuple) -> None:
-        self._outstanding -= 1
-        obs.gauge("runtime.outstanding", self._outstanding)
         if msg[0] == "error":
-            _, worker_index, text = msg
+            _, worker_index, task_id, text = msg
             raise WorkerCrashError(
                 f"worker {worker_index} raised during task execution:\n{text}"
             )
+        task_id = msg[1]
+        record = self._ledger.pop(task_id, None)
+        if record is None:
+            # Exactly-once gate: a result for a task the ledger no
+            # longer holds (already recovered elsewhere, or a late
+            # message from a worker presumed dead) is dropped whole —
+            # including its counter payload, which is what keeps
+            # worker-recorded scientific counters identical under
+            # requeue races.
+            obs.count("runtime.duplicate_results")
+            obs.event("task.duplicate_result", task=task_id)
+            return
+        if record.worker >= 0:
+            self._worker_tasks[record.worker].discard(task_id)
+        obs.gauge("runtime.outstanding", self._outstanding)
         if msg[0] == "align":
-            _, stream_id, summaries, busy, worker_obs = msg
+            _, _, stream_id, summaries, busy, worker_obs = msg
             self._absorb_worker_obs(worker_obs, busy)
             self._streams[stream_id].absorb(summaries, busy)
         elif msg[0] == "shingle":
-            _, job_id, payload, busy, worker_obs = msg
+            _, _, job_id, payload, busy, worker_obs = msg
             self._absorb_worker_obs(worker_obs, busy)
             self._shingle_results[job_id] = payload
             self._shingle_busy += busy
@@ -388,16 +697,22 @@ class ProcessBackend(Backend):
         are safe to read racily: integers, and per-process liveness via
         ``Process.is_alive()`` (a kill-safe syscall).  A worker that
         died without reporting shows up here as ``alive: false`` long
-        before the master's liveness sweep raises, which is what lets
-        ``repro top`` render the degraded view of a dying run.
+        before the master's recovery sweep respawns it, which is what
+        lets ``repro top`` render the degraded view of a dying run.
         """
         return {
             "outstanding": self._outstanding,
+            "respawns": self._respawns_used,
+            "degraded": self._degraded,
             "workers": [
                 {
                     "index": w,
-                    "alive": proc.is_alive(),
-                    "exitcode": proc.exitcode,
+                    "alive": proc is not None and proc.is_alive(),
+                    "exitcode": None if proc is None else proc.exitcode,
+                    "incarnation": (
+                        self._incarnation[w]
+                        if w < len(self._incarnation) else 0
+                    ),
                 }
                 for w, proc in enumerate(self._procs)
             ],
@@ -429,7 +744,7 @@ class ProcessBackend(Backend):
         self._shingle_busy = 0.0
         obs.count("runtime.shingle_jobs", len(graphs))
         for job_id, graph in enumerate(graphs):
-            self._dispatch(
+            self._submit(
                 ("shingle", job_id, graph, reduction, params, min_size, tau)
             )
             phase.tasks += 1

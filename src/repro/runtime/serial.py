@@ -9,26 +9,33 @@ classic serial pipeline plus wall-clock accounting.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+import time
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro import obs
 from repro.pace.cache import AlignmentCache
 from repro.runtime.base import AlignmentStream, Backend, PhaseStats
 from repro.util.timing import monotonic_now
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.faults.plan import FaultPlan
+
 
 class _SerialStream(AlignmentStream):
-    def __init__(self, kind: str, cache: AlignmentCache, phase: PhaseStats):
+    def __init__(self, kind: str, cache: AlignmentCache, phase: PhaseStats,
+                 backend: "SerialBackend"):
         if kind not in ("local", "semiglobal"):
             raise ValueError(f"unknown alignment kind {kind!r}")
         self._kind = kind
         self._cache = cache
         self._phase = phase
+        self._backend = backend
         self._done: list[tuple[int, int, object]] = []
 
     def submit(self, i: int, j: int) -> None:
         if i > j:
             i, j = j, i
+        self._backend._apply_fault(self._phase.name)
         hit = self._cache.peek(self._kind, i, j) is not None
         start = monotonic_now()
         if self._kind == "local":
@@ -53,14 +60,42 @@ class _SerialStream(AlignmentStream):
 
 
 class SerialBackend(Backend):
-    """Single-process reference backend."""
+    """Single-process reference backend.
+
+    A :class:`~repro.faults.plan.FaultPlan` may be attached: ``delay``
+    faults targeting worker 0 sleep in-line (there is only the master),
+    while kill/poison faults are unsatisfiable here — there is no
+    process to lose — and are recorded as skipped events instead.  The
+    run's results are unaffected either way, which keeps the serial
+    reference usable as the chaos baseline.
+    """
 
     name = "serial"
 
-    def __init__(self) -> None:
+    def __init__(self, *, fault_plan: "FaultPlan | None" = None) -> None:
         self.workers = 1
         super().__init__()
         self._open = False
+        self._injector = None
+        if fault_plan is not None and fault_plan:
+            from repro.faults.plan import FaultInjector
+
+            self._injector = FaultInjector(fault_plan)
+
+    def _apply_fault(self, phase: str) -> None:
+        if self._injector is None:
+            return
+        marker = self._injector.marker_for_send(phase, 0)
+        if marker is None:
+            return
+        if marker[0] == "delay":
+            obs.count("faults.injected")
+            obs.event("fault.injected", kind="delay_task", worker=0,
+                      phase=phase)
+            time.sleep(marker[1])
+        else:
+            obs.event("fault.skipped", kind="kill_worker", phase=phase,
+                      reason="serial backend has no worker to kill")
 
     def open(self, sequences, scheme) -> None:
         self._open = True
@@ -69,7 +104,7 @@ class SerialBackend(Backend):
         self._open = False
 
     def alignment_stream(self, kind: str, cache: AlignmentCache) -> _SerialStream:
-        return _SerialStream(kind, cache, self._phase_stats())
+        return _SerialStream(kind, cache, self._phase_stats(), self)
 
     def map_components(
         self,
@@ -84,6 +119,7 @@ class SerialBackend(Backend):
         phase = self._phase_stats()
         out = []
         for graph in graphs:
+            self._apply_fault(phase.name)
             start = monotonic_now()
             out.append(shingle_component(graph, reduction, params, min_size, tau))
             elapsed = monotonic_now() - start

@@ -147,13 +147,13 @@ class SharedSequenceStore:
             try:
                 shm.close()
             except (OSError, BufferError):  # pragma: no cover - best effort
-                pass
+                continue
         if self._owner:
             for shm in (self._buffer_shm, self._offsets_shm):
                 try:
                     shm.unlink()
                 except FileNotFoundError:  # pragma: no cover - already gone
-                    pass
+                    continue
 
     def __enter__(self) -> "SharedSequenceStore":
         return self
@@ -165,4 +165,4 @@ class SharedSequenceStore:
         try:
             self.close()
         except Exception:
-            pass
+            return

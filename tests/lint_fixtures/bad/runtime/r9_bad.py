@@ -1,0 +1,30 @@
+"""R9 violations: recovery paths that swallow exceptions silently."""
+
+
+def close_quietly(worker):
+    try:
+        worker.close()
+    except OSError:
+        pass
+
+
+def sweep(workers):
+    for worker in workers:
+        try:
+            worker.join(0.1)
+        except Exception:
+            ...
+
+
+def log_and_forget(task, logger):
+    try:
+        task.run()
+    except ValueError:
+        logger.debug("task failed")
+
+
+def bare_swallow(task):
+    try:
+        task.run()
+    except:  # noqa: E722
+        pass

@@ -1,0 +1,42 @@
+"""R9-clean: every ``except`` body handles or records the failure."""
+
+from repro import obs
+
+
+def requeue(task, queue, fallback):
+    try:
+        queue.put_nowait(task)
+    except OSError:
+        obs.count("runtime.tasks_requeued")
+    try:
+        return task.result()
+    except ValueError:
+        return fallback
+    except KeyError as exc:
+        raise RuntimeError("task state corrupt") from exc
+
+
+def drain(queue):
+    drained = []
+    while True:
+        try:
+            drained.append(queue.get_nowait())
+        except OSError:
+            break
+    return drained
+
+
+def read_with_default(spec):
+    try:
+        value = spec.read()
+    except FileNotFoundError:
+        value = None
+    return value
+
+
+def retire(workers):
+    for worker in workers:
+        try:
+            worker.join(0.1)
+        except RuntimeError:
+            obs.event("worker.retired", index=worker.index)

@@ -295,6 +295,90 @@ class TestUnusableInputExitsTwo:
         assert rc == 2
         assert "cannot read baseline" in capsys.readouterr().err
 
+    def test_run_missing_fasta(self, tmp_path, capsys):
+        rc = main(["run", str(tmp_path / "nope.fasta")])
+        assert rc == 2
+        assert "cannot read FASTA" in capsys.readouterr().err
+
+    def test_run_unparseable_fasta(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fasta"
+        bad.write_text("MKVL without a header line\n", encoding="ascii")
+        rc = main(["run", str(bad)])
+        assert rc == 2
+        assert "unparseable FASTA" in capsys.readouterr().err
+
+    def test_run_invalid_config(self, generated, capsys):
+        fasta, _ = generated
+        rc = main(["run", str(fasta), "--psi", "0"])
+        assert rc == 2
+        assert "invalid configuration" in capsys.readouterr().err
+
+    def test_run_bad_fault_plan(self, generated, tmp_path, capsys):
+        fasta, _ = generated
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"faults": [{"kind": "nuke"}]}', encoding="ascii")
+        rc = main(["run", str(fasta), "--fault-plan", str(plan)])
+        assert rc == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+    def test_run_missing_fault_plan_file(self, generated, tmp_path, capsys):
+        fasta, _ = generated
+        rc = main(["run", str(fasta),
+                   "--fault-plan", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot read fault plan" in capsys.readouterr().err
+
+    def test_resume_without_journal(self, generated, tmp_path, capsys):
+        fasta, _ = generated
+        rc = main(["run", str(fasta), "--resume", str(tmp_path)])
+        assert rc == 2
+        assert "no checkpoint journal" in capsys.readouterr().err
+
+
+class TestRunDirResumeAndChaos:
+    def test_run_dir_then_resume_round_trip(self, generated, tmp_path,
+                                            capsys):
+        fasta, _ = generated
+        run_dir = tmp_path / "run"
+        first = tmp_path / "first.json"
+        rc = main(["run", str(fasta), "--run-dir", str(run_dir),
+                   "--output", str(first)])
+        assert rc == 0
+        assert (run_dir / "checkpoint.jsonl").exists()
+        resumed = tmp_path / "resumed.json"
+        rc = main(["run", str(fasta), "--resume", str(run_dir),
+                   "--output", str(resumed)])
+        assert rc == 0
+        assert first.read_text() == resumed.read_text()
+        capsys.readouterr()
+
+    def test_chaos_identical_verdict(self, generated, tmp_path, capsys):
+        fasta, _ = generated
+        run_dir = tmp_path / "chaos"
+        rc = main(["chaos", str(fasta), "--seed", "11",
+                   "--workers", "2", "--run-dir", str(run_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos verdict: IDENTICAL" in out
+        report = json.loads(
+            (run_dir / "chaos_report.json").read_text(encoding="utf-8")
+        )
+        assert report["ok"] is True
+
+    def test_chaos_rejects_checkpoint_fault_plan(self, generated, tmp_path,
+                                                 capsys):
+        fasta, _ = generated
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            json.dumps({"faults": [
+                {"kind": "abort_master", "phase": "clustering"}
+            ]}),
+            encoding="ascii",
+        )
+        rc = main(["chaos", str(fasta), "--plan", str(plan)])
+        assert rc == 2
+        assert "worker-task faults" in capsys.readouterr().err
+
 
 class TestParser:
     def test_requires_command(self):
