@@ -1,0 +1,120 @@
+"""Serving latency under concurrent load (``repro serve``).
+
+Completes a batch run into a run dir, loads it into an in-process
+:class:`ServeServer` (journal attached, so inserts pay the real
+flush-per-ack cost), then drives >= 32 concurrent clients with a
+query-heavy mixture through the load generator and reports p50/p99
+round-trip latency and throughput — the serving design's headline
+numbers (DESIGN.md §10).
+
+Writes ``BENCH_serve_latency.json`` in the shared schema.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core.checkpoint import (
+    CheckpointJournal,
+    config_digest,
+    input_digest,
+)
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+from repro.serve.loadgen import run_load
+from repro.serve.server import ServeServer
+from repro.serve.state import build_serve_state
+
+from workloads import BENCH_CONFIG, print_banner, write_bench
+
+CLIENTS = 32
+REQUESTS_PER_CLIENT = 12
+INSERT_FRACTION = 0.2
+SEED = 2008
+
+#: Serving workload: a mid-sized family structure, 80% batch-clustered,
+#: the held-out 20% available as the insert pool.
+SPEC = MetagenomeSpec(
+    n_families=12,
+    mean_family_size=10,
+    mean_length=120,
+    redundant_fraction=0.1,
+    noise_fraction=0.05,
+    seed=7071,
+)
+
+
+def run_serve_load() -> dict:
+    sequences = generate_metagenome(SPEC).sequences
+    n_base = int(len(sequences) * 0.8)
+    base = sequences.subset(range(n_base))
+    held = sequences.subset(range(n_base, len(sequences)))
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp)
+        ProteinFamilyPipeline(BENCH_CONFIG).run(base, run_dir=run_dir)
+        journal = CheckpointJournal.resume(
+            run_dir,
+            config_dig=config_digest(BENCH_CONFIG),
+            input_dig=input_digest(base),
+            n_input=len(base),
+        )
+        state = build_serve_state(base, BENCH_CONFIG, journal.resume_state)
+        server = ServeServer(state, journal=journal, host="127.0.0.1",
+                             port=0, run_dir=run_dir)
+        server.run_in_thread()
+        host, port = server.address
+        try:
+            result = run_load(
+                host,
+                port,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                query_ids=[r.id for r in base],
+                inserts=[{"id": f"bench-{i}", "residues": r.residues}
+                         for i, r in enumerate(held)],
+                insert_fraction=INSERT_FRACTION,
+                seed=SEED,
+            )
+        finally:
+            server.request_stop()
+    record = result.metrics()
+    record["n_base"] = float(len(base))
+    record["n_insert_pool"] = float(len(held))
+    return record
+
+
+def _report(record: dict) -> None:
+    print_banner(
+        f"serve latency: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests"
+    )
+    for key in ("query_p50_ms", "query_p99_ms", "insert_p50_ms",
+                "insert_p99_ms", "query_throughput_per_s",
+                "insert_throughput_per_s"):
+        if key in record:
+            print(f"{key:>26s} {record[key]:>10.3f}")
+    print(f"{'errors':>26s} {record['n_errors']:>10.0f}")
+    write_bench(
+        "serve_latency",
+        params={
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "insert_fraction": INSERT_FRACTION,
+            "seed": SEED,
+            "workload_seed": SPEC.seed,
+        },
+        metrics=record,
+    )
+
+
+def test_serve_latency(benchmark):
+    record = benchmark.pedantic(run_serve_load, rounds=1, iterations=1)
+    _report(record)
+    assert record["n_errors"] == 0
+    assert record["query_p99_ms"] >= record["query_p50_ms"] > 0
+
+
+if __name__ == "__main__":
+    record = run_serve_load()
+    _report(record)
+    assert record["n_errors"] == 0

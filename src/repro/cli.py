@@ -38,6 +38,20 @@ compare-metrics
     (``BENCH_baseline.json``): scientific counters must match exactly,
     wall-clock must stay inside the slowdown tolerance.  Exits non-zero
     on any violation — the CI metrics-regression gate.
+serve
+    Load a completed ``--run-dir`` checkpoint into memory and serve
+    family-membership queries + incremental inserts over a line-JSON
+    socket (:mod:`repro.serve`).  Inserted sequences are journaled to
+    the same checkpoint file, so a killed daemon restarts to an
+    identical state.  SIGTERM drains gracefully.
+query
+    One-shot client for a running ``repro serve`` daemon: look up a
+    sequence's family by id, classify unseen residues read-only,
+    insert a FASTA batch, fetch status, or request shutdown.
+bench-serve
+    Drive N concurrent clients against a running daemon and write
+    ``BENCH_serve_latency.json`` (p50/p99 query latency, insert
+    throughput).
 lint
     Run the repo-specific AST invariant checker
     (:mod:`repro.analysis`): counter-registry closure, seed/clock
@@ -298,6 +312,181 @@ def _usage_error(message: str) -> int:
     """Report unusable input on stderr with the conventional exit 2."""
     print(f"repro: error: {message}", file=sys.stderr)
     return 2
+
+
+def _parse_addr(addr: str) -> tuple[str, int] | None:
+    """``host:port`` -> (host, port), or None if malformed."""
+    host, sep, port_text = addr.rpartition(":")
+    if not sep or not host:
+        return None
+    try:
+        port = int(port_text)
+    except ValueError:
+        return None
+    if not 0 < port < 65536:
+        return None
+    return host, port
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.checkpoint import (
+        CheckpointError,
+        CheckpointJournal,
+        config_digest,
+        input_digest,
+    )
+    from repro.obs.telemetry import TelemetrySampler
+    from repro.serve.server import ServeServer
+    from repro.serve.state import build_serve_state
+
+    sequences = _read_fasta_or_none(args.fasta)
+    if sequences is None:
+        return 2
+    try:
+        config = _config_from_args(args)
+    except ValueError as exc:
+        return _usage_error(f"invalid configuration: {exc}")
+    try:
+        journal = CheckpointJournal.resume(
+            args.run_dir,
+            config_dig=config_digest(config),
+            input_dig=input_digest(sequences),
+            n_input=len(sequences),
+        )
+    except CheckpointError as exc:
+        return _usage_error(str(exc))
+    recorder = obs.Recorder()
+    try:
+        with obs.recording(recorder):
+            assert journal.resume_state is not None
+            try:
+                state = build_serve_state(
+                    sequences, config, journal.resume_state,
+                    max_representatives=args.max_representatives,
+                )
+            except CheckpointError as exc:
+                return _usage_error(str(exc))
+            server = ServeServer(
+                state, journal=journal, host=args.host, port=args.port,
+                max_queue=args.max_queue, run_dir=args.run_dir,
+            )
+            try:
+                host, port = server.start()
+            except OSError as exc:
+                return _usage_error(
+                    f"cannot bind {args.host}:{args.port}: {exc}"
+                )
+            sampler = None
+            if args.telemetry_dir:
+                sampler = TelemetrySampler(
+                    recorder, args.telemetry_dir,
+                    interval=args.telemetry_interval,
+                    probes={"cache": state.cache.stats},
+                ).start()
+            replayed = len(state.inserted)
+            print(f"repro serve: {state.n_base} base sequences, "
+                  f"{state.n_families()} families, "
+                  f"{replayed} journaled inserts replayed")
+            print(f"repro serve: listening on {host}:{port} "
+                  f"(SIGTERM or the shutdown op drains and exits)")
+            try:
+                server.serve_forever(install_signals=True)
+            finally:
+                if sampler is not None:
+                    sampler.stop()
+    finally:
+        journal.close()
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve.protocol import ProtocolError, ServeClient
+
+    addr = _parse_addr(args.address)
+    if addr is None:
+        return _usage_error(
+            f"address {args.address!r} is not host:port"
+        )
+    inserts: list[dict[str, str]] = []
+    if args.insert_fasta:
+        records = _read_fasta_or_none(args.insert_fasta)
+        if records is None:
+            return 2
+        inserts = [{"id": r.id, "residues": r.residues} for r in records]
+    try:
+        client = ServeClient.connect(addr[0], addr[1], timeout=args.timeout)
+    except OSError as exc:
+        return _usage_error(f"cannot connect to {args.address}: {exc}")
+    try:
+        with client:
+            if args.shutdown:
+                response = client.call("shutdown")
+            elif inserts:
+                response = client.call("insert_batch", records=inserts)
+            elif args.id:
+                response = client.call("query", id=args.id)
+            elif args.residues:
+                response = client.call("query", residues=args.residues)
+            else:
+                response = client.call("status")
+            print(json.dumps(response, indent=1, sort_keys=True))
+    except ProtocolError as exc:
+        return _usage_error(f"{exc.code}: {exc}")
+    except (ConnectionError, OSError) as exc:
+        return _usage_error(f"connection to {args.address} failed: {exc}")
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from repro.obs import write_bench_json
+    from repro.serve.loadgen import run_load
+    from repro.serve.protocol import ProtocolError, ServeClient
+
+    addr = _parse_addr(args.address)
+    if addr is None:
+        return _usage_error(f"address {args.address!r} is not host:port")
+    sequences = _read_fasta_or_none(args.fasta)
+    if sequences is None:
+        return 2
+    inserts: list[dict[str, str]] = []
+    if args.insert_fasta:
+        records = _read_fasta_or_none(args.insert_fasta)
+        if records is None:
+            return 2
+        inserts = [{"id": r.id, "residues": r.residues} for r in records]
+    try:
+        with ServeClient.connect(addr[0], addr[1],
+                                 timeout=args.timeout) as client:
+            client.call("hello")
+    except ProtocolError as exc:
+        return _usage_error(f"{exc.code}: {exc}")
+    except OSError as exc:
+        return _usage_error(f"cannot connect to {args.address}: {exc}")
+    result = run_load(
+        addr[0], addr[1],
+        clients=args.clients,
+        requests_per_client=args.requests,
+        query_ids=[r.id for r in sequences],
+        inserts=inserts,
+        insert_fraction=args.insert_fraction,
+        seed=args.seed,
+    )
+    metrics = result.metrics()
+    params = {
+        "clients": args.clients,
+        "requests_per_client": args.requests,
+        "insert_fraction": args.insert_fraction,
+        "n_query_ids": len(sequences),
+        "n_insert_pool": len(inserts),
+        "seed": args.seed,
+    }
+    path = write_bench_json("serve_latency", params, metrics,
+                            directory=args.out_dir)
+    for name in sorted(metrics):
+        print(f"{name:<24s} {metrics[name]:.3f}")
+    print(f"bench -> {path}")
+    return 1 if result.n_errors else 0
 
 
 def cmd_top(args: argparse.Namespace) -> int:
@@ -570,6 +759,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="screen refresh period when following (default: 0.5)",
     )
     p_top.set_defaults(func=cmd_top)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve family membership + incremental inserts over a "
+             "completed --run-dir checkpoint",
+    )
+    p_serve.add_argument("fasta", help="the batch run's input FASTA")
+    p_serve.add_argument(
+        "--run-dir", required=True, metavar="DIR",
+        help="run directory with the completed checkpoint journal",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (0 = ephemeral; bound address is written to "
+             "DIR/serve.addr)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="bounded insert queue depth before clients block (default: 64)",
+    )
+    p_serve.add_argument(
+        "--max-representatives", type=int, default=8, metavar="N",
+        help="representatives kept per family (default: 8)",
+    )
+    _add_pipeline_args(p_serve)
+    _add_telemetry_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_query = sub.add_parser(
+        "query", help="one-shot client for a running `repro serve` daemon"
+    )
+    p_query.add_argument("address", help="daemon address as host:port")
+    group = p_query.add_mutually_exclusive_group()
+    group.add_argument("--id", help="look up this sequence id's family")
+    group.add_argument(
+        "--residues", help="classify these residues (read-only)"
+    )
+    group.add_argument(
+        "--insert-fasta", metavar="FILE",
+        help="insert every sequence of FILE as one batch",
+    )
+    group.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the daemon to drain and exit",
+    )
+    p_query.add_argument("--timeout", type=float, default=60.0)
+    p_query.set_defaults(func=cmd_query)
+
+    p_bench = sub.add_parser(
+        "bench-serve",
+        help="load-test a running daemon and write BENCH_serve_latency.json",
+    )
+    p_bench.add_argument("address", help="daemon address as host:port")
+    p_bench.add_argument(
+        "fasta", help="FASTA whose sequence ids are used as query targets"
+    )
+    p_bench.add_argument(
+        "--insert-fasta", metavar="FILE",
+        help="pool of sequences to insert during the run",
+    )
+    p_bench.add_argument("--clients", type=int, default=32)
+    p_bench.add_argument(
+        "--requests", type=int, default=25, metavar="N",
+        help="requests per client (default: 25)",
+    )
+    p_bench.add_argument("--insert-fraction", type=float, default=0.2)
+    p_bench.add_argument("--seed", type=int, default=2008)
+    p_bench.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for BENCH_serve_latency.json (default: .)",
+    )
+    p_bench.add_argument("--timeout", type=float, default=60.0)
+    p_bench.set_defaults(func=cmd_bench_serve)
 
     p_gate = sub.add_parser(
         "compare-metrics",

@@ -17,10 +17,20 @@ write:
 
 Record types::
 
-    meta        {schema, config, input, n_input}      (digests)
-    phase_start {phase}
-    ccd_union   {i, j}        global indices of a union that merged
-    phase_done  {phase, data} phase result payload (see *_payload below)
+    meta         {schema, schema_version, config, input, n_input}
+    phase_start  {phase}
+    ccd_union    {i, j}        global indices of a union that merged
+    phase_done   {phase, data} phase result payload (see *_payload below)
+    serve_insert {data}        one serving-time insert decision
+                               (:mod:`repro.serve`), appended after the
+                               batch run completed
+
+Unknown record types are *skipped with a warning* rather than failing
+the parse, so a journal extended by a newer writer (higher
+``schema_version`` record vocabulary) still resumes its known prefix
+under an older reader — and ``repro run --resume`` on a journal that a
+``repro serve`` daemon has appended to simply ignores the serve
+records.
 
 Resume correctness rests on two properties.  (1) Phase payloads capture
 the full *scientific* output of a phase — RR survivors/containments,
@@ -44,6 +54,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -62,6 +73,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 SCHEMA = "repro-ckpt/1"
 CHECKPOINT_NAME = "checkpoint.jsonl"
+
+#: Journal format generation, carried in the ``meta`` record.  Bumped
+#: when a new *record type* is introduced (v2 added ``serve_insert``);
+#: readers accept any journal at or below their own version and skip
+#: record types they do not recognise (with a warning), so an old
+#: journal always replays under new code and a *newer* journal fails
+#: loudly instead of being silently half-read.  Journals written before
+#: the field existed are treated as version 1.
+SCHEMA_VERSION = 2
+
+#: Record types this reader understands; anything else is skipped with
+#: a warning (forward compatibility for journals written by newer
+#: minor revisions at the same SCHEMA_VERSION).
+KNOWN_RECORD_TYPES = frozenset(
+    {"meta", "phase_start", "ccd_union", "phase_done", "serve_insert"}
+)
 
 #: ccd_union records fsynced per group (bounded replay loss on crash).
 UNION_FLUSH_EVERY = 32
@@ -278,6 +305,44 @@ def read_journal(path: "str | Path") -> list[dict[str, Any]]:
     return records
 
 
+def validate_meta(records: Sequence[dict[str, Any]], *, path: "str | Path",
+                  config_dig: str, input_dig: str, n_input: int) -> None:
+    """Check a parsed journal's ``meta`` record against this run.
+
+    Raises :class:`CheckpointError` when the journal is empty, from a
+    different schema/newer ``schema_version``, or belongs to another
+    (config, input) pair.  Shared by :meth:`CheckpointJournal.resume`
+    and the read-only loaders (``repro serve``).
+    """
+    if not records or records[0].get("type") != "meta":
+        raise CheckpointError(
+            f"checkpoint {path} has no valid meta record; cannot resume"
+        )
+    meta = records[0]
+    if meta.get("schema") != SCHEMA:
+        raise CheckpointError(
+            f"checkpoint schema {meta.get('schema')!r} is not {SCHEMA!r}"
+        )
+    # Journals that predate the field are version 1 — always
+    # readable.  A *higher* version than ours means record types we
+    # could misinterpret; refuse instead of half-reading.
+    version = int(meta.get("schema_version", 1))
+    if version > SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint schema_version {version} is newer than this "
+            f"reader's {SCHEMA_VERSION}; upgrade repro to resume it"
+        )
+    if meta.get("config") != config_dig:
+        raise CheckpointError(
+            "checkpoint was written under a different configuration; "
+            "resume with the original parameters"
+        )
+    if meta.get("input") != input_dig or meta.get("n_input") != n_input:
+        raise CheckpointError(
+            "checkpoint was written for a different input set"
+        )
+
+
 @dataclass
 class ResumeState:
     """What a parsed journal says is already done."""
@@ -285,6 +350,7 @@ class ResumeState:
     phase_payloads: dict[str, dict[str, Any]] = field(default_factory=dict)
     ccd_unions: list[tuple[int, int]] = field(default_factory=list)
     started: list[str] = field(default_factory=list)
+    serve_inserts: list[dict[str, Any]] = field(default_factory=list)
 
     def has(self, phase: str) -> bool:
         """True iff ``phase`` *and every earlier phase* checkpointed."""
@@ -301,6 +367,7 @@ class ResumeState:
     @classmethod
     def from_records(cls, records: Sequence[dict[str, Any]]) -> "ResumeState":
         state = cls()
+        unknown: set[str] = set()
         for record in records:
             kind = record.get("type")
             if kind == "phase_start":
@@ -309,6 +376,16 @@ class ResumeState:
                 state.ccd_unions.append((record["i"], record["j"]))
             elif kind == "phase_done":
                 state.phase_payloads[record["phase"]] = record["data"]
+            elif kind == "serve_insert":
+                state.serve_inserts.append(record["data"])
+            elif kind not in KNOWN_RECORD_TYPES and kind not in unknown:
+                unknown.add(str(kind))
+                warnings.warn(
+                    f"checkpoint journal: skipping unknown record type "
+                    f"{kind!r} (written by a newer repro?)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return state
 
 
@@ -334,7 +411,8 @@ class CheckpointJournal:
 
     @staticmethod
     def _meta(config_dig: str, input_dig: str, n_input: int) -> dict[str, Any]:
-        return {"type": "meta", "schema": SCHEMA, "config": config_dig,
+        return {"type": "meta", "schema": SCHEMA,
+                "schema_version": SCHEMA_VERSION, "config": config_dig,
                 "input": input_dig, "n_input": n_input}
 
     @classmethod
@@ -367,24 +445,8 @@ class CheckpointJournal:
                 f"with --run-dir?"
             )
         records = read_journal(path)
-        if not records or records[0].get("type") != "meta":
-            raise CheckpointError(
-                f"checkpoint {path} has no valid meta record; cannot resume"
-            )
-        meta = records[0]
-        if meta.get("schema") != SCHEMA:
-            raise CheckpointError(
-                f"checkpoint schema {meta.get('schema')!r} is not {SCHEMA!r}"
-            )
-        if meta.get("config") != config_dig:
-            raise CheckpointError(
-                "checkpoint was written under a different configuration; "
-                "resume with the original parameters"
-            )
-        if meta.get("input") != input_dig or meta.get("n_input") != n_input:
-            raise CheckpointError(
-                "checkpoint was written for a different input set"
-            )
+        validate_meta(records, path=path, config_dig=config_dig,
+                      input_dig=input_dig, n_input=n_input)
         # Amputate any torn tail atomically: write the valid prefix to a
         # temp file, fsync, rename over the original.
         tmp = path.with_suffix(".jsonl.tmp")
@@ -429,6 +491,12 @@ class CheckpointJournal:
     def ccd_union(self, gi: int, gj: int) -> None:
         """Journal one accepted CCD union (global indices, merge only)."""
         self._append({"type": "ccd_union", "i": gi, "j": gj}, flush=False)
+
+    def serve_insert(self, data: dict[str, Any]) -> None:
+        """Journal one serving-time insert decision (see
+        :mod:`repro.serve.incremental`).  Flushed per record: an insert
+        acknowledged to a client must survive a crash."""
+        self._append({"type": "serve_insert", "data": data}, flush=True)
 
     def phase_done(self, phase: str, data: dict[str, Any]) -> None:
         self._append({"type": "phase_done", "phase": phase, "data": data},

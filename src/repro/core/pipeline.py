@@ -348,6 +348,7 @@ class ProteinFamilyPipeline:
         sim_offset = 0.0
 
         # Phase 1: redundancy removal.
+        cache.set_phase("redundancy")
         with recorder.span("redundancy", cat="phase"):
             if cluster is not None:
                 rr = parallel_redundancy_removal(
@@ -378,6 +379,7 @@ class ProteinFamilyPipeline:
             )
 
         # Phase 2: connected component detection.
+        cache.set_phase("clustering")
         with recorder.span("clustering", cat="phase"):
             if cluster is not None:
                 ccd = parallel_component_detection(
@@ -411,6 +413,7 @@ class ProteinFamilyPipeline:
 
         # Phase 3: bipartite graph generation (per component).
         qualifying = ccd.components_of_size(config.min_component_size)
+        cache.set_phase("bipartite")
         with recorder.span("bipartite", cat="phase"):
             if cluster is not None and config.reduction == "global":
                 graphs = parallel_generate_component_graphs(
@@ -520,6 +523,7 @@ class ProteinFamilyPipeline:
             else:
                 if journal is not None:
                     journal.phase_start("redundancy")
+                cache.set_phase("redundancy")
                 rr = backend_redundancy_removal(
                     sequences,
                     backend,
@@ -537,6 +541,7 @@ class ProteinFamilyPipeline:
             else:
                 if journal is not None:
                     journal.phase_start("clustering")
+                cache.set_phase("clustering")
                 ccd = backend_component_detection(
                     sequences,
                     rr.kept,
@@ -557,6 +562,7 @@ class ProteinFamilyPipeline:
             else:
                 if journal is not None:
                     journal.phase_start("bipartite")
+                cache.set_phase("bipartite")
                 graphs = backend_generate_component_graphs(
                     sequences,
                     ccd.components_of_size(config.min_component_size),

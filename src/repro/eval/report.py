@@ -74,6 +74,17 @@ def cache_stats_lines(stats: Mapping[str, float]) -> list[str]:
                 f"  {kind:<10s} hits={kind_hits:<8,d} misses={kind_misses:<8,d} "
                 f"({kind_hits / kind_total:.1%})"
             )
+    by_phase = stats.get("by_phase") or {}
+    for phase, split in by_phase.items():
+        phase_hits = int(split.get("hits", 0))
+        phase_misses = int(split.get("misses", 0))
+        phase_total = phase_hits + phase_misses
+        if phase_total:
+            lines.append(
+                f"  phase {phase:<14s} hits={phase_hits:<8,d} "
+                f"misses={phase_misses:<8,d} "
+                f"({phase_hits / phase_total:.1%})"
+            )
     return lines
 
 

@@ -142,6 +142,31 @@ _SPECS = [
                 "records appended to the run-dir checkpoint journal"),
     CounterSpec("checkpoint.phases_skipped", "checkpoint",
                 "finished phases rebuilt from checkpoint on --resume"),
+    # -- Serving (`repro serve` incremental daemon) ------------------------
+    CounterSpec("serve.requests", "serve",
+                "protocol requests handled by the daemon"),
+    CounterSpec("serve.connections", "serve",
+                "client connections accepted"),
+    CounterSpec("serve.errors", "serve",
+                "requests answered with an error response"),
+    CounterSpec("serve.queries", "serve",
+                "family-membership queries answered"),
+    CounterSpec("serve.inserts", "serve",
+                "sequences inserted through the incremental path"),
+    CounterSpec("serve.replays", "serve",
+                "journaled serve_insert decisions replayed at state load"),
+    CounterSpec("serve.candidates", "serve",
+                "representative candidates generated for inserts "
+                "(psi-window promising pairs against representatives)"),
+    CounterSpec("serve.alignments", "serve",
+                "alignments computed for insert containment/overlap tests"),
+    CounterSpec("serve.filtered", "serve",
+                "insert candidates killed by the transitive-closure "
+                "filter (already co-clustered with the new sequence)"),
+    CounterSpec("serve.merges", "serve",
+                "insert-time unions that merged two families"),
+    CounterSpec("serve.redundant", "serve",
+                "sequences declared contained (Definition 1) at insert"),
 ]
 
 REGISTRY: dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}
@@ -162,6 +187,10 @@ GAUGES: dict[str, str] = {
     "runtime.outstanding": "work batches currently in flight to workers",
     "runtime.degraded": "1 once the backend fell back to in-master "
                         "serial completion (respawn budget exhausted)",
+    "serve.queue_depth": "insert jobs waiting in the daemon's bounded "
+                         "queue",
+    "serve.families_now": "live family count (non-redundant components) "
+                          "in the serving state",
 }
 
 #: Families of counter names constructed at runtime (f-strings).  A
@@ -170,10 +199,13 @@ GAUGES: dict[str, str] = {
 #: mirrors virtual-time simulator results, ``runtime.worker.<w>.*``
 #: are per-worker lanes, ``runtime.pairs_done.<phase>`` feeds the
 #: progress model (the three declared phases are also listed above).
+#: ``cache.phase.<phase>.hits/misses`` are the alignment cache's
+#: by-phase hit/miss split (one pair per pipeline phase plus "serve").
 DYNAMIC_COUNTER_PREFIXES: tuple[str, ...] = (
     "sim.",
     "runtime.worker.",
     "runtime.pairs_done.",
+    "cache.phase.",
 )
 
 #: Families of gauge names constructed at runtime: per-worker

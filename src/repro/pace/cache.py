@@ -24,7 +24,7 @@ trivial.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -35,12 +35,19 @@ from repro.align.pairwise import Alignment, local_align, semiglobal_align
 class AlignmentCache:
     """Memoised semiglobal ("overlap") and local alignments per pair.
 
-    Keys are ``(i, j)`` sequence-index pairs with ``i < j``; the caller
-    supplies the encoded sequence accessor once at construction.
+    Keys are ``(i, j)`` sequence-index pairs canonicalised to ``i < j``
+    (so ``(a, b)`` and ``(b, a)`` share one entry regardless of request
+    order); the caller supplies the encoded sequence accessor once at
+    construction.
 
     Hit/miss counters are first-class: ``stats()`` returns a summary
     dict (reported by ``repro.eval.report.cache_stats_lines`` and the
     CLI) so runs can show how much recomputation the cache avoided.
+    :meth:`set_phase` attributes subsequent hits/misses to a pipeline
+    phase, so the ~20% overall hit rate can be decomposed into "which
+    phase re-asked for whose alignments" (the CCD and bipartite phases
+    re-query pairs RR already computed; the serving path re-queries the
+    same representatives constantly).
     """
 
     def __init__(
@@ -56,12 +63,25 @@ class AlignmentCache:
         self.local_misses = 0
         self.semiglobal_hits = 0
         self.semiglobal_misses = 0
+        self._phase = ""
+        #: phase -> [hits, misses], in first-use order.
+        self._by_phase: dict[str, list[int]] = {}
 
     @staticmethod
     def _key(i: int, j: int) -> tuple[int, int]:
         if i == j:
             raise ValueError(f"self-alignment requested for sequence {i}")
         return (i, j) if i < j else (j, i)
+
+    def set_phase(self, name: str) -> None:
+        """Attribute subsequent hits/misses to ``name`` (\"\" = untracked)."""
+        self._phase = name
+
+    def _tally(self, hit: bool) -> None:
+        if not self._phase:
+            return
+        bucket = self._by_phase.setdefault(self._phase, [0, 0])
+        bucket[0 if hit else 1] += 1
 
     def _table(self, kind: str) -> dict[tuple[int, int], Alignment]:
         if kind == "local":
@@ -76,10 +96,12 @@ class AlignmentCache:
         aln = self._local.get(key)
         if aln is None:
             self.local_misses += 1
+            self._tally(hit=False)
             aln = local_align(self._get(key[0]), self._get(key[1]), self._scheme)
             self._local[key] = aln
         else:
             self.local_hits += 1
+            self._tally(hit=True)
         return aln
 
     def semiglobal(self, i: int, j: int) -> Alignment:
@@ -88,10 +110,12 @@ class AlignmentCache:
         aln = self._semiglobal.get(key)
         if aln is None:
             self.semiglobal_misses += 1
+            self._tally(hit=False)
             aln = semiglobal_align(self._get(key[0]), self._get(key[1]), self._scheme)
             self._semiglobal[key] = aln
         else:
             self.semiglobal_hits += 1
+            self._tally(hit=True)
         return aln
 
     # -- backend hooks -----------------------------------------------------
@@ -111,6 +135,7 @@ class AlignmentCache:
         (on a worker) because the cache could not answer it.
         """
         self._table(kind)[self._key(i, j)] = aln
+        self._tally(hit=False)
         if kind == "local":
             self.local_misses += 1
         else:
@@ -142,9 +167,24 @@ class AlignmentCache:
         recorder.count("cache.semiglobal_hits", self.semiglobal_hits)
         recorder.count("cache.semiglobal_misses", self.semiglobal_misses)
         recorder.count("cache.entries", len(self))
+        for phase, (hits, misses) in self._by_phase.items():
+            recorder.count(f"cache.phase.{phase}.hits", hits)
+            recorder.count(f"cache.phase.{phase}.misses", misses)
 
-    def stats(self) -> dict[str, float]:
-        """Counter snapshot: hits/misses per kind, totals, hit rate."""
+    def stats_by_phase(self) -> dict[str, dict[str, int]]:
+        """Per-phase hit/miss split (phases in first-use order)."""
+        return {
+            phase: {"hits": hits, "misses": misses}
+            for phase, (hits, misses) in self._by_phase.items()
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """Counter snapshot: hits/misses per kind, totals, hit rate.
+
+        The ``by_phase`` entry carries the :meth:`set_phase` split; it
+        is a nested mapping, which downstream consumers that expect
+        flat floats (telemetry probes, report lines) skip over.
+        """
         return {
             "local_hits": self.local_hits,
             "local_misses": self.local_misses,
@@ -154,6 +194,7 @@ class AlignmentCache:
             "misses": self.misses,
             "entries": len(self),
             "hit_rate": self.hit_rate,
+            "by_phase": self.stats_by_phase(),
         }
 
     def __len__(self) -> int:

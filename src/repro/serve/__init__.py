@@ -1,0 +1,60 @@
+"""Incremental family-membership serving over checkpointed runs.
+
+``repro serve`` loads a completed ``--run-dir`` checkpoint into memory
+and answers family-membership queries and incremental inserts over a
+line-JSON socket; ``repro query`` is the matching one-shot client and
+``repro bench-serve`` the load generator.  See DESIGN.md §10.
+
+* :mod:`repro.serve.state` — the in-memory :class:`ServeState` and its
+  checkpoint loaders;
+* :mod:`repro.serve.representatives` — per-family representative
+  selection and the psi-window candidate index;
+* :mod:`repro.serve.incremental` — insert-time clustering and journal
+  replay;
+* :mod:`repro.serve.protocol` — the versioned wire protocol + client;
+* :mod:`repro.serve.server` — the socket daemon;
+* :mod:`repro.serve.loadgen` — the concurrent load generator.
+"""
+
+from repro.serve.incremental import insert_sequence, replay_insert
+from repro.serve.loadgen import LoadResult, percentile, run_load
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServeClient,
+)
+from repro.serve.representatives import (
+    DEFAULT_MAX_REPRESENTATIVES,
+    RepresentativeIndex,
+    select_representatives,
+)
+from repro.serve.server import ADDR_FILENAME, DEFAULT_MAX_QUEUE, ServeServer
+from repro.serve.state import (
+    ServeState,
+    build_serve_state,
+    load_serve_state,
+)
+
+__all__ = [
+    "ADDR_FILENAME",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_MAX_REPRESENTATIVES",
+    "LoadResult",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RepresentativeIndex",
+    "ServeClient",
+    "ServeServer",
+    "ServeState",
+    "build_serve_state",
+    "insert_sequence",
+    "load_serve_state",
+    "percentile",
+    "replay_insert",
+    "run_load",
+    "select_representatives",
+]

@@ -1,0 +1,183 @@
+"""Insert-time clustering: one sequence through RR + CCD, online.
+
+:func:`insert_sequence` runs the batch pipeline's two scientific
+decisions — Definition 1 containment and Definition 2 overlap — for a
+single new sequence against the per-family *representatives* instead of
+the whole collection.  Candidate generation uses the psi-window index
+(exactly the promising-pair criterion at representative scale),
+alignments go through the shared :class:`AlignmentCache`, and merges go
+through the state's journaled union–find wrapper.
+
+Every insert produces a *decision record* — the sequence plus the
+containments and unions it caused — appended to the run's checkpoint
+journal as a ``serve_insert`` record.  :func:`replay_insert` applies a
+decision record without recomputing anything, which is what makes
+daemon restart (and SIGKILL recovery) bit-identical: both the live path
+and the replay path funnel their state mutations through the shared
+:func:`_absorb`.
+
+Approximation contract (documented, deliberate): within one insert the
+Definition 2 sweep still aligns against representatives that the same
+insert just declared redundant — batch CCD would have excluded them.
+Extra overlap edges can only merge families the new sequence already
+connects through its container, so family membership is unaffected;
+the equivalence-gate test in ``tests/test_serve.py`` holds this to the
+batch output.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import obs
+from repro.core.checkpoint import CheckpointJournal
+from repro.pace.clustering import _overlap_passes
+from repro.sequence.record import SequenceRecord
+from repro.serve.state import ServeState
+
+
+def _absorb(state: ServeState, index: int, decision: dict[str, Any]) -> None:
+    """Apply the non-union side effects of one insert decision.
+
+    Shared by the live path and journal replay so both mutate redundancy,
+    centrality, the insert log, and representative sets identically.
+    The unions themselves are applied by each caller *before* this runs
+    (live: as they are discovered; replay: in recorded order).
+    """
+    for victim, survivor in decision["redundant"]:
+        state.redundant.setdefault(int(victim), int(survivor))
+        state.centrality[int(survivor)] = (
+            state.centrality.get(int(survivor), 0) + 1
+        )
+    state.inserted.append((decision["id"], decision["residues"]))
+    roots = {state.uf.find(index)}
+    for victim, _survivor in decision["redundant"]:
+        roots.add(state.uf.find(int(victim)))
+    for root in sorted(roots):
+        state.update_representatives(root)
+
+
+def insert_sequence(
+    state: ServeState,
+    seq_id: str,
+    residues: str,
+    *,
+    journal: CheckpointJournal | None = None,
+) -> dict[str, Any]:
+    """Cluster one new sequence into the live state.
+
+    Returns ``{"index", "family", "redundant_against", "n_candidates",
+    "n_alignments", "n_merges"}``.  When ``journal`` is given the
+    decision record is appended (and flushed) before returning, so a
+    crash after return can always replay this insert.
+    """
+    if seq_id in state.sequences:
+        raise ValueError(f"sequence id {seq_id!r} already present")
+    record = SequenceRecord(id=seq_id, residues=residues)
+    record.encoded  # validate residues before any state mutation
+    config = state.config
+    new_idx = state.add_sequence(record)
+    len_new = state.length(new_idx)
+    candidates = state.rep_index.candidates(state.encoded(new_idx))
+    obs.count("serve.candidates", len(candidates))
+
+    redundant_pairs: list[list[int]] = []
+    unions: list[list[int]] = []
+    n_alignments = 0
+
+    # -- Definition 1 sweep (RR): is either side contained in the other?
+    container: int | None = None
+    for rep in candidates:
+        # rep < new_idx always, so coverage_a is the representative's.
+        aln = state.cache.semiglobal(rep, new_idx)
+        n_alignments += 1
+        obs.count("serve.alignments")
+        if aln.identity < config.containment_similarity:
+            continue
+        len_rep = state.length(rep)
+        rep_in_new = aln.coverage_a(len_rep) >= config.containment_coverage
+        new_in_rep = aln.coverage_b(len_new) >= config.containment_coverage
+        if rep_in_new and new_in_rep:
+            # Mutual containment: same tie-break as the batch RR phase —
+            # drop the shorter, ties drop the higher index (the insert).
+            victim = rep if (len_rep, -rep) < (len_new, -new_idx) else new_idx
+        elif rep_in_new:
+            victim = rep
+        elif new_in_rep:
+            victim = new_idx
+        else:
+            continue
+        if victim == new_idx:
+            redundant_pairs.append([new_idx, rep])
+            obs.count("serve.redundant")
+            if container is None:
+                # Join the first container's family (membership only);
+                # further containers just record the containment —
+                # unioning them would merge unrelated families, which
+                # batch RR never does.
+                container = rep
+                if state.union(new_idx, rep):
+                    unions.append([new_idx, rep])
+        else:
+            # The representative is contained in the new sequence.  Batch
+            # RR would drop it from CCD; here it simply loses live
+            # membership (and usually its representative slot).
+            if rep not in state.redundant:
+                obs.count("serve.redundant")
+            redundant_pairs.append([rep, new_idx])
+
+    # -- Definition 2 sweep (CCD): overlap-merge a non-redundant insert.
+    if container is None:
+        for rep in candidates:
+            if state.uf.same(new_idx, rep):
+                obs.count("serve.filtered")
+                continue
+            aln = state.cache.local(rep, new_idx)
+            n_alignments += 1
+            obs.count("serve.alignments")
+            if _overlap_passes(
+                aln,
+                state.length(rep),
+                len_new,
+                config.overlap_similarity,
+                config.overlap_coverage,
+            ):
+                state.union(new_idx, rep)
+                unions.append([new_idx, rep])
+                obs.count("serve.merges")
+
+    decision = {
+        "id": seq_id,
+        "residues": residues,
+        "redundant": redundant_pairs,
+        "unions": unions,
+    }
+    _absorb(state, new_idx, decision)
+    if journal is not None:
+        journal.serve_insert(decision)
+    obs.count("serve.inserts")
+    obs.gauge("serve.families_now", state.n_families())
+    return {
+        "index": new_idx,
+        "family": state.family_members(new_idx),
+        "redundant_against": container,
+        "n_candidates": len(candidates),
+        "n_alignments": n_alignments,
+        "n_merges": len(unions),
+    }
+
+
+def replay_insert(state: ServeState, decision: dict[str, Any]) -> None:
+    """Re-apply a journaled ``serve_insert`` decision.
+
+    No alignments, no candidate generation: the unions are applied in
+    the recorded order (identical union–find evolution) and the shared
+    :func:`_absorb` restores everything else — so a restarted daemon
+    reaches a state whose :meth:`ServeState.digest` equals the one it
+    crashed with.
+    """
+    record = SequenceRecord(id=decision["id"], residues=decision["residues"])
+    index = state.add_sequence(record)
+    for a, b in decision["unions"]:
+        state.union(int(a), int(b))
+    _absorb(state, index, decision)

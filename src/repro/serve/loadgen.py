@@ -1,0 +1,157 @@
+"""Concurrent load generator for the serving daemon.
+
+Drives N client threads against a running daemon — a query-heavy
+mixture with a configurable insert fraction — and reduces the observed
+latencies to the ``BENCH_serve_latency.json`` metrics (p50/p99 query
+latency, insert throughput).  Deterministic per seed: each client owns
+a ``random.Random(seed + client_index)``, so the request mixture is
+reproducible even though thread interleaving is not.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.serve.protocol import ProtocolError, ServeClient
+from repro.util.timing import monotonic_now
+
+
+@dataclass
+class LoadResult:
+    """Latency samples from one load-generation run."""
+
+    query_latencies: list[float] = field(default_factory=list)
+    """Per-query round-trip seconds, across all clients."""
+    insert_latencies: list[float] = field(default_factory=list)
+    """Per-insert acknowledged round-trip seconds."""
+    n_errors: int = 0
+    elapsed: float = 0.0
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.query_latencies)
+
+    @property
+    def n_inserts(self) -> int:
+        return len(self.insert_latencies)
+
+    def metrics(self) -> dict[str, float]:
+        """The BENCH metric payload (milliseconds / ops-per-second)."""
+        out: dict[str, float] = {
+            "n_queries": float(self.n_queries),
+            "n_inserts": float(self.n_inserts),
+            "n_errors": float(self.n_errors),
+            "elapsed_s": self.elapsed,
+        }
+        if self.query_latencies:
+            out["query_p50_ms"] = percentile(self.query_latencies, 50.0) * 1e3
+            out["query_p99_ms"] = percentile(self.query_latencies, 99.0) * 1e3
+        if self.insert_latencies:
+            out["insert_p50_ms"] = percentile(self.insert_latencies, 50.0) * 1e3
+            out["insert_p99_ms"] = percentile(self.insert_latencies, 99.0) * 1e3
+        if self.elapsed > 0:
+            out["query_throughput_per_s"] = self.n_queries / self.elapsed
+            out["insert_throughput_per_s"] = self.n_inserts / self.elapsed
+        return out
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile of ``samples`` (pct in [0, 100])."""
+    if not samples:
+        raise ValueError("percentile of an empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(pct / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    rng: random.Random,
+    query_ids: Sequence[str],
+    inserts: list[dict[str, str]],
+    n_requests: int,
+    insert_fraction: float,
+    result: LoadResult,
+    lock: threading.Lock,
+) -> None:
+    queries: list[float] = []
+    ins: list[float] = []
+    errors = 0
+    try:
+        with ServeClient.connect(host, port) as client:
+            for _ in range(n_requests):
+                do_insert = inserts and rng.random() < insert_fraction
+                started = monotonic_now()
+                try:
+                    if do_insert:
+                        record = inserts.pop()  # atomic under the GIL
+                        client.call("insert", **record)
+                        ins.append(monotonic_now() - started)
+                    else:
+                        seq_id = rng.choice(query_ids)
+                        client.call("query", id=seq_id)
+                        queries.append(monotonic_now() - started)
+                except IndexError:
+                    continue  # another client took the last insert
+                except ProtocolError:
+                    errors += 1
+    except (ConnectionError, OSError):
+        errors += 1
+    with lock:
+        result.query_latencies.extend(queries)
+        result.insert_latencies.extend(ins)
+        result.n_errors += errors
+
+
+def run_load(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests_per_client: int,
+    query_ids: Sequence[str],
+    inserts: Sequence[dict[str, str]] = (),
+    insert_fraction: float = 0.2,
+    seed: int = 2008,
+) -> LoadResult:
+    """Run ``clients`` concurrent clients; returns pooled latencies.
+
+    ``query_ids`` are existing sequence ids to query; ``inserts`` is a
+    shared pool of ``{id, residues}`` records that clients draw from
+    (each inserted exactly once).
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if requests_per_client < 1:
+        raise ValueError(
+            f"requests_per_client must be >= 1, got {requests_per_client}"
+        )
+    if not query_ids:
+        raise ValueError("query_ids must be non-empty")
+    result = LoadResult()
+    lock = threading.Lock()
+    pool = [dict(record) for record in inserts]
+    started = monotonic_now()
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(host, port, random.Random(seed + i), list(query_ids),
+                  pool, requests_per_client, insert_fraction, result, lock),
+            name=f"loadgen-{i}",
+            daemon=True,
+        )
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.elapsed = monotonic_now() - started
+    return result

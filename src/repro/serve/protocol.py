@@ -1,0 +1,196 @@
+"""Wire protocol of the ``repro serve`` daemon.
+
+One request per line, one response per line, both canonical JSON
+(``\\n``-terminated, ASCII-safe).  Every request carries the protocol
+version under ``"v"``; the daemon refuses mismatched versions with a
+``version_mismatch`` error rather than guessing, and bumps
+:data:`PROTOCOL_VERSION` whenever a request or response field changes
+meaning.  Line framing keeps the protocol debuggable with ``nc`` and
+testable without any client library.
+
+Operations
+----------
+hello
+    Capability handshake: server version, sequence/family counts.
+status
+    Live state snapshot (counts, queue depth, state digest).
+query
+    Family membership — by ``id`` (a sequence the daemon knows) or by
+    ``residues`` (read-only classification of an unseen sequence).
+insert
+    Incrementally cluster one ``{id, residues}`` sequence.
+insert_batch
+    Insert several records through the bounded job queue.
+drain / shutdown
+    Stop accepting work, flush the journal, exit cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+#: Protocol generation; bump on any wire-visible change.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one request/response line (guards the daemon against a
+#: client streaming an unbounded line into memory).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Every operation the daemon understands.
+OPS = frozenset(
+    {"hello", "status", "query", "insert", "insert_batch", "drain",
+     "shutdown"}
+)
+
+
+class ProtocolError(ValueError):
+    """A malformed, unsupported, or version-mismatched message.
+
+    ``code`` is the machine-readable error family echoed to clients:
+    ``bad_json``, ``bad_request``, ``unknown_op``, ``version_mismatch``,
+    ``line_too_long``.
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+def encode(obj: dict[str, Any]) -> bytes:
+    """One canonical JSON line, ready to write to a socket."""
+    return (json.dumps(obj, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one received line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("line_too_long",
+                            f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_json", f"unparseable message: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("bad_request", "message must be a JSON object")
+    return obj
+
+
+def request(op: str, **fields: Any) -> dict[str, Any]:
+    """Build a client request (stamps the protocol version)."""
+    msg = {"v": PROTOCOL_VERSION, "op": op}
+    msg.update(fields)
+    return msg
+
+
+def ok_response(**fields: Any) -> dict[str, Any]:
+    msg: dict[str, Any] = {"ok": True}
+    msg.update(fields)
+    return msg
+
+
+def error_response(code: str, message: str) -> dict[str, Any]:
+    return {"ok": False, "code": code, "error": message}
+
+
+def _require_record(obj: dict[str, Any], where: str) -> None:
+    for key in ("id", "residues"):
+        value = obj.get(key)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(
+                "bad_request",
+                f"{where} requires a non-empty string {key!r}",
+            )
+
+
+def validate_request(obj: dict[str, Any]) -> str:
+    """Check version, op, and op-specific fields; returns the op.
+
+    Raises :class:`ProtocolError` with the appropriate code on any
+    violation — the server converts that into an error response, the
+    client into exit 2.
+    """
+    version = obj.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "version_mismatch",
+            f"protocol version {version!r} is not {PROTOCOL_VERSION}",
+        )
+    op = obj.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        raise ProtocolError("unknown_op", f"unknown operation {op!r}")
+    if op == "query":
+        seq_id = obj.get("id")
+        residues = obj.get("residues")
+        if not (isinstance(seq_id, str) and seq_id) and not (
+            isinstance(residues, str) and residues
+        ):
+            raise ProtocolError(
+                "bad_request", "query requires 'id' or 'residues'"
+            )
+    elif op == "insert":
+        _require_record(obj, "insert")
+    elif op == "insert_batch":
+        records = obj.get("records")
+        if not isinstance(records, list) or not records:
+            raise ProtocolError(
+                "bad_request",
+                "insert_batch requires a non-empty 'records' list",
+            )
+        for record in records:
+            if not isinstance(record, dict):
+                raise ProtocolError(
+                    "bad_request", "insert_batch records must be objects"
+                )
+            _require_record(record, "insert_batch record")
+    return op
+
+
+class ServeClient:
+    """Blocking line-JSON client for one daemon connection.
+
+    >>> with ServeClient.connect("127.0.0.1", 7071) as client:
+    ...     info = client.call("hello")
+
+    ``call`` raises :class:`ProtocolError` when the daemon answers with
+    an error response (the response's ``code`` becomes the exception's
+    code) and ``ConnectionError`` when the daemon hangs up mid-call.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    @classmethod
+    def connect(
+        cls, host: str, port: int, *, timeout: float | None = 30.0
+    ) -> "ServeClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        self._sock.sendall(encode(request(op, **fields)))
+        line = self._file.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ProtocolError(
+                str(response.get("code", "error")),
+                str(response.get("error", "request failed")),
+            )
+        return response
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

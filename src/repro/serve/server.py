@@ -1,0 +1,374 @@
+"""The ``repro serve`` daemon: a line-JSON socket front over ServeState.
+
+Concurrency model — chosen for the journal, not for throughput:
+
+* **reads scale out**: each accepted connection gets a thread; query /
+  status / hello take the state lock briefly and answer inline;
+* **writes serialise**: the checkpoint journal is single-writer by
+  design, so every ``insert`` / ``insert_batch`` becomes a job on one
+  bounded queue consumed by a single applier thread.  A full queue
+  pushes back on clients (the request blocks in ``put``) instead of
+  buffering unbounded work in memory;
+* an insert is acknowledged only after its decision record is flushed
+  to the journal, so any acknowledged insert survives SIGKILL and is
+  replayed on restart.
+
+SIGTERM/SIGINT (and the ``shutdown`` op) drain rather than drop: the
+listener closes, queued inserts finish, the journal is fsynced and
+closed, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import queue
+import signal
+import socket
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro import obs
+from repro.align.pairwise import local_align, semiglobal_align
+from repro.core.checkpoint import CheckpointJournal
+from repro.pace.clustering import _overlap_passes
+from repro.sequence.record import SequenceRecord
+from repro.serve import protocol
+from repro.serve.incremental import insert_sequence
+from repro.serve.state import ServeState
+
+#: Default cap on queued insert jobs before clients block.
+DEFAULT_MAX_QUEUE = 64
+
+#: File written next to the journal with the bound "host port" (lets
+#: scripts discover an ephemeral port without parsing logs).
+ADDR_FILENAME = "serve.addr"
+
+
+@dataclass
+class _InsertJob:
+    """One queued insert batch; ``done`` fires after journal flush."""
+
+    records: list[dict[str, str]]
+    results: list[dict[str, Any]] = field(default_factory=list)
+    done: threading.Event = field(default_factory=threading.Event)
+
+
+class ServeServer:
+    """One daemon instance bound to one ServeState (and its journal)."""
+
+    def __init__(
+        self,
+        state: ServeState,
+        *,
+        journal: CheckpointJournal | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        run_dir: str | Path | None = None,
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.state = state
+        self.journal = journal
+        self.host = host
+        self.port = port
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self._lock = threading.RLock()
+        self._queue: "queue.Queue[_InsertJob]" = queue.Queue(maxsize=max_queue)
+        self._stop = threading.Event()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self.address: tuple[str, int] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind the listener and start the applier; returns (host, port).
+
+        Raises ``OSError`` (EADDRINUSE) when the port is taken — the
+        CLI maps that to exit 2.
+        """
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self.host, self.port))
+        except OSError:
+            listener.close()
+            raise
+        listener.listen(128)
+        listener.settimeout(0.2)  # poll the stop flag between accepts
+        self._listener = listener
+        self.address = (self.host, listener.getsockname()[1])
+        if self.run_dir is not None:
+            (self.run_dir / ADDR_FILENAME).write_text(
+                f"{self.address[0]} {self.address[1]}\n", encoding="utf-8"
+            )
+        applier = threading.Thread(
+            target=self._apply_inserts, name="serve-applier", daemon=True
+        )
+        applier.start()
+        self._threads.append(applier)
+        return self.address
+
+    def serve_forever(self, *, install_signals: bool = False) -> None:
+        """Accept connections until stopped; then drain and close.
+
+        ``install_signals=True`` (the CLI path; requires the main
+        thread) maps SIGTERM/SIGINT onto :meth:`request_stop`.
+        """
+        if self._listener is None:
+            self.start()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, lambda *_: self.request_stop())
+        assert self._listener is not None
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed under us during shutdown
+            obs.count("serve.connections")
+            worker = threading.Thread(
+                target=self._handle_connection, args=(conn,),
+                name="serve-conn", daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+        self._drain_and_close()
+
+    def run_in_thread(self) -> threading.Thread:
+        """Test/benchmark helper: serve from a background thread."""
+        self.start()
+        thread = threading.Thread(
+            target=self.serve_forever, name="serve-accept", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def request_stop(self) -> None:
+        """Begin graceful shutdown (signal-handler and op safe)."""
+        self._stop.set()
+
+    def _drain_and_close(self) -> None:
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        self._queue.join()  # finish every accepted insert
+        self._stop.set()
+        if self.journal is not None:
+            self.journal.close()
+
+    # -- insert applier ----------------------------------------------------
+
+    def _apply_inserts(self) -> None:
+        """Single consumer of the insert queue (journal single-writer)."""
+        while True:
+            try:
+                job = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            try:
+                for record in job.records:
+                    job.results.append(self._apply_one(record))
+            finally:
+                obs.gauge("serve.queue_depth", self._queue.qsize())
+                job.done.set()
+                self._queue.task_done()
+
+    def _apply_one(self, record: dict[str, str]) -> dict[str, Any]:
+        try:
+            with self._lock:
+                outcome = insert_sequence(
+                    self.state, record["id"], record["residues"],
+                    journal=self.journal,
+                )
+                family_ids = self._ids(outcome["family"])
+                container = outcome["redundant_against"]
+                container_id = (
+                    self.state.sequences[container].id
+                    if container is not None else None
+                )
+            return {
+                "id": record["id"],
+                "ok": True,
+                "index": outcome["index"],
+                "family": family_ids,
+                "redundant": container is not None,
+                "container": container_id,
+                "n_candidates": outcome["n_candidates"],
+                "n_alignments": outcome["n_alignments"],
+                "n_merges": outcome["n_merges"],
+            }
+        except ValueError as exc:
+            return {"id": record.get("id"), "ok": False, "error": str(exc)}
+
+    def _enqueue(self, records: list[dict[str, str]]) -> _InsertJob:
+        job = _InsertJob(records=records)
+        self._queue.put(job)  # blocks when the bounded queue is full
+        obs.gauge("serve.queue_depth", self._queue.qsize())
+        job.done.wait()
+        return job
+
+    # -- request handling --------------------------------------------------
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        conn_file = conn.makefile("rb")
+        try:
+            while not self._stop.is_set():
+                line = conn_file.readline(protocol.MAX_LINE_BYTES + 1)
+                if not line:
+                    return
+                response, keep_open = self._respond(line)
+                try:
+                    conn.sendall(protocol.encode(response))
+                except OSError:
+                    return
+                if not keep_open:
+                    return
+        finally:
+            with contextlib.suppress(OSError):
+                conn_file.close()
+                conn.close()
+
+    def _respond(self, line: bytes) -> tuple[dict[str, Any], bool]:
+        """One request line -> (response, keep connection open)."""
+        obs.count("serve.requests")
+        try:
+            message = protocol.decode_line(line)
+            op = protocol.validate_request(message)
+        except protocol.ProtocolError as exc:
+            obs.count("serve.errors")
+            # Framing/version errors poison the stream; drop the client.
+            fatal = exc.code in ("line_too_long", "bad_json",
+                                 "version_mismatch")
+            return protocol.error_response(exc.code, str(exc)), not fatal
+        with obs.span(f"req.{op}", cat="serve"):
+            try:
+                return self._dispatch(op, message)
+            except protocol.ProtocolError as exc:
+                obs.count("serve.errors")
+                return protocol.error_response(exc.code, str(exc)), True
+
+    def _dispatch(
+        self, op: str, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        if op == "hello":
+            with self._lock:
+                body = protocol.ok_response(
+                    server="repro-serve",
+                    protocol=protocol.PROTOCOL_VERSION,
+                    n_sequences=len(self.state.sequences),
+                    n_base=self.state.n_base,
+                    n_families=self.state.n_families(),
+                )
+            return body, True
+        if op == "status":
+            with self._lock:
+                status = self.state.status()
+            status["queue_depth"] = self._queue.qsize()
+            return protocol.ok_response(**status), True
+        if op == "query":
+            obs.count("serve.queries")
+            return self._handle_query(message), True
+        if op == "insert":
+            record = {"id": message["id"], "residues": message["residues"]}
+            job = self._enqueue([record])
+            return protocol.ok_response(results=job.results), True
+        if op == "insert_batch":
+            records = [
+                {"id": r["id"], "residues": r["residues"]}
+                for r in message["records"]
+            ]
+            job = self._enqueue(records)
+            return protocol.ok_response(results=job.results), True
+        if op in ("drain", "shutdown"):
+            self._queue.join()
+            if self.journal is not None and op == "drain":
+                # Journal stays open; every acknowledged insert is
+                # already flushed, so drain is just a barrier.
+                pass
+            if op == "shutdown":
+                self.request_stop()
+            return protocol.ok_response(stopping=op == "shutdown"), False
+        raise protocol.ProtocolError("unknown_op", f"unhandled op {op!r}")
+
+    def _ids(self, indices: list[int]) -> list[str]:
+        return [self.state.sequences[i].id for i in indices]
+
+    def _handle_query(self, message: dict[str, Any]) -> dict[str, Any]:
+        seq_id = message.get("id")
+        if isinstance(seq_id, str) and seq_id:
+            with self._lock:
+                if seq_id not in self.state.sequences:
+                    return protocol.ok_response(found=False, id=seq_id)
+                index = self.state.sequences.index_of(seq_id)
+                container = self.state.redundant.get(index)
+                return protocol.ok_response(
+                    found=True,
+                    id=seq_id,
+                    index=index,
+                    redundant=container is not None,
+                    container=(self.state.sequences[container].id
+                               if container is not None else None),
+                    family=self._ids(self.state.family_members(index)),
+                )
+        residues = message["residues"]
+        try:
+            encoded = SequenceRecord(id="__query__", residues=residues).encoded
+        except ValueError as exc:
+            raise protocol.ProtocolError("bad_request", str(exc)) from exc
+        with self._lock:
+            return self._classify(encoded)
+
+    def _classify(self, encoded: np.ndarray) -> dict[str, Any]:
+        """Read-only classification of an unseen sequence.
+
+        Runs the same Definition 1 / Definition 2 sweeps as an insert
+        but aligns outside the cache (the sequence has no index) and
+        mutates nothing: reports the family a hypothetical insert would
+        land in (``contained_in``) or overlap-join (``overlaps``).
+        """
+        state = self.state
+        config = state.config
+        candidates = state.rep_index.candidates(encoded)
+        obs.count("serve.candidates", len(candidates))
+        contained_in: int | None = None
+        overlap_roots: dict[int, int] = {}  # root -> witness rep
+        for rep in candidates:
+            rep_enc = state.encoded(rep)
+            aln = semiglobal_align(rep_enc, encoded, config.scheme)
+            obs.count("serve.alignments")
+            if (aln.identity >= config.containment_similarity
+                    and aln.coverage_b(len(encoded))
+                    >= config.containment_coverage):
+                contained_in = rep
+                break
+            aln = local_align(rep_enc, encoded, config.scheme)
+            obs.count("serve.alignments")
+            if _overlap_passes(aln, state.length(rep), len(encoded),
+                               config.overlap_similarity,
+                               config.overlap_coverage):
+                overlap_roots.setdefault(state.uf.find(rep), rep)
+        if contained_in is not None:
+            return protocol.ok_response(
+                found=True,
+                redundant=True,
+                container=state.sequences[contained_in].id,
+                family=self._ids(state.family_members(contained_in)),
+            )
+        families = [
+            self._ids(state.family_members(rep))
+            for _root, rep in sorted(overlap_roots.items())
+        ]
+        return protocol.ok_response(
+            found=bool(families), redundant=False, container=None,
+            families=families,
+        )

@@ -15,18 +15,23 @@ import json
 import os
 import subprocess
 import sys
+import warnings
 from pathlib import Path
 
 import pytest
 
 import repro
 from repro.core.checkpoint import (
+    SCHEMA,
+    SCHEMA_VERSION,
     CheckpointError,
     CheckpointJournal,
     ResumeState,
+    _frame,
     config_digest,
     input_digest,
     read_journal,
+    validate_meta,
 )
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import ProteinFamilyPipeline
@@ -293,6 +298,83 @@ class TestCheckpointJournal:
         assert state.has("redundancy")
         assert state.has("clustering")
         assert not state.has("bipartite")
+
+    def test_meta_carries_schema_version(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.close()
+        meta = read_journal(journal.path)[0]
+        assert meta["schema"] == SCHEMA
+        assert meta["schema_version"] == SCHEMA_VERSION
+
+    def test_unknown_record_type_warned_and_skipped(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.phase_start("redundancy")
+        journal.phase_done("redundancy", {"x": 1})
+        journal.close()
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            # A CRC-valid record of a type this reader has never seen
+            # (as written by some future repro) — twice, to check the
+            # warning is deduplicated per type.
+            fh.write(_frame({"type": "hologram", "data": 1}))
+            fh.write(_frame({"type": "hologram", "data": 2}))
+        records = read_journal(journal.path)
+        assert [r["type"] for r in records] == [
+            "meta", "phase_start", "phase_done", "hologram", "hologram",
+        ]
+        with pytest.warns(RuntimeWarning, match="unknown record type") as w:
+            state = ResumeState.from_records(records[1:])
+        assert len(w) == 1
+        assert state.phase_payloads["redundancy"] == {"x": 1}
+
+    def test_newer_schema_version_refused(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.phase_start("redundancy")
+        journal.close()
+        lines = journal.path.read_text(encoding="utf-8").splitlines(True)
+        meta = read_journal(journal.path)[0]
+        meta["schema_version"] = SCHEMA_VERSION + 1
+        journal.path.write_text(
+            _frame(meta) + "".join(lines[1:]), encoding="utf-8"
+        )
+        with pytest.raises(CheckpointError, match="newer"):
+            CheckpointJournal.resume(
+                tmp_path, config_dig="cfg", input_dig="inp", n_input=5
+            )
+
+    def test_version1_journal_without_field_still_resumes(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.phase_start("redundancy")
+        journal.close()
+        lines = journal.path.read_text(encoding="utf-8").splitlines(True)
+        meta = read_journal(journal.path)[0]
+        del meta["schema_version"]  # journals written before the field
+        journal.path.write_text(
+            _frame(meta) + "".join(lines[1:]), encoding="utf-8"
+        )
+        records = read_journal(journal.path)
+        validate_meta(records, path=journal.path, config_dig="cfg",
+                      input_dig="inp", n_input=5)
+        resumed = CheckpointJournal.resume(
+            tmp_path, config_dig="cfg", input_dig="inp", n_input=5
+        )
+        resumed.close()
+
+    def test_serve_inserts_do_not_disturb_batch_resume(self, tmp_path):
+        journal = self._open(tmp_path)
+        journal.phase_start("redundancy")
+        journal.phase_done("redundancy", {"x": 1})
+        decision = {"id": "q", "residues": "MK", "redundant": [],
+                    "unions": []}
+        journal.serve_insert(decision)
+        journal.close()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # serve_insert is a known type
+            state = ResumeState.from_records(
+                read_journal(journal.path)[1:]
+            )
+        assert state.serve_inserts == [decision]
+        assert state.phase_payloads["redundancy"] == {"x": 1}
+        assert state.ccd_unions == []
 
     def test_digests_are_stable_and_discriminating(self, workload):
         cfg = PipelineConfig()

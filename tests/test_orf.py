@@ -131,3 +131,64 @@ class TestFindOrfs:
         dna = encode_dna("ATG" + "GCTCGTAATGAT" * 10)
         for orf in find_orfs(dna, min_length=10):
             assert is_valid_protein(orf.protein)
+
+
+def _reverse_translate(protein: str) -> str:
+    """One DNA realisation of ``protein`` (first codon per residue)."""
+    out = []
+    for aa in protein:
+        idx = GENETIC_CODE.index(aa)
+        out.append(
+            "ACGT"[idx // 16] + "ACGT"[(idx // 4) % 4] + "ACGT"[idx % 4]
+        )
+    return "".join(out)
+
+
+class TestOrfRoundTrip:
+    """Protein -> DNA -> ORF caller recovers the protein exactly."""
+
+    def test_roundtrip_every_forward_frame(self):
+        protein = "MKLVNQWERTYHADGSCFIP"
+        for frame in (0, 1, 2):
+            dna = encode_dna("C" * frame + _reverse_translate(protein))
+            hits = [
+                o for o in find_orfs(dna, min_length=len(protein))
+                if o.strand == "+" and o.frame == frame
+            ]
+            assert len(hits) == 1
+            orf = hits[0]
+            assert orf.protein == protein
+            # Coordinates round-trip: the called span translates back.
+            assert translate(dna[orf.start:orf.end]) == protein
+
+    def test_roundtrip_reverse_strand(self):
+        protein = "MKLVNQWERTYHADGSCFIP"
+        dna = reverse_complement(encode_dna(_reverse_translate(protein)))
+        hits = [
+            o for o in find_orfs(dna, min_length=len(protein))
+            if o.strand == "-"
+        ]
+        assert [o.protein for o in hits] == [protein]
+
+    def test_roundtrip_with_flanking_stops(self):
+        protein = "A" * 15 + "MKLV" + "G" * 15
+        dna = encode_dna(
+            "TAA" + _reverse_translate(protein) + "TGA"
+        )
+        hits = [o.protein for o in find_orfs(dna, min_length=len(protein))]
+        assert protein in hits
+
+    def test_generator_proteins_roundtrip(self, tiny_metagenome):
+        """Synthetic-family proteins survive read -> ORF -> protein."""
+        proteins = [
+            r.residues for r in list(tiny_metagenome.sequences)[:10]
+        ]
+        reads = [
+            encode_dna("TAG" + _reverse_translate(p) + "TAA")
+            for p in proteins
+        ]
+        recovered = set(
+            orfs_to_proteins(reads, min_length=min(len(p) for p in proteins))
+        )
+        for protein in proteins:
+            assert protein in recovered

@@ -298,3 +298,66 @@ class TestParallelBipartiteGeneration:
             for v in range(pg.n_left):
                 assert (pg.gamma(v) == sg.gamma(v)).all()
         assert par.sim is not None and par.sim.elapsed > 0
+
+
+class TestAlignmentCache:
+    """Key canonicalisation and the per-phase hit/miss attribution."""
+
+    @pytest.fixture()
+    def cache(self):
+        rng = np.random.default_rng(42)
+        encoded = [
+            rng.integers(0, 20, size=n).astype(np.uint8)
+            for n in (40, 60, 50)
+        ]
+        return AlignmentCache(lambda k: encoded[k], blosum62_scheme())
+
+    def test_pair_key_is_orientation_invariant(self, cache):
+        first = cache.local(0, 1)
+        again = cache.local(1, 0)  # reversed request, same entry
+        assert again is first
+        assert (cache.local_misses, cache.local_hits) == (1, 1)
+        assert len(cache) == 1
+        first = cache.semiglobal(2, 0)
+        assert cache.semiglobal(0, 2) is first
+        assert (cache.semiglobal_misses, cache.semiglobal_hits) == (1, 1)
+
+    def test_peek_and_insert_share_canonical_key(self, cache):
+        aln = cache.local(0, 1)
+        assert cache.peek("local", 1, 0) is aln
+        assert cache.peek("semiglobal", 0, 1) is None
+        cache.insert("semiglobal", 1, 0, aln)  # worker-computed, reversed
+        assert cache.semiglobal(0, 1) is aln
+        assert (cache.semiglobal_misses, cache.semiglobal_hits) == (1, 1)
+
+    def test_self_alignment_rejected(self, cache):
+        with pytest.raises(ValueError, match="self-alignment"):
+            cache.local(1, 1)
+
+    def test_by_phase_attribution(self, cache):
+        cache.set_phase("redundancy")
+        cache.semiglobal(0, 1)  # miss
+        cache.set_phase("clustering")
+        cache.semiglobal(1, 0)  # hit, attributed to clustering
+        cache.local(0, 1)       # miss
+        cache.set_phase("")
+        cache.local(1, 0)       # hit, but untracked
+        assert cache.stats_by_phase() == {
+            "redundancy": {"hits": 0, "misses": 1},
+            "clustering": {"hits": 1, "misses": 1},
+        }
+        assert cache.stats()["by_phase"] == cache.stats_by_phase()
+        assert cache.hits == 2 and cache.misses == 2  # totals still global
+
+    def test_record_observations_emits_phase_counters(self, cache):
+        from repro.obs import Recorder
+
+        cache.set_phase("serve")
+        cache.local(0, 2)
+        cache.local(2, 0)
+        recorder = Recorder()
+        cache.record_observations(recorder)
+        counters = recorder.counters()
+        assert counters["cache.phase.serve.hits"] == 1
+        assert counters["cache.phase.serve.misses"] == 1
+        assert counters["cache.local_misses"] == 1

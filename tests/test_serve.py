@@ -1,0 +1,526 @@
+"""Serving subsystem tests: state loading, incremental inserts, journal
+replay identity, the socket daemon, the wire protocol, and the load
+generator — plus the two acceptance gates of the serving design:
+
+* **equivalence** — inserting a held-out 20% of the workload through
+  the serving path (uncapped representatives) yields exactly the
+  families the batch pipeline finds on the full input;
+* **replay identity** — a state rebuilt from the journal alone is
+  digest-identical to the live state that wrote it.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    config_digest,
+    input_digest,
+    read_journal,
+)
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.sequence.record import SequenceSet
+from repro.serve import protocol
+from repro.serve.incremental import insert_sequence, replay_insert
+from repro.serve.loadgen import percentile, run_load
+from repro.serve.protocol import ProtocolError, ServeClient
+from repro.serve.representatives import (
+    RepresentativeIndex,
+    select_representatives,
+)
+from repro.serve.server import ServeServer
+from repro.serve.state import build_serve_state, load_serve_state
+from repro.sequence.alphabet import encode
+
+
+@pytest.fixture(scope="module")
+def serve_workload(small_metagenome, tmp_path_factory):
+    """(base 80%, held-out 20%, completed run_dir, config)."""
+    sequences = small_metagenome.sequences
+    n_base = int(len(sequences) * 0.8)
+    base = sequences.subset(range(n_base))
+    held = sequences.subset(range(n_base, len(sequences)))
+    run_dir = tmp_path_factory.mktemp("serve-run")
+    config = PipelineConfig()
+    ProteinFamilyPipeline(config).run(base, run_dir=run_dir)
+    return base, held, run_dir, config
+
+
+def _reload_base(base: SequenceSet) -> SequenceSet:
+    """A fresh, un-mutated copy of the base set (serving appends)."""
+    return base.subset(range(len(base)))
+
+
+def _family_ids(state) -> list[list[str]]:
+    return sorted(
+        sorted(state.sequences[i].id for i in fam)
+        for fam in state.families()
+    )
+
+
+class TestRepresentatives:
+    def test_selection_ranks_centrality_then_length(self):
+        lengths = [10, 50, 30, 40]
+        centrality = {2: 3}
+        picked = select_representatives(
+            [0, 1, 2, 3], lengths=lengths, centrality=centrality, cap=2
+        )
+        # 2 wins on centrality, 1 is the longest of the rest.
+        assert picked == [1, 2]
+
+    def test_selection_deterministic_ties_by_index(self):
+        lengths = [20, 20, 20]
+        picked = select_representatives(
+            [2, 0, 1], lengths=lengths, centrality={}, cap=2
+        )
+        assert picked == [0, 1]
+
+    def test_selection_cap_validation(self):
+        with pytest.raises(ValueError, match="cap"):
+            select_representatives([0], lengths=[5], centrality={}, cap=0)
+
+    def test_index_candidates_share_psi_window(self):
+        index = RepresentativeIndex(psi=4)
+        a = encode("MKLVAAAA")
+        b = encode("QQQQMKLV")  # shares window "MKLV" with a
+        c = encode("WWWWWWWW")
+        index.add(0, a)
+        index.add(2, c)
+        assert index.candidates(b) == [0]
+        assert index.candidates(c) == [2]
+
+    def test_index_discard_is_lazy_but_filtered(self):
+        index = RepresentativeIndex(psi=3)
+        index.add(0, encode("MKLVA"))
+        assert index.candidates(encode("MKLVA")) == [0]
+        index.discard(0)
+        assert index.candidates(encode("MKLVA")) == []
+        assert len(index) == 0
+        index.compact()
+        assert index.candidates(encode("MKLVA")) == []
+
+    def test_index_add_idempotent_and_contains(self):
+        index = RepresentativeIndex(psi=3)
+        index.add(1, encode("MKLVA"))
+        index.add(1, encode("MKLVA"))
+        assert 1 in index and len(index) == 1
+
+    def test_index_psi_validation(self):
+        with pytest.raises(ValueError, match="psi"):
+            RepresentativeIndex(psi=1)
+
+
+class TestServeStateLoading:
+    def test_load_families_match_checkpoint_components(self, serve_workload):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        batch = ProteinFamilyPipeline(config).run(_reload_base(base))
+        batch_fams = sorted(
+            sorted(base[i].id for i in comp)
+            for comp in batch.clustering.components
+        )
+        assert _family_ids(state) == batch_fams
+
+    def test_load_rejects_missing_run_dir(self, serve_workload, tmp_path):
+        base, _held, _run_dir, config = serve_workload
+        with pytest.raises(CheckpointError, match="no checkpoint journal"):
+            load_serve_state(tmp_path / "absent", _reload_base(base), config)
+
+    def test_load_rejects_wrong_input(self, serve_workload):
+        base, held, run_dir, config = serve_workload
+        with pytest.raises(CheckpointError, match="different input"):
+            load_serve_state(run_dir, held.subset(range(len(held))), config)
+
+    def test_load_requires_completed_clustering(self, serve_workload,
+                                                tmp_path):
+        base, _held, run_dir, config = serve_workload
+        # Copy only the meta line: validates but has no phases done.
+        src = (run_dir / "checkpoint.jsonl").read_text().splitlines()
+        stub = tmp_path / "stub"
+        stub.mkdir()
+        (stub / "checkpoint.jsonl").write_text(src[0] + "\n")
+        with pytest.raises(CheckpointError, match="clustering"):
+            load_serve_state(stub, _reload_base(base), config)
+
+    def test_digest_is_stable_across_loads(self, serve_workload):
+        base, _held, run_dir, config = serve_workload
+        one = load_serve_state(run_dir, _reload_base(base), config)
+        two = load_serve_state(run_dir, _reload_base(base), config)
+        assert one.digest() == two.digest()
+
+
+class TestIncrementalInsert:
+    def test_duplicate_id_rejected_without_mutation(self, serve_workload):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        digest = state.digest()
+        with pytest.raises(ValueError, match="already present"):
+            insert_sequence(state, base[0].id, base[0].residues)
+        assert state.digest() == digest
+
+    def test_invalid_residues_rejected_without_mutation(self,
+                                                        serve_workload):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        digest = state.digest()
+        with pytest.raises(ValueError):
+            insert_sequence(state, "bad", "NOT@PROTEIN!")
+        assert state.digest() == digest
+
+    def test_exact_duplicate_is_contained(self, serve_workload):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        # Re-insert a copy of an existing representative: Definition 1
+        # must declare the (equal-length, higher-index) copy redundant.
+        rep = sorted(state.rep_index.active)[0]
+        out = insert_sequence(
+            state, "copy-of-rep", state.sequences[rep].residues
+        )
+        container = out["redundant_against"]
+        assert container is not None
+        assert state.redundant[out["index"]] == container
+        # The copy joins its container's family for membership queries.
+        assert state.uf.same(out["index"], container)
+
+    def test_equivalence_gate_vs_batch(self, serve_workload,
+                                       small_metagenome):
+        """Held-out 20% inserted through serving == batch on 100%."""
+        base, held, run_dir, config = serve_workload
+        state = load_serve_state(
+            run_dir, _reload_base(base), config, max_representatives=10_000
+        )
+        for record in held:
+            insert_sequence(state, record.id, record.residues)
+        full = small_metagenome.sequences
+        batch = ProteinFamilyPipeline(config).run(
+            full.subset(range(len(full)))
+        )
+        batch_fams = sorted(
+            sorted(full[i].id for i in comp)
+            for comp in batch.clustering.components
+        )
+        assert _family_ids(state) == batch_fams
+        assert len(state.redundant) == len(batch.redundancy.redundant)
+
+    def test_journal_replay_is_bit_identical(self, serve_workload,
+                                             tmp_path):
+        base, held, run_dir, config = serve_workload
+        # Private journal copy so inserts don't leak into other tests.
+        my_run = tmp_path / "run"
+        my_run.mkdir()
+        (my_run / "checkpoint.jsonl").write_bytes(
+            (run_dir / "checkpoint.jsonl").read_bytes()
+        )
+        journal = CheckpointJournal.resume(
+            my_run,
+            config_dig=config_digest(config),
+            input_dig=input_digest(base),
+            n_input=len(base),
+        )
+        state = build_serve_state(
+            _reload_base(base), config, journal.resume_state
+        )
+        for record in held:
+            insert_sequence(state, record.id, record.residues,
+                            journal=journal)
+        live_digest = state.digest()
+        journal.close()  # the SIGKILL stand-in: only the file survives
+        replayed = load_serve_state(my_run, _reload_base(base), config)
+        assert replayed.digest() == live_digest
+        assert len(replayed.inserted) == len(held)
+        assert _family_ids(replayed) == _family_ids(state)
+
+    def test_replay_insert_applies_decision_without_alignment(
+            self, serve_workload, tmp_path):
+        base, held, run_dir, config = serve_workload
+        my_run = tmp_path / "run"
+        my_run.mkdir()
+        (my_run / "checkpoint.jsonl").write_bytes(
+            (run_dir / "checkpoint.jsonl").read_bytes()
+        )
+        journal = CheckpointJournal.resume(
+            my_run,
+            config_dig=config_digest(config),
+            input_dig=input_digest(base),
+            n_input=len(base),
+        )
+        live = build_serve_state(
+            _reload_base(base), config, journal.resume_state
+        )
+        insert_sequence(live, held[0].id, held[0].residues, journal=journal)
+        journal.close()
+        decisions = [
+            r["data"] for r in read_journal(my_run / "checkpoint.jsonl")
+            if r.get("type") == "serve_insert"
+        ]
+        assert len(decisions) == 1
+        mirror = load_serve_state(run_dir, _reload_base(base), config)
+        before = mirror.cache.stats()["misses"]
+        replay_insert(mirror, decisions[0])
+        assert mirror.cache.stats()["misses"] == before  # no alignments
+        assert mirror.digest() == live.digest()
+
+
+class TestServerSocket:
+    @pytest.fixture()
+    def server(self, serve_workload, tmp_path):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0,
+                             run_dir=tmp_path)
+        server.run_in_thread()
+        yield server
+        server.request_stop()
+
+    def test_hello_status_and_addr_file(self, server, tmp_path):
+        host, port = server.address
+        addr_text = (tmp_path / "serve.addr").read_text().split()
+        assert addr_text == [host, str(port)]
+        with ServeClient.connect(host, port) as client:
+            hello = client.call("hello")
+            assert hello["protocol"] == protocol.PROTOCOL_VERSION
+            status = client.call("status")
+            assert status["n_sequences"] == hello["n_sequences"]
+            assert "digest" in status
+
+    def test_query_by_id_and_by_residues(self, server, serve_workload):
+        base, _held, _run_dir, _config = serve_workload
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            by_id = client.call("query", id=base[0].id)
+            assert by_id["found"] and base[0].id in by_id["family"]
+            missing = client.call("query", id="no-such-id")
+            assert missing["found"] is False
+            # Read-only classification finds the same family and does
+            # not grow the collection.
+            n_before = client.call("status")["n_sequences"]
+            by_res = client.call("query", residues=base[0].residues)
+            assert by_res["found"]
+            assert client.call("status")["n_sequences"] == n_before
+
+    def test_insert_and_batch_roundtrip(self, server, serve_workload):
+        _base, held, _run_dir, _config = serve_workload
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            single = client.call(
+                "insert", id="srv-one", residues=held[0].residues
+            )
+            assert single["results"][0]["ok"]
+            batch = client.call("insert_batch", records=[
+                {"id": f"srv-batch-{i}", "residues": r.residues}
+                for i, r in enumerate(list(held)[1:4])
+            ])
+            assert [r["ok"] for r in batch["results"]] == [True] * 3
+            dup = client.call("insert", id="srv-one",
+                              residues=held[0].residues)
+            assert dup["results"][0]["ok"] is False
+            assert "already present" in dup["results"][0]["error"]
+
+    def test_version_mismatch_refused(self, server):
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as raw:
+            raw.sendall(b'{"v": 99, "op": "hello"}\n')
+            reply = json.loads(raw.makefile("rb").readline())
+        assert reply["ok"] is False
+        assert reply["code"] == "version_mismatch"
+
+    def test_unknown_op_and_bad_request(self, server):
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            with pytest.raises(ProtocolError) as excinfo:
+                client.call("frobnicate")
+            assert excinfo.value.code == "unknown_op"
+            with pytest.raises(ProtocolError) as excinfo:
+                client.call("query")
+            assert excinfo.value.code == "bad_request"
+
+    def test_shutdown_op_drains(self, serve_workload):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0)
+        thread = server.run_in_thread()
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            assert client.call("shutdown")["stopping"] is True
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestLoadgen:
+    def test_percentile_nearest_rank(self):
+        samples = [float(i) for i in range(1, 102)]  # odd: exact median
+        assert percentile(samples, 50.0) == 51.0
+        assert percentile(samples, 99.0) == 100.0
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 100.0) == 101.0
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_load_against_live_server(self, serve_workload):
+        base, held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0)
+        server.run_in_thread()
+        host, port = server.address
+        try:
+            result = run_load(
+                host, port,
+                clients=4,
+                requests_per_client=6,
+                query_ids=[r.id for r in base],
+                inserts=[{"id": f"lg-{i}", "residues": r.residues}
+                         for i, r in enumerate(held)],
+                insert_fraction=0.3,
+                seed=7,
+            )
+        finally:
+            server.request_stop()
+        assert result.n_errors == 0
+        assert result.n_queries + result.n_inserts == 24
+        metrics = result.metrics()
+        assert metrics["query_p99_ms"] >= metrics["query_p50_ms"] > 0.0
+
+
+class TestProtocol:
+    def test_encode_decode_roundtrip(self):
+        msg = protocol.request("query", id="x")
+        assert protocol.decode_line(protocol.encode(msg)) == msg
+
+    def test_decode_rejects_bad_json_and_non_objects(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_line(b"not json\n")
+        assert excinfo.value.code == "bad_json"
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_line(b"[1, 2]\n")
+        assert excinfo.value.code == "bad_request"
+
+    def test_decode_rejects_oversized_line(self):
+        blob = b"x" * (protocol.MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.decode_line(blob)
+        assert excinfo.value.code == "line_too_long"
+
+    def test_validate_version_first(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request({"op": "hello"})
+        assert excinfo.value.code == "version_mismatch"
+
+    @pytest.mark.parametrize("message,code", [
+        ({"v": 1, "op": "nope"}, "unknown_op"),
+        ({"v": 1, "op": "query"}, "bad_request"),
+        ({"v": 1, "op": "insert", "id": "x"}, "bad_request"),
+        ({"v": 1, "op": "insert", "id": "", "residues": "MK"},
+         "bad_request"),
+        ({"v": 1, "op": "insert_batch", "records": []}, "bad_request"),
+        ({"v": 1, "op": "insert_batch", "records": ["x"]}, "bad_request"),
+    ])
+    def test_validate_rejections(self, message, code):
+        with pytest.raises(ProtocolError) as excinfo:
+            protocol.validate_request(message)
+        assert excinfo.value.code == code
+
+    @pytest.mark.parametrize("message", [
+        {"v": 1, "op": "hello"},
+        {"v": 1, "op": "query", "id": "x"},
+        {"v": 1, "op": "query", "residues": "MKLV"},
+        {"v": 1, "op": "insert", "id": "x", "residues": "MKLV"},
+        {"v": 1, "op": "insert_batch",
+         "records": [{"id": "x", "residues": "MKLV"}]},
+        {"v": 1, "op": "shutdown"},
+    ])
+    def test_validate_accepts(self, message):
+        assert protocol.validate_request(message) == message["op"]
+
+
+class TestServeCli:
+    def test_serve_missing_run_dir_exits_2(self, serve_workload, tmp_path,
+                                           capsys):
+        from repro.cli import main
+
+        base, _held, _run_dir, _config = serve_workload
+        fasta = tmp_path / "base.fasta"
+        from repro.sequence.fasta import write_fasta
+
+        write_fasta(base, fasta)
+        rc = main(["serve", str(fasta), "--run-dir",
+                   str(tmp_path / "absent")])
+        assert rc == 2
+        assert "repro: error:" in capsys.readouterr().err
+
+    def test_serve_corrupt_journal_exits_2(self, serve_workload, tmp_path,
+                                           capsys):
+        from repro.cli import main
+        from repro.sequence.fasta import write_fasta
+
+        base, _held, _run_dir, _config = serve_workload
+        fasta = tmp_path / "base.fasta"
+        write_fasta(base, fasta)
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "checkpoint.jsonl").write_text("garbage\n")
+        rc = main(["serve", str(fasta), "--run-dir", str(bad)])
+        assert rc == 2
+        assert "meta record" in capsys.readouterr().err
+
+    def test_serve_port_in_use_exits_2(self, serve_workload, tmp_path,
+                                       capsys):
+        from repro.cli import main
+        from repro.sequence.fasta import write_fasta
+
+        base, _held, run_dir, _config = serve_workload
+        fasta = tmp_path / "base.fasta"
+        write_fasta(base, fasta)
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            rc = main(["serve", str(fasta), "--run-dir", str(run_dir),
+                       "--port", str(port)])
+        finally:
+            blocker.close()
+        assert rc == 2
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_query_bad_address_exits_2(self, capsys):
+        from repro.cli import main
+
+        assert main(["query", "not-an-address"]) == 2
+        assert main(["query", "localhost:99999999"]) == 2
+        capsys.readouterr()
+
+    def test_query_connection_refused_exits_2(self, capsys):
+        from repro.cli import main
+
+        free = socket.socket()
+        free.bind(("127.0.0.1", 0))
+        port = free.getsockname()[1]
+        free.close()  # nothing listens here any more
+        rc = main(["query", f"127.0.0.1:{port}"])
+        assert rc == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_query_against_live_daemon(self, serve_workload, capsys):
+        from repro.cli import main
+
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0)
+        server.run_in_thread()
+        host, port = server.address
+        try:
+            assert main(["query", f"{host}:{port}"]) == 0
+            out = json.loads(capsys.readouterr().out)
+            assert out["ok"] and out["n_families"] > 0
+            assert main(["query", f"{host}:{port}", "--id",
+                         base[0].id]) == 0
+            out = json.loads(capsys.readouterr().out)
+            assert out["found"]
+        finally:
+            server.request_stop()
