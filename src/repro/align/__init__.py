@@ -21,6 +21,16 @@ from repro.align.affine import (
     blosum62_affine,
 )
 from repro.align.banded import banded_global_align
+from repro.align.batch import (
+    ContainmentBatch,
+    batch_align,
+    batch_containment,
+    batch_myers_infix,
+    batch_score,
+    containment_reject_threshold,
+    myers_infix_distance,
+    strict_diagonal_scheme,
+)
 from repro.align.predicates import (
     CONTAINMENT_COVERAGE,
     CONTAINMENT_SIMILARITY,
@@ -42,6 +52,14 @@ __all__ = [
     "local_align",
     "semiglobal_align",
     "banded_global_align",
+    "ContainmentBatch",
+    "batch_align",
+    "batch_containment",
+    "batch_myers_infix",
+    "batch_score",
+    "containment_reject_threshold",
+    "myers_infix_distance",
+    "strict_diagonal_scheme",
     "AffineScheme",
     "affine_global_align",
     "affine_local_align",

@@ -41,26 +41,42 @@ def banded_global_align(
             "no global path exists inside the band"
         )
     gap = np.int32(scheme.gap)
-    sub = scheme.substitution_profile(a, b).astype(np.int32)
+    matrix = scheme.matrix.astype(np.int32)
 
+    # Row sweep over band slices: m contiguous-row iterations of width
+    # <= 2*band+1 (versus m+n fancy-indexed anti-diagonals previously),
+    # and the substitution profile is materialised only inside the band
+    # — O((m+n)*band) work and memory touch instead of O(m*n).
     H = np.full((m + 1, n + 1), _NEG_INF, dtype=np.int32)
+    sub = np.zeros((m, n), dtype=np.int32)
     boundary = np.arange(0, band + 1, dtype=np.int32)
     H[boundary[boundary <= m], 0] = gap * boundary[boundary <= m]
     H[0, boundary[boundary <= n]] = gap * boundary[boundary <= n]
 
-    for d in range(2, m + n + 1):
-        # Anti-diagonal cells within both the matrix and the band:
-        # |i - j| <= band with j = d - i  <=>  (d - band)/2 <= i <= (d + band)/2
-        i_lo = max(1, d - n, (d - band + 1) // 2)
-        i_hi = min(m, d - 1, (d + band) // 2)
-        if i_lo > i_hi:
+    for i in range(1, m + 1):
+        lo = max(1, i - band)
+        hi = min(n, i + band)
+        if lo > hi:  # pragma: no cover - impossible once band >= |m - n|
             continue
-        i = np.arange(i_lo, i_hi + 1)
-        j = d - i
-        diag = H[i - 1, j - 1] + sub[i - 1, j - 1]
-        up = np.where(H[i - 1, j] > _NEG_INF, H[i - 1, j] + gap, _NEG_INF)
-        left = np.where(H[i, j - 1] > _NEG_INF, H[i, j - 1] + gap, _NEG_INF)
-        H[i, j] = np.maximum(diag, np.maximum(up, left))
+        sub_row = matrix[a[i - 1], b[lo - 1 : hi]]
+        sub[i - 1, lo - 1 : hi] = sub_row
+        # Down/diagonal candidates first (left-independent), exactly as
+        # the unbanded kernel's _fill: out-of-band neighbours hold
+        # _NEG_INF, which any in-band path beats (scores are bounded
+        # below by gap * (m + n) >> _NEG_INF + O(band * |gap|)).
+        t = np.maximum(
+            H[i - 1, lo - 1 : hi] + sub_row,
+            H[i - 1, lo : hi + 1] + gap,
+        )
+        # Left moves via the prefix-max chain (same trick as _fill):
+        # H[i, j] = max_k<=j (chain[k] + gap * (j - k)).
+        offs = -gap * np.arange(hi - lo + 2, dtype=np.int32)
+        chain = np.empty(hi - lo + 2, dtype=np.int32)
+        chain[0] = H[i, lo - 1]
+        chain[1:] = t
+        chain += offs
+        np.maximum.accumulate(chain, out=chain)
+        H[i, lo : hi + 1] = chain[1:] - offs[1:]
 
     if H[m, n] <= _NEG_INF // 2:  # pragma: no cover - guarded by band check
         raise ValueError("band excluded the terminal cell")

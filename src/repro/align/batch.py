@@ -1,0 +1,617 @@
+"""Batched alignment engine: many pairs per NumPy sweep, bit-identical
+results.
+
+The scalar kernels in :mod:`repro.align.pairwise` vectorise *within* one
+DP matrix (one ``np.maximum.accumulate`` per row), which leaves ~8
+NumPy dispatches per row of a single pair — for the paper's sequence
+lengths that overhead is comparable to the arithmetic itself.  This
+module packs many promising pairs into shared sweeps along three
+complementary axes:
+
+1. **Bucketed batch fill** (:func:`batch_align`, :func:`batch_score`):
+   pairs are grouped into length buckets and padded; the DP state is
+   laid out *batch-last* — ``H[(m+1), (n+1), B]`` — so every row update
+   is one contiguous NumPy op across the whole bucket.  The fill
+   replays the scalar kernel's exact op sequence on each real
+   submatrix, so the batched ``H`` equals the scalar ``H`` cell for
+   cell, and the scalar :func:`~repro.align.pairwise._traceback` is
+   reused per pair — tie-breaking is therefore *identical by
+   construction*, not merely score-equivalent.
+
+2. **Bit-parallel Myers prefilter** (:func:`batch_myers_infix`,
+   :func:`batch_containment`): a multi-word Myers (1999) bit-vector
+   edit-distance kernel vectorised across the pair axis.  For the RR
+   phase's >=95 %-containment test a *sound* threshold on the infix
+   edit distance (:func:`containment_reject_threshold`) proves that a
+   pair cannot satisfy Definition 1 in either direction, so the full
+   DP is skipped for the bulk of promising pairs without changing any
+   decision.  A distance of zero, under schemes whose substitution
+   diagonal is a strict positive row maximum (BLOSUM62, identity),
+   *certifies* the scalar optimum exactly (perfect-diagonal match) and
+   is answered without DP as well.
+
+3. **Certified banded global scoring**: ``batch_score(mode="global")``
+   routes through :func:`repro.align.banded.banded_global_align`
+   whenever the band bound *provably* holds — the banded score beats
+   the best any band-leaving path could score — and the band is large
+   enough relative to the matrix for the O((m+n)k) sweep to win.
+
+Every fast path is gated by a proof obligation, and the whole engine is
+pinned to the scalar kernels by the Hypothesis equivalence suite in
+``tests/test_batch_align.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.align.banded import banded_global_align
+from repro.align.matrices import ScoringScheme, blosum62_scheme
+from repro.align.pairwise import (
+    Alignment,
+    _as_encoded,
+    _traceback,
+    batch_alignment_cells,
+)
+
+#: Pairs per DP bucket.  Measured on the benchmark box: the batch-last
+#: working set of a 256x300 bucket stays cache-resident up to ~64 pairs
+#: and regresses past ~128 (the (m+1, n+1, B) row slabs start missing).
+DEFAULT_BUCKET = 64
+
+#: Pairs per Myers sweep.  The bit-vector state is tiny ((W, B) words),
+#: so larger batches purely amortise NumPy dispatch overhead.
+DEFAULT_MYERS_BUCKET = 1024
+
+#: Length quantum for DP bucketing: pads at most quantum-1 rows/cols.
+_BUCKET_QUANTUM = 32
+
+_U1 = np.uint64(1)
+_U63 = np.uint64(63)
+
+
+# ---------------------------------------------------------------------------
+# Bucketed batch DP fill
+# ---------------------------------------------------------------------------
+
+
+def _chain_dtype(scheme: ScoringScheme, m: int, n: int) -> type:
+    """Smallest integer dtype that provably cannot overflow the fill.
+
+    The scalar kernel runs its running-max chain in int64; any dtype
+    holding every intermediate exactly yields bit-identical H values.
+    |H| <= max|sub| * min(m, n) + |gap| * (m + n), and the chain adds
+    |gap| * (n + 1) on top.
+    """
+    bound = (
+        int(np.abs(scheme.matrix).max()) * min(m, n)
+        + abs(scheme.gap) * (m + n + 2)
+        + abs(scheme.gap) * (n + 1)
+    )
+    return np.int32 if bound < 2**31 - 1 else np.int64
+
+
+def _bucket_fill(
+    encoded_a: Sequence[np.ndarray],
+    encoded_b: Sequence[np.ndarray],
+    scheme: ScoringScheme,
+    mode: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fill one bucket of pairs; returns (H, SUB), batch-last layout.
+
+    ``H`` has shape ``(m_pad+1, n_pad+1, B)`` and ``SUB`` shape
+    ``(m_pad, n_pad, B)``; for every pair ``k`` the real submatrix
+    ``H[:m_k+1, :n_k+1, k]`` equals the scalar ``_fill`` H exactly (the
+    padded tail rows/columns only ever read cells at smaller indices,
+    so garbage never flows into a real cell).
+    """
+    B = len(encoded_a)
+    m_arr = np.array([len(a) for a in encoded_a])
+    n_arr = np.array([len(b) for b in encoded_b])
+    m_pad, n_pad = int(m_arr.max()), int(n_arr.max())
+    # Pad with residue 0: scores computed there are garbage but confined
+    # to rows > m_k / cols > n_k of pair k.
+    a_pad = np.zeros((m_pad, B), dtype=np.intp)
+    b_pad = np.zeros((n_pad, B), dtype=np.intp)
+    for k, (a, b) in enumerate(zip(encoded_a, encoded_b)):
+        a_pad[: len(a), k] = a
+        b_pad[: len(b), k] = b
+
+    matrix = scheme.matrix
+    sub_dtype = np.int8 if int(np.abs(matrix).max()) <= 120 else np.int32
+    matrix = matrix.astype(sub_dtype)
+    gap = int(scheme.gap)
+    cdt = _chain_dtype(scheme, m_pad, n_pad)
+
+    H = np.zeros((m_pad + 1, n_pad + 1, B), dtype=np.int32)
+    SUB = np.empty((m_pad, n_pad, B), dtype=sub_dtype)
+    if mode == "global":
+        ramp_m = gap * np.arange(m_pad + 1, dtype=np.int32)
+        ramp_n = gap * np.arange(n_pad + 1, dtype=np.int32)
+        H[:, 0, :] = ramp_m[:, None]
+        H[0, :, :] = ramp_n[:, None]
+
+    offs = (-gap) * np.arange(n_pad + 1, dtype=cdt)[:, None]
+    local = mode == "local"
+    t = np.empty((n_pad, B), dtype=np.int32)
+    up = np.empty((n_pad, B), dtype=np.int32)
+    chain = np.empty((n_pad + 1, B), dtype=cdt)
+    for i in range(1, m_pad + 1):
+        # Substitution profile row: matrix[a[i-1], b[j]] for all pairs.
+        sub_row = SUB[i - 1]
+        sub_row[...] = matrix[a_pad[i - 1][None, :], b_pad]
+        prev = H[i - 1]
+        np.add(prev[:-1], sub_row, out=t)
+        np.add(prev[1:], gap, out=up)
+        np.maximum(t, up, out=t)
+        if local:
+            np.maximum(t, 0, out=t)
+        chain[0] = H[i, 0]
+        chain[1:] = t
+        chain += offs
+        np.maximum.accumulate(chain, axis=0, out=chain)
+        np.subtract(chain[1:], offs[1:], out=chain[1:])
+        H[i, 1:] = chain[1:]
+    return H, SUB
+
+
+def _bucket_key(m: int, n: int) -> tuple[int, int]:
+    q = _BUCKET_QUANTUM
+    return (-(-m // q), -(-n // q))
+
+
+def _iter_buckets(
+    dims: Sequence[tuple[int, int]], bucket_size: int
+) -> Iterable[list[int]]:
+    """Group pair indices into quantised-length buckets of bounded size."""
+    groups: dict[tuple[int, int], list[int]] = {}
+    for idx, (m, n) in enumerate(dims):
+        groups.setdefault(_bucket_key(m, n), []).append(idx)
+    for key in sorted(groups):
+        members = groups[key]
+        for lo in range(0, len(members), bucket_size):
+            yield members[lo : lo + bucket_size]
+
+
+def _endpoint(H: np.ndarray, m: int, n: int, mode: str) -> tuple[int, int]:
+    """Traceback start cell, replicating the scalar argmax exactly."""
+    if mode == "global":
+        return m, n
+    if mode == "local":
+        flat = int(np.argmax(H))
+        return divmod(flat, H.shape[1])
+    last_row_j = int(np.argmax(H[m, :]))
+    last_col_i = int(np.argmax(H[:, n]))
+    if H[m, last_row_j] >= H[last_col_i, n]:
+        return m, last_row_j
+    return last_col_i, n
+
+
+def batch_align(
+    pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme | None = None,
+    mode: str = "semiglobal",
+    *,
+    bucket_size: int = DEFAULT_BUCKET,
+) -> list[Alignment]:
+    """Align many pairs at once; results equal the scalar kernels exactly.
+
+    ``pairs`` is a sequence of ``(a, b)`` encoded arrays; the returned
+    list is in input order and each element compares equal (all
+    dataclass fields) to ``global_align`` / ``local_align`` /
+    ``semiglobal_align`` on the same pair.  DP cells are accounted per
+    *real* pair dimensions (``batch.cells``), never per padded slot.
+    """
+    if mode not in ("global", "local", "semiglobal"):
+        raise ValueError(f"unknown alignment mode {mode!r}")
+    if scheme is None:
+        scheme = blosum62_scheme()
+    enc = [(_as_encoded(a), _as_encoded(b)) for a, b in pairs]
+    if not enc:
+        return []
+    dims = [(len(a), len(b)) for a, b in enc]
+    obs.count("batch.pairs", len(enc))
+    obs.count("batch.cells", batch_alignment_cells(dims))
+    out: list[Alignment | None] = [None] * len(enc)
+    for members in _iter_buckets(dims, bucket_size):
+        H, SUB = _bucket_fill(
+            [enc[k][0] for k in members],
+            [enc[k][1] for k in members],
+            scheme,
+            mode,
+        )
+        for slot, k in enumerate(members):
+            a, b = enc[k]
+            m, n = len(a), len(b)
+            h = H[: m + 1, : n + 1, slot]
+            start_i, start_j = _endpoint(h, m, n, mode)
+            out[k] = _traceback(
+                h, SUB[:m, :n, slot], a, b, scheme, start_i, start_j, mode
+            )
+    return out  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Score-only mode (with the certified banded default for global)
+# ---------------------------------------------------------------------------
+
+
+def _banded_certificate_score(
+    a: np.ndarray, b: np.ndarray, scheme: ScoringScheme
+) -> int | None:
+    """Exact global score via banded DP, or None when not certifiable.
+
+    Soundness: a global path that touches any cell with ``|i - j| >
+    band`` spends at least ``2 * (band + 1) - |m - n|`` gap columns, so
+    it scores at most ``U = maxdiag * min(m, n) + gap * (2 * (band + 1)
+    - |m - n|)``.  When the banded optimum *strictly* beats ``U``, no
+    band-leaving path can tie it, hence the banded score is the
+    unrestricted optimum.  Profitability: the anti-diagonal sweep costs
+    O((m+n) * band) with a longer Python loop than the row fill, so it
+    only wins once the matrix is large relative to the band.
+    """
+    m, n = len(a), len(b)
+    band = abs(m - n) + 32
+    # Profitability gate (not a correctness condition): the banded loop
+    # runs m+n Python iterations vs the row fill's m, so it needs the
+    # per-iteration array work to shrink by more than that factor.
+    if min(m, n) < 384 or (2 * band + 1) * 4 > min(m, n):
+        return None
+    maxdiag = int(scheme.matrix.diagonal().max())
+    banded = banded_global_align(a, b, band, scheme)
+    out_bound = maxdiag * min(m, n) + scheme.gap * (2 * (band + 1) - abs(m - n))
+    if banded.score > out_bound:
+        return banded.score
+    return None
+
+
+def batch_score(
+    pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    scheme: ScoringScheme | None = None,
+    mode: str = "semiglobal",
+    *,
+    bucket_size: int = DEFAULT_BUCKET,
+    use_banded: bool | None = None,
+) -> np.ndarray:
+    """Optimal scores only — no tracebacks, no Alignment objects.
+
+    Scores are exactly the scalar kernels' ``.score``.  For
+    ``mode="global"`` each pair first tries the certified banded sweep
+    (see :func:`_banded_certificate_score`); pairs that cannot be
+    certified fall back to the batched full fill.  ``use_banded``
+    forces the routing for tests (None = automatic).
+    """
+    if mode not in ("global", "local", "semiglobal"):
+        raise ValueError(f"unknown alignment mode {mode!r}")
+    if scheme is None:
+        scheme = blosum62_scheme()
+    enc = [(_as_encoded(a), _as_encoded(b)) for a, b in pairs]
+    scores = np.zeros(len(enc), dtype=np.int64)
+    if not enc:
+        return scores
+    todo = list(range(len(enc)))
+    if mode == "global" and use_banded is not False:
+        remaining = []
+        for k in todo:
+            certified = _banded_certificate_score(*enc[k], scheme)
+            if certified is None and use_banded is True:
+                aln = banded_global_align(
+                    enc[k][0], enc[k][1], max(len(enc[k][0]), len(enc[k][1])),
+                    scheme,
+                )
+                certified = aln.score
+            if certified is not None:
+                scores[k] = certified
+                obs.count("batch.banded_certified")
+            else:
+                remaining.append(k)
+        todo = remaining
+    if todo:
+        dims = [(len(enc[k][0]), len(enc[k][1])) for k in todo]
+        obs.count("batch.pairs", len(todo))
+        obs.count("batch.cells", batch_alignment_cells(dims))
+        for members in _iter_buckets(dims, bucket_size):
+            H, _ = _bucket_fill(
+                [enc[todo[s]][0] for s in members],
+                [enc[todo[s]][1] for s in members],
+                scheme,
+                mode,
+            )
+            for slot, s in enumerate(members):
+                k = todo[s]
+                m, n = len(enc[k][0]), len(enc[k][1])
+                h = H[: m + 1, : n + 1, slot]
+                i, j = _endpoint(h, m, n, mode)
+                scores[k] = int(h[i, j])
+    return scores
+
+
+# ---------------------------------------------------------------------------
+# Bit-parallel Myers infix edit distance (vectorised across pairs)
+# ---------------------------------------------------------------------------
+
+
+def batch_myers_infix(
+    patterns: Sequence[np.ndarray],
+    texts: Sequence[np.ndarray],
+    *,
+    alphabet: int = 21,
+    bucket_size: int = DEFAULT_MYERS_BUCKET,
+) -> np.ndarray:
+    """min over infixes ``t[x:y]`` of the unit-cost edit distance to
+    the full pattern, for every (pattern, text) pair, vectorised.
+
+    Multi-word Myers bit-vector recurrence with the horizontal delta
+    carried between 64-bit blocks; patterns are bucketed by word count
+    so every pair in a sweep tracks its score at its own last-row bit.
+    Texts are padded with a sentinel character that matches nothing —
+    sentinel columns can only raise the running score, so they never
+    perturb the minimum.
+    """
+    if len(patterns) != len(texts):
+        raise ValueError("patterns and texts must have equal length")
+    result = np.zeros(len(patterns), dtype=np.int64)
+    if not patterns:
+        return result
+    m_all = np.array([len(p) for p in patterns])
+    if (m_all == 0).any():
+        raise ValueError("patterns must be non-empty")
+    groups: dict[int, list[int]] = {}
+    for idx, m in enumerate(m_all):
+        groups.setdefault(int((m + 63) // 64), []).append(idx)
+    for W, members in sorted(groups.items()):
+        # Sort by text length so padding waste inside a sweep stays low.
+        members = sorted(members, key=lambda k: len(texts[k]))
+        for lo in range(0, len(members), bucket_size):
+            chunk = members[lo : lo + bucket_size]
+            dists = _myers_sweep(
+                [patterns[k] for k in chunk],
+                [texts[k] for k in chunk],
+                W,
+                alphabet,
+            )
+            result[chunk] = dists
+    return result
+
+
+def _myers_sweep(
+    patterns: Sequence[np.ndarray],
+    texts: Sequence[np.ndarray],
+    W: int,
+    alphabet: int,
+) -> np.ndarray:
+    B = len(patterns)
+    m_arr = np.array([len(p) for p in patterns])
+    n_arr = np.array([len(t) for t in texts])
+    n_max = int(n_arr.max()) if len(n_arr) else 0
+    peq = np.zeros((alphabet + 1, B, W), dtype=np.uint64)
+    for k, p in enumerate(patterns):
+        idx = np.arange(len(p))
+        np.bitwise_or.at(
+            peq,
+            (np.asarray(p, dtype=np.intp), k, idx >> 6),
+            _U1 << (idx & 63).astype(np.uint64),
+        )
+    tpad = np.full((max(n_max, 1), B), alphabet, dtype=np.intp)
+    for k, t in enumerate(texts):
+        tpad[: len(t), k] = t
+    EQ = peq[tpad, np.arange(B)[None, :], :]  # (n_max, B, W)
+
+    Pv = np.full((W, B), ~np.uint64(0), dtype=np.uint64)
+    Mv = np.zeros((W, B), dtype=np.uint64)
+    score = m_arr.astype(np.int64).copy()
+    best = score.copy()
+    last_shift = ((m_arr - 1) & 63).astype(np.uint64)
+    zeros = np.zeros(B, dtype=np.uint64)
+    eq = np.empty(B, dtype=np.uint64)
+    xv = np.empty_like(eq)
+    xh = np.empty_like(eq)
+    ph = np.empty_like(eq)
+    mh = np.empty_like(eq)
+    tmp = np.empty_like(eq)
+    neg = np.empty_like(eq)
+    for j in range(n_max):
+        eqj = EQ[j]
+        hin_p = zeros
+        hin_m = zeros
+        for w in range(W):
+            pv = Pv[w]
+            mv = Mv[w]
+            np.bitwise_or(eqj[:, w], hin_m, out=eq)
+            np.bitwise_or(eq, mv, out=xv)
+            np.bitwise_and(eq, pv, out=tmp)
+            np.add(tmp, pv, out=tmp)
+            np.bitwise_xor(tmp, pv, out=tmp)
+            np.bitwise_or(tmp, eq, out=xh)
+            np.bitwise_or(xh, pv, out=tmp)
+            np.bitwise_not(tmp, out=tmp)
+            np.bitwise_or(mv, tmp, out=ph)
+            np.bitwise_and(pv, xh, out=mh)
+            if w == W - 1:
+                np.right_shift(ph, last_shift, out=tmp)
+                np.bitwise_and(tmp, _U1, out=tmp)
+                score += tmp.astype(np.int64)
+                np.right_shift(mh, last_shift, out=tmp)
+                np.bitwise_and(tmp, _U1, out=tmp)
+                score -= tmp.astype(np.int64)
+                hout_p = hout_m = None
+            else:
+                hout_p = ph >> _U63
+                hout_m = mh >> _U63
+            np.left_shift(ph, _U1, out=ph)
+            np.bitwise_or(ph, hin_p, out=ph)
+            np.left_shift(mh, _U1, out=mh)
+            np.bitwise_or(mh, hin_m, out=mh)
+            np.bitwise_or(xv, ph, out=neg)
+            np.bitwise_not(neg, out=neg)
+            np.bitwise_or(mh, neg, out=Pv[w])
+            np.bitwise_and(ph, xv, out=Mv[w])
+            if hout_p is not None:
+                hin_p, hin_m = hout_p, hout_m
+        np.minimum(best, score, out=best)
+    return best
+
+
+def myers_infix_distance(pattern: np.ndarray, text: np.ndarray) -> int:
+    """Scalar convenience wrapper over :func:`batch_myers_infix`."""
+    return int(batch_myers_infix([_as_encoded(pattern)], [_as_encoded(text)])[0])
+
+
+# ---------------------------------------------------------------------------
+# Containment engine (the RR >=95 % fast path)
+# ---------------------------------------------------------------------------
+
+
+def strict_diagonal_scheme(scheme: ScoringScheme) -> bool:
+    """True when every diagonal entry is positive and a strict row max.
+
+    Under such a scheme (BLOSUM62, identity) a perfect exact match is
+    the *unique* optimal semiglobal alignment of a sequence against a
+    text containing it: any substitution column scores strictly below
+    the diagonal entry and any gap column scores negative, so only the
+    gapless perfect diagonal attains the maximum score.
+    """
+    matrix = scheme.matrix
+    diag = matrix.diagonal()
+    if (diag <= 0).any():
+        return False
+    off = matrix - np.diag(diag)
+    return bool((diag > off.max(axis=1)).all())
+
+
+def containment_reject_threshold(
+    m: int, n: int, similarity: float, coverage: float
+) -> int | None:
+    """Sound infix-edit-distance threshold for Definition 1 rejection.
+
+    Let ``s = min(m, n)`` and ``l = max(m, n)`` and let ``D`` be the
+    minimum unit-cost edit distance between the *shorter* sequence and
+    any infix of the longer.  If either containment direction holds for
+    the scalar-optimal overlap alignment (identity >= ``similarity``
+    over ``L`` columns, covered fraction >= ``coverage``), that witness
+    alignment converts into an infix edit script:
+
+    * shorter-in-longer: at most ``s*(1-coverage)`` clipped residues of
+      the shorter plus ``L - M <= (1-similarity) * s / similarity``
+      window edits, so ``D <= s*(1-coverage) + s*(1-similarity)/similarity``;
+    * longer-in-shorter: only feasible when ``l * similarity * coverage
+      <= s`` (matches are bounded by the shorter length), and then
+      ``D <= s*(1 - similarity*coverage) + s*(1-similarity)/similarity``.
+
+    Returns the largest integer ``K`` such that ``D > K`` proves both
+    directions fail (one unit of slack absorbs float rounding), or
+    ``None`` when no rejection is sound (degenerate thresholds).
+    """
+    if similarity <= 0.0 or coverage <= 0.0:
+        return None
+    s, l = min(m, n), max(m, n)
+    window = s * (1.0 - similarity) / similarity
+    k = s * (1.0 - coverage) + window
+    if l * similarity * coverage <= s + 1e-9:
+        k = max(k, s * (1.0 - similarity * coverage) + window)
+    return int(math.floor(k + 1e-9)) + 1
+
+
+@dataclass(frozen=True)
+class ContainmentBatch:
+    """Outcome of :func:`batch_containment` for one pair list.
+
+    ``stats[k]`` is the ``(identity, coverage_a, coverage_b)`` triple
+    Definition 1 thresholds on; for pairs decided by the Myers reject
+    path it is ``(0.0, 0.0, 0.0)`` — the decision (no containment
+    either way) is identical, the floats are surrogates.
+    ``alignments[k]`` carries the exact scalar-equal Alignment for
+    pairs that went through the DP, else None.
+    """
+
+    stats: list[tuple[float, float, float]]
+    alignments: list[Alignment | None]
+    n_rejected: int
+    n_exact: int
+    n_dp: int
+
+
+def batch_containment(
+    pairs: Sequence[tuple[np.ndarray, np.ndarray]],
+    *,
+    scheme: ScoringScheme | None = None,
+    similarity: float,
+    coverage: float,
+    bucket_size: int = DEFAULT_BUCKET,
+    myers_bucket: int = DEFAULT_MYERS_BUCKET,
+) -> ContainmentBatch:
+    """Definition 1 statistics for many pairs, decision-identical to the
+    scalar ``semiglobal_align`` path.
+
+    Three routes, cheapest first:
+
+    1. **Myers reject** — infix distance above
+       :func:`containment_reject_threshold` proves neither direction
+       can pass; no alignment exists or is needed.
+    2. **Exact certificate** — distance 0 under a strict-diagonal
+       scheme proves the scalar optimum is the perfect diagonal, whose
+       statistics are known in closed form.
+    3. **Batched DP** — everything else runs through
+       :func:`batch_align`, whose Alignments equal the scalar kernel's.
+    """
+    if scheme is None:
+        scheme = blosum62_scheme()
+    enc = [(_as_encoded(a), _as_encoded(b)) for a, b in pairs]
+    n_pairs = len(enc)
+    stats: list[tuple[float, float, float] | None] = [None] * n_pairs
+    alns: list[Alignment | None] = [None] * n_pairs
+    if not enc:
+        return ContainmentBatch([], [], 0, 0, 0)
+    obs.count("batch.pairs", n_pairs)
+
+    shorter = [a if len(a) <= len(b) else b for a, b in enc]
+    longer = [b if len(a) <= len(b) else a for a, b in enc]
+    dists = batch_myers_infix(shorter, longer, bucket_size=myers_bucket)
+    exact_ok = strict_diagonal_scheme(scheme)
+
+    n_rejected = n_exact = 0
+    dp_idx: list[int] = []
+    for k, (a, b) in enumerate(enc):
+        m, n = len(a), len(b)
+        threshold = containment_reject_threshold(m, n, similarity, coverage)
+        if threshold is not None and dists[k] > threshold:
+            stats[k] = (0.0, 0.0, 0.0)
+            n_rejected += 1
+        elif exact_ok and dists[k] == 0:
+            # identity = matches/length = 1.0; coverage of the shorter
+            # is full, of the longer it is s/l — exactly the perfect
+            # diagonal the scalar argmax selects at the first occurrence.
+            cov_a = 1.0 if m <= n else n / m
+            cov_b = 1.0 if n <= m else m / n
+            stats[k] = (1.0, cov_a, cov_b)
+            n_exact += 1
+        else:
+            dp_idx.append(k)
+    if dp_idx:
+        computed = batch_align(
+            [enc[k] for k in dp_idx], scheme, "semiglobal",
+            bucket_size=bucket_size,
+        )
+        for k, aln in zip(dp_idx, computed):
+            a, b = enc[k]
+            stats[k] = (
+                aln.identity,
+                aln.coverage_a(len(a)),
+                aln.coverage_b(len(b)),
+            )
+            alns[k] = aln
+    obs.count("batch.myers_rejects", n_rejected)
+    obs.count("batch.exact_certified", n_exact)
+    obs.count("batch.dp_pairs", len(dp_idx))
+    return ContainmentBatch(
+        stats=stats,  # type: ignore[arg-type]
+        alignments=alns,
+        n_rejected=n_rejected,
+        n_exact=n_exact,
+        n_dp=len(dp_idx),
+    )

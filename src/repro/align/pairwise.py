@@ -15,6 +15,7 @@ alignment length, and the aligned span on each sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
@@ -214,3 +215,14 @@ def alignment_cells(a_len: int, b_len: int) -> int:
     work (the paper's dominant kernel).
     """
     return (a_len + 1) * (b_len + 1)
+
+
+def batch_alignment_cells(dims: Iterable[tuple[int, int]]) -> int:
+    """Total DP cells for a batch of pairs, by *real* pair dimensions.
+
+    The batched kernels (:mod:`repro.align.batch`) pad pairs to a common
+    bucket shape; cost accounting must charge each pair its own
+    ``(m+1)(n+1)`` cells, never the padded slot size, or the work
+    counters would inflate with bucket geometry instead of input size.
+    """
+    return sum(alignment_cells(m, n) for m, n in dims)

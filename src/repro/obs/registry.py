@@ -101,6 +101,26 @@ _SPECS = [
                 "semiglobal alignments computed (master or worker)"),
     CounterSpec("cache.entries", "cache",
                 "distinct alignments memoised at run end"),
+    # -- Batched alignment kernel (repro.align.batch) ----------------------
+    # Work counters by design: how many pairs each engine route handled
+    # varies with chunking/backends, while the decisions they feed
+    # (rr.*, ccd.*) stay scientific and bit-identical.
+    CounterSpec("batch.pairs", "align",
+                "pairs submitted to the batched DP/containment engine"),
+    CounterSpec("batch.cells", "align",
+                "DP cells filled by batched kernels, counted per real "
+                "pair dimensions (padding slots excluded)"),
+    CounterSpec("batch.myers_rejects", "align",
+                "containment pairs rejected by the sound bit-parallel "
+                "Myers infix-distance bound (DP skipped)"),
+    CounterSpec("batch.exact_certified", "align",
+                "containment pairs answered by the distance-0 exact "
+                "certificate under a strict-diagonal scheme"),
+    CounterSpec("batch.dp_pairs", "align",
+                "containment pairs that fell through to the batched DP"),
+    CounterSpec("batch.banded_certified", "align",
+                "global score-only pairs answered by the certified "
+                "banded sweep instead of the full fill"),
     # -- Runtime backends ---------------------------------------------------
     CounterSpec("runtime.batches", "runtime",
                 "work batches dispatched to the task queue"),

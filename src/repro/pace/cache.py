@@ -24,10 +24,11 @@ trivial.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from repro.align.batch import batch_align
 from repro.align.matrices import ScoringScheme
 from repro.align.pairwise import Alignment, local_align, semiglobal_align
 
@@ -73,6 +74,12 @@ class AlignmentCache:
             raise ValueError(f"self-alignment requested for sequence {i}")
         return (i, j) if i < j else (j, i)
 
+    def encoded(self, i: int) -> np.ndarray:
+        """Encoded sequence for global index ``i`` (the constructor's
+        accessor) — lets backend streams derive lengths and feed the
+        batched kernels without a second sequence store handle."""
+        return self._get(i)
+
     def set_phase(self, name: str) -> None:
         """Attribute subsequent hits/misses to ``name`` (\"\" = untracked)."""
         self._phase = name
@@ -117,6 +124,62 @@ class AlignmentCache:
             self.semiglobal_hits += 1
             self._tally(hit=True)
         return aln
+
+    def batch(self, kind: str, pairs: Sequence[tuple[int, int]]) -> list[Alignment]:
+        """Resolve many pairs at once; misses run through the batched kernel.
+
+        Counter semantics are pinned to the per-pair equivalent: a pair
+        already cached counts a hit, the *first* occurrence of an
+        uncached key counts a miss, and any duplicate of that key later
+        in the same batch counts a hit (exactly what a sequential loop
+        of :meth:`local`/:meth:`semiglobal` calls would record, since
+        the first call inserts before the second looks up).  Results
+        are returned in input order and are identical to the scalar
+        accessors' — the batched kernel is exact, see
+        :mod:`repro.align.batch`.
+        """
+        table = self._table(kind)
+        out: list[Alignment | None] = [None] * len(pairs)
+        pending: dict[tuple[int, int], list[int]] = {}
+        order: list[tuple[int, int]] = []
+        for pos, (i, j) in enumerate(pairs):
+            key = self._key(i, j)
+            aln = table.get(key)
+            if aln is not None:
+                self._count_hit(kind)
+                out[pos] = aln
+            elif key in pending:
+                self._count_hit(kind)
+                pending[key].append(pos)
+            else:
+                self._count_miss(kind)
+                pending[key] = [pos]
+                order.append(key)
+        if order:
+            computed = batch_align(
+                [(self._get(i), self._get(j)) for i, j in order],
+                self._scheme,
+                mode=kind,
+            )
+            for key, aln in zip(order, computed):
+                table[key] = aln
+                for pos in pending[key]:
+                    out[pos] = aln
+        return out  # type: ignore[return-value]
+
+    def _count_hit(self, kind: str) -> None:
+        if kind == "local":
+            self.local_hits += 1
+        else:
+            self.semiglobal_hits += 1
+        self._tally(hit=True)
+
+    def _count_miss(self, kind: str) -> None:
+        if kind == "local":
+            self.local_misses += 1
+        else:
+            self.semiglobal_misses += 1
+        self._tally(hit=False)
 
     # -- backend hooks -----------------------------------------------------
 

@@ -129,6 +129,17 @@ class AlignmentStream(abc.ABC):
     def submit(self, i: int, j: int) -> None:
         """Request alignment of global sequence pair (i, j)."""
 
+    def submit_many(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Request alignment of many pairs at once.
+
+        The default forwards pair by pair; backends override it to hand
+        whole chunks to the batched kernels
+        (:func:`repro.align.batch.batch_align`) so the per-dispatch
+        NumPy overhead amortises across the pair axis.
+        """
+        for i, j in pairs:
+            self.submit(i, j)
+
     @abc.abstractmethod
     def ready(self) -> list[tuple[int, int, "Alignment"]]:
         """Completed results available now, without blocking."""
@@ -136,6 +147,64 @@ class AlignmentStream(abc.ABC):
     @abc.abstractmethod
     def drain(self) -> Iterator[tuple[int, int, "Alignment"]]:
         """Flush: block until every submitted pair has a result."""
+
+
+class ContainmentStream(abc.ABC):
+    """Streaming Definition 1 statistics channel — the RR phase primitive.
+
+    Same submit/ready/drain shape as :class:`AlignmentStream`, but the
+    result for a pair is ``(i, j, (identity, coverage_i, coverage_j))``
+    oriented to the canonical ``i < j`` order.  RR verdicts consume only
+    these three floats, never the traceback — which is what lets
+    backends route pairs through alignment-free fast paths
+    (:func:`repro.align.batch.batch_containment`): a pair *proven*
+    unable to pass Definition 1 in either direction ships the surrogate
+    ``(0.0, 0.0, 0.0)`` and the decision is unchanged.
+    """
+
+    @abc.abstractmethod
+    def submit_many(self, pairs: Sequence[tuple[int, int]]) -> None:
+        """Request Definition 1 statistics for many pairs."""
+
+    def submit(self, i: int, j: int) -> None:
+        self.submit_many([(i, j)])
+
+    @abc.abstractmethod
+    def ready(self) -> list[tuple[int, int, tuple[float, float, float]]]:
+        """Completed statistics available now, without blocking."""
+
+    @abc.abstractmethod
+    def drain(self) -> Iterator[tuple[int, int, tuple[float, float, float]]]:
+        """Flush: block until every submitted pair has statistics."""
+
+
+class _AlignmentContainmentStream(ContainmentStream):
+    """Fallback adapter: full semiglobal alignments, stats derived
+    master-side.  Used by any backend that does not override
+    :meth:`Backend.containment_stream` with an engine-aware stream."""
+
+    def __init__(self, stream: AlignmentStream, cache: "AlignmentCache"):
+        self._stream = stream
+        self._cache = cache
+
+    def _stats(self, i: int, j: int, aln) -> tuple[float, float, float]:
+        return (
+            aln.identity,
+            aln.coverage_a(len(self._cache.encoded(i))),
+            aln.coverage_b(len(self._cache.encoded(j))),
+        )
+
+    def submit_many(self, pairs: Sequence[tuple[int, int]]) -> None:
+        self._stream.submit_many(pairs)
+
+    def ready(self) -> list[tuple[int, int, tuple[float, float, float]]]:
+        return [
+            (i, j, self._stats(i, j, aln)) for i, j, aln in self._stream.ready()
+        ]
+
+    def drain(self) -> Iterator[tuple[int, int, tuple[float, float, float]]]:
+        for i, j, aln in self._stream.drain():
+            yield (i, j, self._stats(i, j, aln))
 
 
 class Backend(abc.ABC):
@@ -228,6 +297,27 @@ class Backend(abc.ABC):
         self, kind: str, cache: "AlignmentCache"
     ) -> AlignmentStream:
         """Open a stream of ``kind`` ("local" or "semiglobal") alignments."""
+
+    def containment_stream(
+        self,
+        cache: "AlignmentCache",
+        *,
+        similarity: float,
+        coverage: float,
+    ) -> ContainmentStream:
+        """Open a Definition 1 statistics stream for the RR phase.
+
+        The base implementation adapts a semiglobal alignment stream
+        (every pair gets a full DP, stats derived master-side — exactly
+        the historical behaviour).  The serial and process backends
+        override this with streams backed by the batched containment
+        engine, whose decisions are provably identical; ``similarity``/
+        ``coverage`` parameterise its sound rejection threshold.
+        """
+        del similarity, coverage  # the adapter always aligns fully
+        return _AlignmentContainmentStream(
+            self.alignment_stream("semiglobal", cache), cache
+        )
 
     @abc.abstractmethod
     def map_components(

@@ -43,6 +43,15 @@ from repro.shingle.algorithm import ShingleParams
 from repro.suffix.matches import MaximalMatchFinder
 
 
+#: Pairs per RR submit_many chunk.  Sized for the batched containment
+#: engine's sweet spot (the Myers sweep amortises across the pair axis);
+#: RR has no master-side filter, so chunking costs no decision freshness.
+RR_CHUNK = 512
+
+#: Pairs per bipartite submit_many chunk (pure batched-DP path).
+BIPARTITE_CHUNK = 128
+
+
 def backend_redundancy_removal(
     sequences: SequenceSet,
     backend: Backend,
@@ -53,8 +62,16 @@ def backend_redundancy_removal(
     coverage: float,
     max_pairs_per_node: int | None = None,
 ) -> RedundancyResult:
-    """RR phase on a backend: all unique promising pairs are aligned and
-    Definition 1 verdicts absorbed in completion order."""
+    """RR phase on a backend: all unique promising pairs are submitted in
+    chunks to the containment stream and Definition 1 verdicts absorbed
+    in completion order.
+
+    The stream yields ``(identity, coverage_i, coverage_j)`` statistics
+    rather than Alignments, so backends may answer pairs through the
+    batched engine's alignment-free fast paths; the scientific counters
+    (``rr.pairs``/``rr.alignments``) still count every pair whose
+    Definition 1 verdict was evaluated, regardless of compute route.
+    """
     encoded = [record.encoded for record in sequences]
     finder = MaximalMatchFinder(
         encoded, min_length=psi, max_pairs_per_node=max_pairs_per_node
@@ -63,15 +80,16 @@ def backend_redundancy_removal(
     containments: list[tuple[int, int]] = []
     n_pairs = 0
 
-    def absorb(i: int, j: int, aln) -> None:
+    def absorb(i: int, j: int, stats: tuple[float, float, float]) -> None:
+        identity, cov_i, cov_j = stats
         _decide(
             redundant,
             containments,
             i,
             j,
-            aln.identity,
-            aln.coverage_a(len(encoded[i])),
-            aln.coverage_b(len(encoded[j])),
+            identity,
+            cov_i,
+            cov_j,
             len(encoded[i]),
             len(encoded[j]),
             similarity,
@@ -79,16 +97,24 @@ def backend_redundancy_removal(
         )
 
     with backend.phase("redundancy"):
-        stream = backend.alignment_stream("semiglobal", cache)
+        stream = backend.containment_stream(
+            cache, similarity=similarity, coverage=coverage
+        )
+        chunk: list[tuple[int, int]] = []
         for match in finder.unique_pairs():
             n_pairs += 1
             obs.count("rr.pairs")
             obs.count("rr.alignments")
-            stream.submit(*match.pair)
-            for i, j, aln in stream.ready():
-                absorb(i, j, aln)
-        for i, j, aln in stream.drain():
-            absorb(i, j, aln)
+            chunk.append(match.pair)
+            if len(chunk) >= RR_CHUNK:
+                stream.submit_many(chunk)
+                chunk = []
+                for i, j, stats in stream.ready():
+                    absorb(i, j, stats)
+        if chunk:
+            stream.submit_many(chunk)
+        for i, j, stats in stream.drain():
+            absorb(i, j, stats)
 
     return _build_result(
         len(sequences), redundant, containments, n_pairs, n_pairs, None
@@ -256,6 +282,7 @@ def backend_generate_component_graphs(
                 out.neighbors.setdefault(gj, set()).add(gi)
 
         stream = backend.alignment_stream("local", cache)
+        chunk: list[tuple[int, int]] = []
         for ci, members in enumerate(qualifying):
             if len(members) < 2:
                 continue
@@ -267,9 +294,14 @@ def backend_generate_component_graphs(
             for match in finder.unique_pairs():
                 n_alignments += 1
                 obs.count("bipartite.pairs")
-                stream.submit(members[match.seq_a], members[match.seq_b])
-                for gi, gj, aln in stream.ready():
-                    absorb(gi, gj, aln)
+                chunk.append((members[match.seq_a], members[match.seq_b]))
+                if len(chunk) >= BIPARTITE_CHUNK:
+                    stream.submit_many(chunk)
+                    chunk = []
+                    for gi, gj, aln in stream.ready():
+                        absorb(gi, gj, aln)
+        if chunk:
+            stream.submit_many(chunk)
         for gi, gj, aln in stream.drain():
             absorb(gi, gj, aln)
 

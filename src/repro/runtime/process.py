@@ -47,12 +47,14 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro import obs
+from repro.align.batch import batch_containment
 from repro.align.pairwise import Alignment
 from repro.pace.cache import AlignmentCache
 from repro.runtime.base import (
     AlignmentStream,
     Backend,
     BackendError,
+    ContainmentStream,
     PhaseStats,
     WorkerCrashError,
     default_worker_count,
@@ -67,6 +69,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 #: Pairs per task — large enough to amortise queue/pickle overhead over
 #: ~100 ms of alignment work, small enough to keep the filter fresh.
 DEFAULT_BATCH_SIZE = 32
+
+#: Pairs per RR containment task.  Larger than align batches on purpose:
+#: the bit-parallel Myers prefilter runs one NumPy sweep across the whole
+#: chunk's pair axis, and RR has no master-side filter to keep fresh.
+CONTAIN_BATCH_SIZE = 256
 
 #: Respawn budget default: each slot may be refilled twice.
 DEFAULT_RESPAWN_FACTOR = 2
@@ -115,7 +122,7 @@ def _worker_main(worker_index: int, task_queue, result_queue,
     result message, and the master rebases them onto the run recorder —
     workers never share observability state with the master.
     """
-    from repro.align.pairwise import local_align, semiglobal_align
+    from repro.align.batch import batch_align, batch_containment
     from repro.pace.densesub import shingle_component
 
     store = SharedSequenceStore.attach(store_spec)
@@ -135,16 +142,41 @@ def _worker_main(worker_index: int, task_queue, result_queue,
                 with obs.recording(recorder):
                     if task[0] == "align":
                         _, _, _, stream_id, kind, pairs = task
-                        align = local_align if kind == "local" else semiglobal_align
                         start = monotonic_now()
                         with recorder.span(f"align.{kind}", cat="task",
                                            pairs=len(pairs)):
+                            alns = batch_align(
+                                [(store.get(i), store.get(j)) for i, j in pairs],
+                                scheme, mode=kind,
+                            )
                             summaries = [
-                                (i, j) + _align_summary(align(store.get(i), store.get(j), scheme))
-                                for i, j in pairs
+                                (i, j) + _align_summary(aln)
+                                for (i, j), aln in zip(pairs, alns)
                             ]
                         result_queue.put(
                             ("align", task_id, stream_id, summaries,
+                             monotonic_now() - start,
+                             (worker_index, recorder.wall_spans(),
+                              recorder.counters()))
+                        )
+                    elif task[0] == "contain":
+                        _, _, _, stream_id, similarity, coverage, pairs = task
+                        start = monotonic_now()
+                        with recorder.span("align.contain", cat="task",
+                                           pairs=len(pairs)):
+                            res = batch_containment(
+                                [(store.get(i), store.get(j)) for i, j in pairs],
+                                scheme=scheme, similarity=similarity,
+                                coverage=coverage,
+                            )
+                            items = [
+                                (i, j, stats,
+                                 None if aln is None else _align_summary(aln))
+                                for (i, j), stats, aln in zip(
+                                    pairs, res.stats, res.alignments)
+                            ]
+                        result_queue.put(
+                            ("contain", task_id, stream_id, items,
                              monotonic_now() - start,
                              (worker_index, recorder.wall_spans(),
                               recorder.counters()))
@@ -284,6 +316,113 @@ class _ProcessStream(AlignmentStream):
         yield from self.ready()
 
 
+class _ProcessContainmentStream(ContainmentStream):
+    """Master-side view of one chunked RR containment stream.
+
+    Mirrors :class:`_ProcessStream` routing — cache consulted before
+    dispatch, worker results absorbed through the exactly-once ledger
+    gate — but ships Definition 1 *statistics* instead of alignments:
+    workers run :func:`repro.align.batch.batch_containment`, so only
+    pairs that actually needed the DP come back with an alignment
+    summary for the cache.  Tasks are chunked larger than plain align
+    batches because the bit-parallel Myers sweep amortises its NumPy
+    dispatch across the pair axis.
+    """
+
+    def __init__(self, backend: "ProcessBackend", stream_id: int,
+                 cache: AlignmentCache, phase: PhaseStats,
+                 similarity: float, coverage: float):
+        self._backend = backend
+        self.stream_id = stream_id
+        self._cache = cache
+        self._phase = phase
+        self._similarity = similarity
+        self._coverage = coverage
+        self._batch: list[tuple[int, int]] = []
+        self._flush_at = max(backend.batch_size, CONTAIN_BATCH_SIZE)
+        self.in_flight = 0
+        self.done: list[tuple[int, int, tuple[float, float, float]]] = []
+
+    def _stats(self, i: int, j: int, aln: Alignment) -> tuple[float, float, float]:
+        store = self._backend._store
+        return (
+            aln.identity,
+            aln.coverage_a(len(store.get(i))),
+            aln.coverage_b(len(store.get(j))),
+        )
+
+    def submit_many(self, pairs) -> None:
+        for i, j in pairs:
+            if i > j:
+                i, j = j, i
+            if self._cache.peek("semiglobal", i, j) is not None:
+                aln = self._cache.semiglobal(i, j)
+                self._phase.cache_hits += 1
+                obs.count(f"runtime.pairs_done.{self._phase.name}")
+                self.done.append((i, j, self._stats(i, j, aln)))
+                continue
+            self._batch.append((i, j))
+            self._phase.tasks += 1
+            if len(self._batch) >= self._flush_at:
+                self.flush()
+        self._backend._throttle(self)
+
+    def flush(self) -> None:
+        if not self._batch:
+            return
+        obs.count("runtime.batch_pairs", len(self._batch))
+        self._backend._submit(
+            ("contain", self.stream_id, self._similarity, self._coverage,
+             self._batch)
+        )
+        self._batch = []
+        self.in_flight += 1
+        obs.gauge(f"stream.{self.stream_id}.in_flight", self.in_flight)
+
+    def absorb(self, items: list[tuple], busy: float) -> None:
+        """Route one batch result into this stream (backend hook);
+        called exactly once per ledger entry, like
+        :meth:`_ProcessStream.absorb`."""
+        self.in_flight -= 1
+        obs.gauge(f"stream.{self.stream_id}.in_flight", self.in_flight)
+        self._phase.busy_seconds += busy
+        obs.count(f"runtime.pairs_done.{self._phase.name}", len(items))
+        for i, j, stats, summary in items:
+            if summary is not None:
+                self._cache.insert(
+                    "semiglobal", i, j,
+                    _summary_alignment(summary, "semiglobal"),
+                )
+            self.done.append((i, j, stats))
+
+    def compute_batch(self, pairs: list[tuple[int, int]]) -> list[tuple]:
+        """Quarantine/degraded path: same engine, run in-master."""
+        store = self._backend._store
+        result = batch_containment(
+            [(store.get(i), store.get(j)) for i, j in pairs],
+            scheme=self._backend._scheme,
+            similarity=self._similarity,
+            coverage=self._coverage,
+        )
+        return [
+            (i, j, stats, None if aln is None else _align_summary(aln))
+            for (i, j), stats, aln in zip(
+                pairs, result.stats, result.alignments)
+        ]
+
+    def ready(self) -> list[tuple[int, int, tuple[float, float, float]]]:
+        self._backend._pump(block=False)
+        out = self.done
+        self.done = []
+        return out
+
+    def drain(self) -> Iterator[tuple[int, int, tuple[float, float, float]]]:
+        self.flush()
+        while self.in_flight > 0:
+            self._backend._pump(block=True)
+        yield from self.ready()
+
+
 class ProcessBackend(Backend):
     """Real multi-core execution via ``multiprocessing`` workers."""
 
@@ -335,7 +474,7 @@ class ProcessBackend(Backend):
         self._dead_queues: list = []
         self._incarnation: list[int] = []
         self._results = None
-        self._streams: dict[int, _ProcessStream] = {}
+        self._streams: dict[int, "_ProcessStream | _ProcessContainmentStream"] = {}
         self._next_stream_id = 0
         self._next_task_id = 0
         self._ledger: dict[int, _TaskRecord] = {}
@@ -496,7 +635,7 @@ class ProcessBackend(Backend):
                                      *body[1:]))
         obs.gauge("runtime.outstanding", self._outstanding)
 
-    def _throttle(self, stream: _ProcessStream) -> None:
+    def _throttle(self, stream) -> None:
         """Bound outstanding batches; absorb results while waiting."""
         self._pump(block=False)
         while self._outstanding > self._max_outstanding:
@@ -598,6 +737,14 @@ class ProcessBackend(Backend):
                 summaries = stream.compute_batch(pairs)
             self._route(("align", record.task_id, stream_id, summaries,
                          monotonic_now() - start, None))
+        elif body[0] == "contain":
+            _, stream_id, _similarity, _coverage, pairs = body
+            stream = self._streams[stream_id]
+            with obs.span("align.contain", cat="task", pairs=len(pairs),
+                          in_master=True):
+                items = stream.compute_batch(pairs)
+            self._route(("contain", record.task_id, stream_id, items,
+                         monotonic_now() - start, None))
         elif body[0] == "shingle":
             from repro.pace.densesub import shingle_component
 
@@ -661,7 +808,7 @@ class ProcessBackend(Backend):
         if record.worker >= 0:
             self._worker_tasks[record.worker].discard(task_id)
         obs.gauge("runtime.outstanding", self._outstanding)
-        if msg[0] == "align":
+        if msg[0] in ("align", "contain"):
             _, _, stream_id, summaries, busy, worker_obs = msg
             self._absorb_worker_obs(worker_obs, busy)
             self._streams[stream_id].absorb(summaries, busy)
@@ -728,6 +875,19 @@ class ProcessBackend(Backend):
         self._streams[stream.stream_id] = stream
         self._next_stream_id += 1
         obs.gauge(f"stream.{stream.stream_id}.kind", kind)
+        return stream
+
+    def containment_stream(
+        self, cache: AlignmentCache, *, similarity: float, coverage: float
+    ) -> _ProcessContainmentStream:
+        self._require_open()
+        stream = _ProcessContainmentStream(
+            self, self._next_stream_id, cache, self._phase_stats(),
+            similarity, coverage,
+        )
+        self._streams[stream.stream_id] = stream
+        self._next_stream_id += 1
+        obs.gauge(f"stream.{stream.stream_id}.kind", "containment")
         return stream
 
     def map_components(

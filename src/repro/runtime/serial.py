@@ -13,8 +13,14 @@ import time
 from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro import obs
+from repro.align.batch import batch_containment
 from repro.pace.cache import AlignmentCache
-from repro.runtime.base import AlignmentStream, Backend, PhaseStats
+from repro.runtime.base import (
+    AlignmentStream,
+    Backend,
+    ContainmentStream,
+    PhaseStats,
+)
 from repro.util.timing import monotonic_now
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -50,12 +56,113 @@ class _SerialStream(AlignmentStream):
         obs.heartbeat(0, elapsed)
         self._done.append((i, j, aln))
 
+    def submit_many(self, pairs) -> None:
+        """Chunked path: one cache-batch lookup, misses through the
+        batched kernel (:meth:`AlignmentCache.batch`).  Counter
+        semantics are pinned per pair (see the cache docstring), so a
+        chunked run records exactly what the per-pair loop records.
+        """
+        if not pairs:
+            return
+        canon = [(i, j) if i < j else (j, i) for i, j in pairs]
+        self._backend._apply_fault(self._phase.name)
+        start = monotonic_now()
+        hits = 0
+        seen: set[tuple[int, int]] = set()
+        for key in canon:
+            if self._cache.peek(self._kind, *key) is not None or key in seen:
+                hits += 1
+            else:
+                seen.add(key)
+        alns = self._cache.batch(self._kind, canon)
+        elapsed = monotonic_now() - start
+        self._phase.busy_seconds += elapsed
+        self._phase.tasks += len(canon)
+        self._phase.cache_hits += hits
+        obs.heartbeat(0, elapsed)
+        self._done.extend(
+            (i, j, aln) for (i, j), aln in zip(canon, alns)
+        )
+
     def ready(self) -> list[tuple[int, int, object]]:
         out = self._done
         self._done = []
         return out
 
     def drain(self) -> Iterator[tuple[int, int, object]]:
+        yield from self.ready()
+
+
+class _SerialContainmentStream(ContainmentStream):
+    """In-process containment engine stream (RR fast path).
+
+    Cached pairs are answered through the cache accessors (counting
+    the hit); the rest go through
+    :func:`repro.align.batch.batch_containment` — Myers-rejected and
+    exact-certified pairs never touch the cache (no alignment was
+    computed), DP'd pairs are inserted exactly as a worker result
+    would be.
+    """
+
+    def __init__(self, cache: AlignmentCache, phase: PhaseStats,
+                 backend: "SerialBackend", similarity: float,
+                 coverage: float):
+        self._cache = cache
+        self._phase = phase
+        self._backend = backend
+        self._similarity = similarity
+        self._coverage = coverage
+        self._done: list[tuple[int, int, tuple[float, float, float]]] = []
+
+    def _stats(self, i: int, j: int, aln) -> tuple[float, float, float]:
+        return (
+            aln.identity,
+            aln.coverage_a(len(self._cache.encoded(i))),
+            aln.coverage_b(len(self._cache.encoded(j))),
+        )
+
+    def submit_many(self, pairs) -> None:
+        if not pairs:
+            return
+        self._backend._apply_fault(self._phase.name)
+        start = monotonic_now()
+        misses: list[tuple[int, int]] = []
+        for i, j in pairs:
+            if i > j:
+                i, j = j, i
+            if self._cache.peek("semiglobal", i, j) is not None:
+                aln = self._cache.semiglobal(i, j)
+                self._phase.cache_hits += 1
+                self._done.append((i, j, self._stats(i, j, aln)))
+            else:
+                misses.append((i, j))
+        if misses:
+            result = batch_containment(
+                [
+                    (self._cache.encoded(i), self._cache.encoded(j))
+                    for i, j in misses
+                ],
+                scheme=self._backend._scheme,
+                similarity=self._similarity,
+                coverage=self._coverage,
+            )
+            for (i, j), stats, aln in zip(
+                misses, result.stats, result.alignments
+            ):
+                if aln is not None:
+                    self._cache.insert("semiglobal", i, j, aln)
+                self._done.append((i, j, stats))
+        elapsed = monotonic_now() - start
+        self._phase.busy_seconds += elapsed
+        self._phase.tasks += len(pairs)
+        obs.heartbeat(0, elapsed)
+
+    def ready(self) -> list[tuple[int, int, tuple[float, float, float]]]:
+        out = self._done
+        self._done = []
+        return out
+
+    def drain(self) -> Iterator[tuple[int, int, tuple[float, float, float]]]:
         yield from self.ready()
 
 
@@ -76,6 +183,7 @@ class SerialBackend(Backend):
         self.workers = 1
         super().__init__()
         self._open = False
+        self._scheme = None
         self._injector = None
         if fault_plan is not None and fault_plan:
             from repro.faults.plan import FaultInjector
@@ -99,12 +207,20 @@ class SerialBackend(Backend):
 
     def open(self, sequences, scheme) -> None:
         self._open = True
+        self._scheme = scheme
 
     def close(self) -> None:
         self._open = False
 
     def alignment_stream(self, kind: str, cache: AlignmentCache) -> _SerialStream:
         return _SerialStream(kind, cache, self._phase_stats(), self)
+
+    def containment_stream(
+        self, cache: AlignmentCache, *, similarity: float, coverage: float
+    ) -> _SerialContainmentStream:
+        return _SerialContainmentStream(
+            cache, self._phase_stats(), self, similarity, coverage
+        )
 
     def map_components(
         self,

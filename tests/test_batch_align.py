@@ -1,0 +1,563 @@
+"""The batched alignment engine versus the scalar kernels — the
+equivalence gate behind :mod:`repro.align.batch`.
+
+Every fast path in the batched engine carries a proof obligation (exact
+batch fill, sound Myers rejection, certified distance-0 and banded
+shortcuts); this suite pins each of them to the scalar reference with
+Hypothesis property tests, plus the satellite regressions: cache
+batch-path counter semantics, per-real-pair cell accounting, and the
+banded-vs-global contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.align.banded import banded_global_align
+from repro.align.batch import (
+    ContainmentBatch,
+    batch_align,
+    batch_containment,
+    batch_myers_infix,
+    batch_score,
+    containment_reject_threshold,
+    myers_infix_distance,
+    strict_diagonal_scheme,
+)
+from repro.align.matrices import (
+    IDENTITY_MATRIX,
+    ScoringScheme,
+    blosum62_scheme,
+    identity_scheme,
+)
+from repro.align.pairwise import (
+    batch_alignment_cells,
+    global_align,
+    local_align,
+    semiglobal_align,
+)
+from repro.align.predicates import containment_test
+from repro.pace.cache import AlignmentCache
+
+SCALAR = {
+    "global": global_align,
+    "local": local_align,
+    "semiglobal": semiglobal_align,
+}
+MODES = ("global", "local", "semiglobal")
+SCHEMES = [blosum62_scheme(), identity_scheme(), blosum62_scheme(gap=-11)]
+
+encoded_seq = st.lists(
+    st.integers(min_value=0, max_value=19), min_size=1, max_size=40
+).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+pair_list = st.lists(st.tuples(encoded_seq, encoded_seq), max_size=8)
+
+
+def rand_pairs(rng, n, lo=1, hi=120, contained_fraction=0.4):
+    """Random encoded pairs, a fraction with planted near-containments."""
+    out = []
+    for _ in range(n):
+        m = int(rng.integers(lo, hi))
+        a = rng.integers(0, 20, m).astype(np.uint8)
+        if rng.random() < contained_fraction:
+            span = max(1, int(0.95 * m) + int(rng.integers(-3, 3)))
+            span = min(span, m)
+            start = int(rng.integers(0, m - span + 1))
+            b = a[start : start + span].copy()
+            if rng.random() < 0.6:
+                pos = rng.integers(0, len(b), max(1, len(b) // 25))
+                b[pos] = rng.integers(0, 20, len(pos)).astype(np.uint8)
+        else:
+            b = rng.integers(0, 20, int(rng.integers(lo, hi))).astype(np.uint8)
+        out.append((a, b))
+    return out
+
+
+class TestBatchAlignEquivalence:
+    """batch_align == scalar kernels: every field, every mode."""
+
+    @given(pair_list, st.sampled_from(MODES), st.sampled_from(range(len(SCHEMES))))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_exactly(self, pairs, mode, scheme_idx):
+        scheme = SCHEMES[scheme_idx]
+        batched = batch_align(pairs, scheme, mode)
+        expected = [SCALAR[mode](a, b, scheme) for a, b in pairs]
+        assert batched == expected
+
+    @given(pair_list, st.sampled_from(MODES))
+    @settings(max_examples=25, deadline=None)
+    def test_tiny_buckets_match_scalar(self, pairs, mode):
+        """Forcing bucket_size=1 and 2 exercises every bucket boundary."""
+        scheme = blosum62_scheme()
+        expected = [SCALAR[mode](a, b, scheme) for a, b in pairs]
+        for bucket_size in (1, 2):
+            assert batch_align(pairs, scheme, mode,
+                               bucket_size=bucket_size) == expected
+
+    def test_empty_pair_list(self):
+        assert batch_align([], blosum62_scheme(), "global") == []
+        assert list(batch_score([], blosum62_scheme(), "global")) == []
+
+    def test_length_one_sequences(self):
+        scheme = blosum62_scheme()
+        pairs = [
+            (np.array([3], dtype=np.uint8), np.array([3], dtype=np.uint8)),
+            (np.array([0], dtype=np.uint8), np.array([19], dtype=np.uint8)),
+            (np.array([5], dtype=np.uint8),
+             np.arange(20, dtype=np.uint8)),
+        ]
+        for mode in MODES:
+            assert batch_align(pairs, scheme, mode) == [
+                SCALAR[mode](a, b, scheme) for a, b in pairs
+            ]
+
+    def test_all_identical_pairs(self):
+        scheme = blosum62_scheme()
+        a = np.tile(np.arange(20, dtype=np.uint8), 3)
+        pairs = [(a.copy(), a.copy()) for _ in range(7)]
+        for mode in MODES:
+            batched = batch_align(pairs, scheme, mode)
+            expected = SCALAR[mode](a, a, scheme)
+            assert all(aln == expected for aln in batched)
+
+    def test_quantum_boundary_lengths_mixed_in_one_call(self):
+        """Lengths straddling the 32-residue bucket quantum, one call."""
+        rng = np.random.default_rng(11)
+        lengths = [1, 31, 32, 33, 63, 64, 65, 200]
+        pairs = [
+            (rng.integers(0, 20, la).astype(np.uint8),
+             rng.integers(0, 20, lb).astype(np.uint8))
+            for la in lengths for lb in (1, 32, 33, 97)
+        ]
+        scheme = blosum62_scheme()
+        for mode in MODES:
+            assert batch_align(pairs, scheme, mode) == [
+                SCALAR[mode](a, b, scheme) for a, b in pairs
+            ]
+
+    def test_max_length_pairs(self):
+        """Realistic-length pairs (above every bucket boundary)."""
+        rng = np.random.default_rng(5)
+        pairs = rand_pairs(rng, 12, lo=250, hi=320)
+        scheme = blosum62_scheme()
+        for mode in MODES:
+            assert batch_align(pairs, scheme, mode) == [
+                SCALAR[mode](a, b, scheme) for a, b in pairs
+            ]
+
+    def test_empty_sequence_rejected_like_scalar(self):
+        empty = np.array([], dtype=np.uint8)
+        ok = np.array([1, 2], dtype=np.uint8)
+        with pytest.raises(ValueError, match="non-empty"):
+            batch_align([(empty, ok)], blosum62_scheme(), "global")
+        with pytest.raises(ValueError, match="non-empty"):
+            semiglobal_align(empty, ok, blosum62_scheme())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown alignment mode"):
+            batch_align([], blosum62_scheme(), "affine")
+        with pytest.raises(ValueError, match="unknown alignment mode"):
+            batch_score([], blosum62_scheme(), "affine")
+
+
+class TestBatchScore:
+    @given(pair_list, st.sampled_from(MODES))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_match_scalar(self, pairs, mode):
+        scheme = blosum62_scheme()
+        scores = batch_score(pairs, scheme, mode)
+        assert list(scores) == [
+            SCALAR[mode](a, b, scheme).score for a, b in pairs
+        ]
+
+    def test_global_banded_routing_both_ways(self):
+        """Forcing the banded route on or off never changes a score."""
+        rng = np.random.default_rng(23)
+        # Near-identical long pairs (banded-certifiable) mixed with
+        # unrelated ones (certificate must fail, full fill takes over).
+        pairs = []
+        for _ in range(6):
+            a = rng.integers(0, 20, 420).astype(np.uint8)
+            b = a.copy()
+            pos = rng.integers(0, len(b), 8)
+            b[pos] = rng.integers(0, 20, len(pos)).astype(np.uint8)
+            pairs.append((a, b))
+        pairs += rand_pairs(rng, 6, lo=380, hi=450, contained_fraction=0.0)
+        scheme = blosum62_scheme()
+        expected = [global_align(a, b, scheme).score for a, b in pairs]
+        for use_banded in (None, True, False):
+            scores = batch_score(pairs, scheme, "global",
+                                 use_banded=use_banded)
+            assert list(scores) == expected
+
+
+def infix_distance_oracle(pattern, text):
+    """O(mn) reference: min edit distance of pattern to any text infix."""
+    m, n = len(pattern), len(text)
+    prev = [0] * (n + 1)
+    for i in range(1, m + 1):
+        cur = [i] + [0] * n
+        for j in range(1, n + 1):
+            cur[j] = min(
+                prev[j] + 1,
+                cur[j - 1] + 1,
+                prev[j - 1] + (pattern[i - 1] != text[j - 1]),
+            )
+        prev = cur
+    return min(prev)
+
+
+class TestMyersInfix:
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_oracle(self, p, t):
+        assert myers_infix_distance(p, t) == infix_distance_oracle(
+            list(p), list(t)
+        )
+
+    def test_word_boundary_pattern_lengths(self):
+        """m = 63/64/65/127/128/129 crosses the 64-bit block edges."""
+        rng = np.random.default_rng(3)
+        patterns, texts = [], []
+        for m in (1, 63, 64, 65, 127, 128, 129):
+            p = rng.integers(0, 20, m).astype(np.uint8)
+            t = rng.integers(0, 20, m + 40).astype(np.uint8)
+            if m > 2:  # plant an exact occurrence for some
+                t[7 : 7 + m] = p
+            patterns.append(p)
+            texts.append(t)
+        dists = batch_myers_infix(patterns, texts)
+        for p, t, d in zip(patterns, texts, dists):
+            assert d == infix_distance_oracle(list(p), list(t))
+
+    def test_mixed_word_counts_in_one_batch(self):
+        rng = np.random.default_rng(9)
+        patterns = [rng.integers(0, 20, m).astype(np.uint8)
+                    for m in (5, 70, 30, 130, 64, 2)]
+        texts = [rng.integers(0, 20, m + int(rng.integers(0, 90))).astype(np.uint8)
+                 for m in (5, 70, 30, 130, 64, 2)]
+        dists = batch_myers_infix(patterns, texts)
+        for p, t, d in zip(patterns, texts, dists):
+            assert d == infix_distance_oracle(list(p), list(t))
+
+    def test_exact_substring_gives_zero(self):
+        rng = np.random.default_rng(2)
+        t = rng.integers(0, 20, 200).astype(np.uint8)
+        p = t[40:140].copy()
+        assert myers_infix_distance(p, t) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            batch_myers_infix([np.array([1], dtype=np.uint8)], [])
+        with pytest.raises(ValueError, match="non-empty"):
+            batch_myers_infix(
+                [np.array([], dtype=np.uint8)],
+                [np.array([1], dtype=np.uint8)],
+            )
+
+
+class TestContainmentEngine:
+    """Decision identity of the Definition 1 fast-path stack."""
+
+    def _assert_decisions_match(self, pairs, scheme, similarity, coverage):
+        res = batch_containment(
+            pairs, scheme=scheme, similarity=similarity, coverage=coverage
+        )
+        assert isinstance(res, ContainmentBatch)
+        for (a, b), (ident, cov_a, cov_b), aln in zip(
+            pairs, res.stats, res.alignments
+        ):
+            ref_a, ref_b, ref_aln = containment_test(
+                a, b, scheme=scheme, similarity=similarity, coverage=coverage
+            )
+            got_a = ident >= similarity and cov_a >= coverage
+            got_b = ident >= similarity and cov_b >= coverage
+            assert (got_a, got_b) == (ref_a, ref_b), (
+                f"decision drift for lengths {len(a)}x{len(b)}: "
+                f"engine {(got_a, got_b)} vs scalar {(ref_a, ref_b)}"
+            )
+            if aln is not None:
+                # DP route: the stats must be the scalar alignment's, bit
+                # for bit, and the alignment itself identical.
+                assert aln == ref_aln
+                assert (ident, cov_a, cov_b) == (
+                    ref_aln.identity,
+                    ref_aln.coverage_a(len(a)),
+                    ref_aln.coverage_b(len(b)),
+                )
+        return res
+
+    def test_decisions_match_scalar_on_mixed_workload(self):
+        rng = np.random.default_rng(17)
+        pairs = rand_pairs(rng, 250, lo=5, hi=150)
+        res = self._assert_decisions_match(pairs, blosum62_scheme(), 0.95, 0.95)
+        # The workload plants containments, so every route must fire.
+        assert res.n_rejected > 0
+        assert res.n_exact > 0
+        assert res.n_dp > 0
+        assert res.n_rejected + res.n_exact + res.n_dp == len(pairs)
+
+    @given(
+        st.lists(st.tuples(encoded_seq, encoded_seq), min_size=1, max_size=6),
+        st.sampled_from([(0.95, 0.95), (0.9, 0.8), (0.5, 0.5)]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_decisions_match_scalar_random(self, pairs, thresholds):
+        similarity, coverage = thresholds
+        self._assert_decisions_match(
+            pairs, blosum62_scheme(), similarity, coverage
+        )
+
+    def test_identical_and_substring_pairs_certified(self):
+        rng = np.random.default_rng(29)
+        a = rng.integers(0, 20, 120).astype(np.uint8)
+        pairs = [(a.copy(), a.copy()), (a.copy(), a[5:119].copy()),
+                 (a[:100].copy(), a.copy())]
+        res = self._assert_decisions_match(pairs, blosum62_scheme(), 0.95, 0.95)
+        assert res.n_exact == len(pairs)  # no DP needed for any of them
+
+    def test_non_strict_diagonal_scheme_disables_exact_path(self):
+        """A scheme where a diagonal entry is not a strict positive row
+        max may have non-diagonal optima for exact substrings; the
+        engine must detect this and fall back to the DP (decisions still
+        identical)."""
+        matrix = IDENTITY_MATRIX.copy()
+        matrix[0, 0] = -1  # residue 0 "matches" itself badly
+        scheme = ScoringScheme(matrix=matrix, gap=-1)
+        assert not strict_diagonal_scheme(scheme)
+        assert strict_diagonal_scheme(blosum62_scheme())
+        assert strict_diagonal_scheme(identity_scheme())
+        rng = np.random.default_rng(31)
+        a = rng.integers(0, 20, 90).astype(np.uint8)
+        pairs = [(a.copy(), a.copy()), (a.copy(), a[:85].copy())]
+        res = self._assert_decisions_match(pairs, scheme, 0.95, 0.95)
+        assert res.n_exact == 0
+
+    def test_reject_threshold_soundness_brute_force(self):
+        """Every Myers-rejected pair must be scalar-rejected: replay a
+        large random workload and check the contrapositive directly."""
+        rng = np.random.default_rng(41)
+        pairs = rand_pairs(rng, 150, lo=4, hi=90)
+        scheme = blosum62_scheme()
+        res = batch_containment(
+            pairs, scheme=scheme, similarity=0.95, coverage=0.95
+        )
+        for (a, b), stats, aln in zip(pairs, res.stats, res.alignments):
+            if aln is None and stats == (0.0, 0.0, 0.0):
+                ref_a, ref_b, _ = containment_test(
+                    a, b, scheme=scheme, similarity=0.95, coverage=0.95
+                )
+                assert not ref_a and not ref_b
+
+    def test_reject_threshold_values(self):
+        # sim/cov = 0.95: K1 = s*(0.05 + 0.05/0.95); the +1 slack makes
+        # the integer threshold strictly conservative.
+        assert containment_reject_threshold(100, 200, 0.95, 0.95) >= 10
+        # Degenerate thresholds: no sound rejection exists.
+        assert containment_reject_threshold(50, 50, 0.0, 0.5) is None
+        assert containment_reject_threshold(50, 50, 0.5, 0.0) is None
+        # Zero-threshold config (sim=cov=1.0): only exact containment
+        # passes, so any nonzero distance rejects.
+        assert containment_reject_threshold(50, 50, 1.0, 1.0) == 1
+
+    def test_empty_batch(self):
+        res = batch_containment(
+            [], scheme=blosum62_scheme(), similarity=0.95, coverage=0.95
+        )
+        assert res.stats == [] and res.alignments == []
+
+
+class TestBandedVersusGlobal:
+    """Satellite: banded_global_align vs global_align contract."""
+
+    @given(encoded_seq, encoded_seq)
+    @settings(max_examples=40, deadline=None)
+    def test_full_band_equals_global_exactly(self, a, b):
+        """A band covering the whole matrix admits every path: the
+        banded kernel must reproduce the unbanded alignment, not just
+        its score."""
+        scheme = blosum62_scheme()
+        band = max(len(a), len(b))
+        assert banded_global_align(a, b, band, scheme) == global_align(
+            a, b, scheme
+        )
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_certified_band_score_equals_global(self, seed):
+        """Whenever the band certificate holds — the banded score beats
+        the ceiling of any band-leaving path — the optimal path provably
+        fits the band and the scores are exactly equal."""
+        rng = np.random.default_rng(seed)
+        scheme = blosum62_scheme()
+        a = rng.integers(0, 20, 120).astype(np.uint8)
+        b = a.copy()
+        pos = rng.integers(0, len(b), 6)
+        b[pos] = rng.integers(0, 20, len(pos)).astype(np.uint8)
+        band = 16
+        banded = banded_global_align(a, b, band, scheme)
+        maxdiag = int(scheme.matrix.diagonal().max())
+        out_bound = maxdiag * min(len(a), len(b)) + scheme.gap * (
+            2 * (band + 1) - abs(len(a) - len(b))
+        )
+        if banded.score > out_bound:
+            assert banded.score == global_align(a, b, scheme).score
+
+    def test_too_narrow_band_underestimates_documented(self):
+        """Documented failure mode: when the optimal path needs cells
+        outside the band, the banded score is a lower bound, not the
+        optimum — callers must certify before trusting it."""
+        scheme = identity_scheme()
+        # Equal lengths, but the only matches sit 7 diagonals off the
+        # main one: the optimal path leaves any band narrower than 7.
+        a = np.arange(20, dtype=np.uint8)
+        b = np.concatenate(
+            [np.full(7, 19, dtype=np.uint8), np.arange(13, dtype=np.uint8)]
+        )
+        wide = banded_global_align(a, b, band=len(b), scheme=scheme)
+        narrow = banded_global_align(a, b, band=2, scheme=scheme)
+        assert wide.score == global_align(a, b, scheme).score
+        assert narrow.score < wide.score
+        # And the certificate correctly refuses to certify the narrow run.
+        maxdiag = int(scheme.matrix.diagonal().max())
+        out_bound = maxdiag * len(a) + scheme.gap * (2 * 3 - abs(len(a) - len(b)))
+        assert not narrow.score > out_bound
+
+    def test_band_narrower_than_length_difference_rejected(self):
+        a = np.zeros(4, dtype=np.uint8)
+        b = np.zeros(12, dtype=np.uint8)
+        with pytest.raises(ValueError, match="narrower"):
+            banded_global_align(a, b, band=3, scheme=identity_scheme())
+
+
+class TestCacheBatchSemantics:
+    """Satellite: batch-path counters == per-pair sequence of lookups."""
+
+    @staticmethod
+    def _fresh_cache(encoded):
+        return AlignmentCache(lambda k: encoded[k], blosum62_scheme())
+
+    def test_mixed_batch_counters_match_per_pair_loop(self):
+        rng = np.random.default_rng(13)
+        encoded = [rng.integers(0, 20, int(rng.integers(20, 80))).astype(np.uint8)
+                   for _ in range(10)]
+        primed = [(0, 1), (2, 3), (4, 5)]
+        # A batch mixing cached pairs, new pairs, a within-batch
+        # duplicate, and a reversed-orientation repeat.
+        batch = [(0, 1), (6, 7), (2, 3), (8, 9), (6, 7), (3, 2), (1, 8)]
+
+        for kind in ("local", "semiglobal"):
+            batched_cache = self._fresh_cache(encoded)
+            looped_cache = self._fresh_cache(encoded)
+            for c in (batched_cache, looped_cache):
+                c.set_phase("prime")
+                for i, j in primed:
+                    getattr(c, kind)(i, j)
+                c.set_phase("probe")
+
+            batched = batched_cache.batch(kind, batch)
+            looped = [getattr(looped_cache, kind)(i, j) for i, j in batch]
+
+            assert batched == looped
+            assert batched_cache.stats() == looped_cache.stats()
+            assert (batched_cache.stats_by_phase()
+                    == looped_cache.stats_by_phase())
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+            ).filter(lambda p: p[0] != p[1]),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_batches_counter_identical(self, pairs):
+        rng = np.random.default_rng(7)
+        encoded = [rng.integers(0, 20, 30).astype(np.uint8) for _ in range(8)]
+        batched_cache = self._fresh_cache(encoded)
+        looped_cache = self._fresh_cache(encoded)
+        assert (batched_cache.batch("semiglobal", pairs)
+                == [looped_cache.semiglobal(i, j) for i, j in pairs])
+        assert batched_cache.stats() == looped_cache.stats()
+
+
+class TestCellsAccounting:
+    """Satellite: batch.cells counts real pair dims, never padded slots."""
+
+    def test_batch_align_cells_per_real_pair(self):
+        rng = np.random.default_rng(19)
+        # Wildly different lengths land in one quantised bucket (33..64):
+        # padded accounting would overcharge the short pair.
+        pairs = [
+            (rng.integers(0, 20, 33).astype(np.uint8),
+             rng.integers(0, 20, 64).astype(np.uint8)),
+            (rng.integers(0, 20, 64).astype(np.uint8),
+             rng.integers(0, 20, 33).astype(np.uint8)),
+            (rng.integers(0, 20, 5).astype(np.uint8),
+             rng.integers(0, 20, 200).astype(np.uint8)),
+        ]
+        real = batch_alignment_cells(
+            (len(a), len(b)) for a, b in pairs
+        )
+        padded_floor = 3 * (64 + 1) * (200 + 1)  # what slot-counting would give
+        assert real < padded_floor
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            batch_align(pairs, blosum62_scheme(), "semiglobal")
+        counters = recorder.counters()
+        assert counters["batch.cells"] == real
+        assert counters["batch.pairs"] == len(pairs)
+
+    def test_containment_engine_charges_only_dp_pairs(self):
+        rng = np.random.default_rng(37)
+        a = rng.integers(0, 20, 100).astype(np.uint8)
+        unrelated = rng.integers(0, 20, 100).astype(np.uint8)
+        pairs = [(a.copy(), a.copy()), (a.copy(), unrelated)]
+        recorder = obs.Recorder()
+        with obs.recording(recorder):
+            res = batch_containment(
+                pairs, scheme=blosum62_scheme(),
+                similarity=0.95, coverage=0.95,
+            )
+        counters = recorder.counters()
+        dp_dims = [
+            (len(p[0]), len(p[1]))
+            for p, aln in zip(pairs, res.alignments)
+            if aln is not None
+        ]
+        assert counters.get("batch.cells", 0) == batch_alignment_cells(dp_dims)
+        assert counters["batch.myers_rejects"] == res.n_rejected
+        assert counters["batch.exact_certified"] == res.n_exact
+        assert counters["batch.dp_pairs"] == res.n_dp
+
+
+class TestPromisingPairDifferentialFuzz:
+    """Replay random promising-pair workloads through both kernels and
+    diff the resulting family partitions (RR redundancy structure)."""
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_rr_partitions_identical(self, seed):
+        from repro.pace.redundancy import (
+            find_redundant_batched,
+            find_redundant_serial,
+        )
+        from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+
+        spec = MetagenomeSpec(
+            n_families=5, mean_family_size=6, seed=seed,
+            redundant_fraction=0.25,
+        )
+        sequences = generate_metagenome(spec).sequences
+        scalar = find_redundant_serial(sequences, psi=8)
+        batched = find_redundant_batched(sequences, psi=8)
+        assert batched.redundant == scalar.redundant
+        assert batched.containments == scalar.containments
+        assert batched.kept == scalar.kept
+        assert batched.n_promising_pairs == scalar.n_promising_pairs
