@@ -7,10 +7,16 @@ measures its own tooling.  This bench runs the full four-phase pipeline
 with instrumentation off (``observe=False``: no ambient recorder, every
 ``obs.count``/``span``/``gauge`` call a no-op) and with the full stack
 on (recorder + telemetry sampler at the default 250 ms interval),
-median-of-three each, interleaved so drift hits both arms equally.
+five rounds each, interleaved so drift hits both arms equally.
 
-Gate: the instrumented median must stay within 5% of the bare one.
-Writes ``BENCH_obs_overhead.json`` in the shared schema.
+The gated statistic is **min-of-N**: the minimum over rounds is the
+run's noise floor (scheduler and cache interference only ever add
+time), so min-vs-min isolates the instruments' cost where medians of a
+noisy arm once reported a nonsensical *negative* overhead.  The gate is
+two-sided — a large negative "overhead" is the same measurement-noise
+failure as a large positive one.  Medians and raw rounds ride along in
+the record for context.  Writes ``BENCH_obs_overhead.json`` in the
+shared schema.
 """
 
 from __future__ import annotations
@@ -24,10 +30,10 @@ from repro.obs import read_telemetry
 
 from workloads import BENCH_CONFIG, print_banner, scaling_subset, write_bench
 
-#: Relative overhead ceiling for recorder + sampler (the gate).
+#: Relative overhead bound for recorder + sampler (two-sided gate).
 MAX_OVERHEAD = 0.05
 
-ROUNDS = 3
+ROUNDS = 5
 
 WORKLOAD = "20k"
 
@@ -58,26 +64,28 @@ def run_comparison() -> dict:
         _, samples, end = read_telemetry(f"{tmp}/run0")
         assert samples, "telemetry produced no samples"
         assert end is not None and end["status"] == "finished"
-    bare_median = statistics.median(bare)
-    instrumented_median = statistics.median(instrumented)
-    overhead = instrumented_median / bare_median - 1.0
+    # Gate on min-of-N (each arm's noise floor); medians are context.
+    overhead = min(instrumented) / min(bare) - 1.0
     return {
         "n_sequences": len(sequences),
         "bare_seconds": [round(t, 4) for t in bare],
         "instrumented_seconds": [round(t, 4) for t in instrumented],
-        "bare_median": round(bare_median, 4),
-        "instrumented_median": round(instrumented_median, 4),
+        "bare_min": round(min(bare), 4),
+        "instrumented_min": round(min(instrumented), 4),
+        "bare_median": round(statistics.median(bare), 4),
+        "instrumented_median": round(statistics.median(instrumented), 4),
         "overhead": round(overhead, 4),
     }
 
 
 def _report(record: dict) -> None:
     print_banner("Observability overhead — recorder + 250 ms sampler")
-    print(f"{record['n_sequences']} sequences, median of {ROUNDS} rounds")
-    print(f"{'bare':>14s} {record['bare_median']:>9.3f}s  {record['bare_seconds']}")
-    print(f"{'instrumented':>14s} {record['instrumented_median']:>9.3f}s  "
+    print(f"{record['n_sequences']} sequences, min of {ROUNDS} rounds")
+    print(f"{'bare':>14s} {record['bare_min']:>9.3f}s  {record['bare_seconds']}")
+    print(f"{'instrumented':>14s} {record['instrumented_min']:>9.3f}s  "
           f"{record['instrumented_seconds']}")
-    print(f"{'overhead':>14s} {record['overhead']:>9.2%}  (gate: < {MAX_OVERHEAD:.0%})")
+    print(f"{'overhead':>14s} {record['overhead']:>9.2%}  "
+          f"(gate: |overhead| < {MAX_OVERHEAD:.0%})")
     write_bench(
         "obs_overhead",
         params={"workload": WORKLOAD, "rounds": ROUNDS,
@@ -89,13 +97,13 @@ def _report(record: dict) -> None:
 def test_obs_overhead(benchmark):
     record = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
     _report(record)
-    assert record["overhead"] < MAX_OVERHEAD, (
-        f"observability overhead {record['overhead']:.1%} exceeds "
-        f"{MAX_OVERHEAD:.0%} gate"
+    assert abs(record["overhead"]) < MAX_OVERHEAD, (
+        f"observability overhead {record['overhead']:.1%} outside the "
+        f"±{MAX_OVERHEAD:.0%} gate (negative = measurement noise)"
     )
 
 
 if __name__ == "__main__":
     record = run_comparison()
     _report(record)
-    assert record["overhead"] < MAX_OVERHEAD
+    assert abs(record["overhead"]) < MAX_OVERHEAD

@@ -3,9 +3,18 @@
 Completes a batch run into a run dir, loads it into an in-process
 :class:`ServeServer` (journal attached, so inserts pay the real
 flush-per-ack cost), then drives >= 32 concurrent clients with a
-query-heavy mixture through the load generator and reports p50/p99
+query-heavy mixture through the load generator and reports p50/p99/p999
 round-trip latency and throughput — the serving design's headline
 numbers (DESIGN.md §10).
+
+Both sides of the latency story are recorded and cross-checked: the
+client-observed percentiles from the load generator, and the daemon's
+own per-verb histogram digests scraped through the ``metrics`` protocol
+verb (DESIGN.md §12).  The bench asserts the two agree — exact count
+equality per verb (every request the clients timed, the server
+histogrammed), and percentile agreement within the histogram's bucket
+resolution plus a 1 ms floor for sub-millisecond verbs where socket
+and scheduler overhead sits between the two measurement points.
 
 Writes ``BENCH_serve_latency.json`` in the shared schema.
 """
@@ -13,6 +22,7 @@ Writes ``BENCH_serve_latency.json`` in the shared schema.
 from __future__ import annotations
 
 import tempfile
+import time
 from pathlib import Path
 
 from repro.core.checkpoint import (
@@ -21,8 +31,10 @@ from repro.core.checkpoint import (
     input_digest,
 )
 from repro.core.pipeline import ProteinFamilyPipeline
+from repro.obs.hist import buckets_apart
 from repro.sequence.generator import MetagenomeSpec, generate_metagenome
 from repro.serve.loadgen import run_load
+from repro.serve.protocol import ServeClient
 from repro.serve.server import ServeServer
 from repro.serve.state import build_serve_state
 
@@ -32,6 +44,44 @@ CLIENTS = 32
 REQUESTS_PER_CLIENT = 12
 INSERT_FRACTION = 0.2
 SEED = 2008
+
+#: Client/server percentile agreement: within this many histogram
+#: buckets (each a x1.259 ratio step), or within 1 ms absolute for the
+#: sub-millisecond verbs where socket + GIL overhead dominates.
+AGREE_BUCKETS = 2.0
+AGREE_ABS_MS = 1.0
+
+
+def _percentiles_agree(server_ms: float, client_ms: float) -> bool:
+    if abs(server_ms - client_ms) <= AGREE_ABS_MS:
+        return True
+    if server_ms <= 0 or client_ms <= 0:
+        return False
+    return buckets_apart(server_ms, client_ms) <= AGREE_BUCKETS + 1e-9
+
+
+def _scrape_metrics(host: str, port: int, expected: dict) -> dict:
+    """Fetch the daemon's metrics snapshot, waiting for it to settle.
+
+    A request lands in its verb histogram just *after* its ack is
+    written, so a scrape racing the last responses can run a few
+    requests short; retry briefly until every expected per-verb count
+    is reached (or return the final shortfall for the asserts to name).
+    """
+    from repro.util.timing import monotonic_now
+
+    deadline = monotonic_now() + 5.0
+    while True:
+        with ServeClient.connect(host, port) as client:
+            snapshot = client.call("metrics")
+        percentiles = snapshot["percentiles"]
+        settled = all(
+            percentiles.get(verb, {}).get("count", 0) >= total
+            for verb, total in expected.items()
+        )
+        if settled or monotonic_now() >= deadline:
+            return snapshot
+        time.sleep(0.05)
 
 #: Serving workload: a mid-sized family structure, 80% batch-clustered,
 #: the held-out 20% available as the insert pool.
@@ -76,11 +126,42 @@ def run_serve_load() -> dict:
                 insert_fraction=INSERT_FRACTION,
                 seed=SEED,
             )
+            server_metrics = _scrape_metrics(
+                host, port,
+                {"query": result.n_queries, "insert": result.n_inserts},
+            )
         finally:
             server.request_stop()
     record = result.metrics()
     record["n_base"] = float(len(base))
     record["n_insert_pool"] = float(len(held))
+
+    # Server-side digests next to the client-side numbers, with the
+    # count-equality and resolution-agreement gates from the module
+    # docstring.  The daemon is fresh, so per-verb histogram counts
+    # must equal the loadgen totals exactly.
+    percentiles = server_metrics["percentiles"]
+    for verb, client_total in (("query", result.n_queries),
+                               ("insert", result.n_inserts)):
+        digest = percentiles.get(verb)
+        if digest is None:
+            assert client_total == 0, f"no server histogram for {verb!r}"
+            continue
+        assert digest["count"] == client_total, (
+            f"server {verb} histogram saw {digest['count']} requests, "
+            f"loadgen timed {client_total}"
+        )
+        record[f"server_{verb}_count"] = digest["count"]
+        for key in ("p50_ms", "p99_ms", "p999_ms"):
+            record[f"server_{verb}_{key}"] = digest[key]
+            client_ms = record.get(f"{verb}_{key}")
+            if client_ms is None:
+                continue
+            assert _percentiles_agree(digest[key], client_ms), (
+                f"{verb} {key}: server {digest[key]:.3f} ms vs client "
+                f"{client_ms:.3f} ms — beyond {AGREE_BUCKETS:g} buckets "
+                f"and {AGREE_ABS_MS:g} ms"
+            )
     return record
 
 
@@ -88,9 +169,12 @@ def _report(record: dict) -> None:
     print_banner(
         f"serve latency: {CLIENTS} clients x {REQUESTS_PER_CLIENT} requests"
     )
-    for key in ("query_p50_ms", "query_p99_ms", "insert_p50_ms",
-                "insert_p99_ms", "query_throughput_per_s",
-                "insert_throughput_per_s"):
+    for key in ("query_p50_ms", "query_p99_ms", "query_p999_ms",
+                "server_query_p50_ms", "server_query_p99_ms",
+                "server_query_p999_ms", "insert_p50_ms", "insert_p99_ms",
+                "insert_p999_ms", "server_insert_p50_ms",
+                "server_insert_p99_ms", "server_insert_p999_ms",
+                "query_throughput_per_s", "insert_throughput_per_s"):
         if key in record:
             print(f"{key:>26s} {record[key]:>10.3f}")
     print(f"{'errors':>26s} {record['n_errors']:>10.0f}")

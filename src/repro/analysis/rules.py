@@ -15,6 +15,7 @@ rule      slug                 contract protected
 ``R7``    lock-discipline      obs locks are exception-safe (``with``, not acquire)
 ``R8``    bench-schema         benchmarks emit the shared ``repro-bench/1`` schema
 ``R9``    swallowed-exception  recovery paths never swallow exceptions silently
+``R10``   request-span         serve verb handlers stay visible to request tracing
 ========  ===================  ====================================================
 """
 
@@ -641,6 +642,52 @@ class SwallowedExceptionRule(Rule):
         )
 
 
+class RequestSpanRule(Rule):
+    """R10: every serve protocol verb handler opens a request span.
+
+    The daemon's SLO surface (per-verb histograms, stage shares, slow
+    logs) decomposes requests by the spans their handlers record; a
+    ``_op_<verb>`` handler that never enters ``obs.span(...)`` (or a
+    request context ``stage(...)``) is a verb whose time silently
+    vanishes from every trace.  New verbs must open their span through
+    the obs facade as the first thing they do.
+    """
+
+    name = "R10"
+    slug = "request-span"
+    severity = "error"
+    description = (
+        "serve/ protocol verb handlers (`_op_<verb>`) must open a "
+        "request span via obs.span(...)/stage(...)"
+    )
+
+    _SPAN_LEAVES = frozenset({"span", "stage"})
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return "serve" in ctx.parts[:-1]
+
+    def visit_FunctionDef(self, ctx: FileContext, node: ast.FunctionDef) -> None:
+        if not node.name.startswith("_op_"):
+            return
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.With):
+                continue
+            for item in sub.items:
+                call = item.context_expr
+                if not isinstance(call, ast.Call):
+                    continue
+                dotted = dotted_name(call.func) or ""
+                if dotted.rpartition(".")[2] in self._SPAN_LEAVES:
+                    return
+        ctx.report(
+            self,
+            node,
+            f"verb handler `{node.name}` never opens a request span; "
+            f"wrap its body in `with obs.span(\"req.<verb>\", "
+            f"cat=\"serve\")` so the verb stays visible to tracing",
+        )
+
+
 def default_rules() -> tuple[type[Rule], ...]:
     """Every rule, in report order."""
     return (
@@ -653,4 +700,5 @@ def default_rules() -> tuple[type[Rule], ...]:
         LockDisciplineRule,
         BenchSchemaRule,
         SwallowedExceptionRule,
+        RequestSpanRule,
     )

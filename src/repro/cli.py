@@ -370,6 +370,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             server = ServeServer(
                 state, journal=journal, host=args.host, port=args.port,
                 max_queue=args.max_queue, run_dir=args.run_dir,
+                recorder=recorder, slow_ms=args.slow_ms,
+                metrics_interval=args.metrics_interval,
             )
             try:
                 host, port = server.start()
@@ -422,6 +424,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         with client:
             if args.shutdown:
                 response = client.call("shutdown")
+            elif args.metrics:
+                response = client.call("metrics")
             elif inserts:
                 response = client.call("insert_batch", records=inserts)
             elif args.id:
@@ -473,6 +477,25 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     metrics = result.metrics()
+    # Scrape the daemon's own SLO surface so the committed BENCH file
+    # carries both sides of the latency story (client-observed and
+    # server-side histogram percentiles).  A pre-metrics daemon answers
+    # unknown_op; degrade to client-side numbers only.
+    try:
+        with ServeClient.connect(addr[0], addr[1],
+                                 timeout=args.timeout) as client:
+            server_metrics = client.call("metrics")
+    except (ProtocolError, ConnectionError, OSError):
+        server_metrics = None
+    if server_metrics is not None:
+        percentiles = server_metrics.get("percentiles", {})
+        for verb in ("query", "insert", "insert_batch"):
+            digest = percentiles.get(verb)
+            if not digest:
+                continue
+            metrics[f"server_{verb}_count"] = digest["count"]
+            for key in ("p50_ms", "p99_ms", "p999_ms"):
+                metrics[f"server_{verb}_{key}"] = digest[key]
     params = {
         "clients": args.clients,
         "requests_per_client": args.requests,
@@ -490,18 +513,20 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_top(args: argparse.Namespace) -> int:
-    from repro.obs.telemetry import TELEMETRY_FILENAME
-    from repro.obs.top import follow
+    from repro.obs.telemetry import SERVE_METRICS_FILENAME, TELEMETRY_FILENAME
+    from repro.obs.top import follow, render_screen, render_serve_screen
 
+    filename = SERVE_METRICS_FILENAME if args.serve else TELEMETRY_FILENAME
     telemetry = Path(args.telemetry)
     if telemetry.is_dir():
-        telemetry = telemetry / TELEMETRY_FILENAME
+        telemetry = telemetry / filename
     if not telemetry.exists():
         return _usage_error(f"no telemetry file at {telemetry}")
     return follow(
         telemetry,
         refresh=args.refresh,
         max_refreshes=1 if args.once else None,
+        renderer=render_serve_screen if args.serve else render_screen,
     )
 
 
@@ -758,6 +783,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--refresh", type=float, default=0.5, metavar="SEC",
         help="screen refresh period when following (default: 0.5)",
     )
+    p_top.add_argument(
+        "--serve", action="store_true",
+        help="render a daemon's serve_metrics.jsonl (per-verb "
+             "p50/p99/p999, queue depth, applier busy fraction) instead "
+             "of pipeline telemetry",
+    )
     p_top.set_defaults(func=cmd_top)
 
     p_serve = sub.add_parser(
@@ -784,6 +815,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-representatives", type=int, default=8, metavar="N",
         help="representatives kept per family (default: 8)",
     )
+    p_serve.add_argument(
+        "--slow-ms", type=float, default=250.0, metavar="MS",
+        help="requests slower than this dump their span tree to "
+             "DIR/serve_slow.jsonl (default: 250)",
+    )
+    p_serve.add_argument(
+        "--metrics-interval", type=float, default=1.0, metavar="SEC",
+        help="sampling period of DIR/serve_metrics.jsonl (default: 1.0)",
+    )
     _add_pipeline_args(p_serve)
     _add_telemetry_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
@@ -800,6 +840,11 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument(
         "--insert-fasta", metavar="FILE",
         help="insert every sequence of FILE as one batch",
+    )
+    group.add_argument(
+        "--metrics", action="store_true",
+        help="fetch the daemon's SLO snapshot (per-verb latency "
+             "histograms, stage time shares, serve.* counters)",
     )
     group.add_argument(
         "--shutdown", action="store_true",

@@ -49,10 +49,13 @@ from repro.obs.core import (
     gauge,
     heartbeat,
     recording,
+    request_recording,
     set_max,
     span,
 )
+from repro.obs.hist import HIST_SCHEMA, LatencyHistogram, buckets_apart
 from repro.obs.progress import PhaseProgress, format_seconds, phase_progress
+from repro.obs.request import RequestContext, next_request_id
 from repro.obs.regression import (
     BENCH_SCHEMA,
     baseline_from_run,
@@ -63,6 +66,7 @@ from repro.obs.regression import (
 )
 from repro.obs.telemetry import (
     DEFAULT_INTERVAL,
+    SERVE_METRICS_FILENAME,
     TELEMETRY_FILENAME,
     TelemetrySampler,
     read_telemetry,
@@ -72,8 +76,12 @@ from repro.obs.export import (
     chrome_trace,
     chrome_trace_events,
     counters_payload,
+    read_slow_log,
+    slow_trace,
+    slow_trace_events,
     write_chrome_trace,
     write_counters_json,
+    write_slow_trace,
 )
 from repro.obs.registry import (
     REGISTRY,
@@ -90,12 +98,16 @@ __all__ = [
     "CounterSpec",
     "DEFAULT_INTERVAL",
     "Event",
+    "HIST_SCHEMA",
     "HOST_TRACK",
+    "LatencyHistogram",
     "MASTER_LANE",
     "PhaseProgress",
     "REGISTRY",
     "Recorder",
+    "RequestContext",
     "SCIENTIFIC_COUNTERS",
+    "SERVE_METRICS_FILENAME",
     "SIM_TRACK",
     "Span",
     "TELEMETRY_FILENAME",
@@ -103,6 +115,7 @@ __all__ = [
     "active",
     "baseline_from_run",
     "bench_payload",
+    "buckets_apart",
     "chrome_trace",
     "chrome_trace_events",
     "clamp_rebased",
@@ -115,14 +128,20 @@ __all__ = [
     "format_seconds",
     "gauge",
     "heartbeat",
+    "next_request_id",
     "phase_progress",
+    "read_slow_log",
     "read_telemetry",
     "record_simulation",
     "recording",
+    "request_recording",
     "scientific_view",
     "set_max",
+    "slow_trace",
+    "slow_trace_events",
     "span",
     "write_bench_json",
     "write_chrome_trace",
     "write_counters_json",
+    "write_slow_trace",
 ]

@@ -274,13 +274,30 @@ class Recorder:
 # ---------------------------------------------------------------------------
 # The ambient recorder: instrumentation points call these module helpers,
 # which no-op unless a recorder is installed via recording().
+#
+# Two installation scopes compose here.  recording() installs a recorder
+# process-wide (the batch pipeline: one run, one recorder, every thread
+# reports into it).  request_recording() installs a recorder for the
+# *current thread only* — the serving daemon gives each in-flight
+# request a private child recorder on whichever thread is advancing it
+# (connection thread, then the applier thread), without hijacking the
+# ambient sink of every other connection.  Resolution order is
+# thread-local first, then the process-wide recorder.
 # ---------------------------------------------------------------------------
 
 _active: Recorder | None = None
+_thread_active = threading.local()
 
 
 def active() -> Recorder | None:
-    """The currently installed recorder, or None."""
+    """The currently installed recorder, or None.
+
+    A thread-local override (see :func:`request_recording`) wins over
+    the process-wide recorder installed by :func:`recording`.
+    """
+    recorder = getattr(_thread_active, "recorder", None)
+    if recorder is not None:
+        return recorder
     return _active
 
 
@@ -299,20 +316,39 @@ def recording(recorder: Recorder):
         _active = previous
 
 
+@contextlib.contextmanager
+def request_recording(recorder: Recorder):
+    """Thread-locally route the ambient helpers to ``recorder``.
+
+    Only the calling thread is redirected; every other thread keeps
+    resolving to the process-wide recorder.  Nests within one thread
+    (the previous thread-local override is restored on exit), and a
+    request context can be re-installed on a different thread — that is
+    how an insert's spans follow the job across the connection thread /
+    applier thread hand-off.
+    """
+    previous = getattr(_thread_active, "recorder", None)
+    _thread_active.recorder = recorder
+    try:
+        yield recorder
+    finally:
+        _thread_active.recorder = previous
+
+
 def count(name: str, n: int | float = 1) -> None:
-    recorder = _active
+    recorder = active()
     if recorder is not None:
         recorder.count(name, n)
 
 
 def set_max(name: str, value: int | float) -> None:
-    recorder = _active
+    recorder = active()
     if recorder is not None:
         recorder.set_max(name, value)
 
 
 def gauge(name: str, value: object) -> None:
-    recorder = _active
+    recorder = active()
     if recorder is not None:
         recorder.gauge(name, value)
 
@@ -322,7 +358,7 @@ def heartbeat(worker_index: int, busy: float | None = None) -> None:
     call this per absorbed result); ``busy`` adds to the worker's
     per-lane busy-seconds counter, from which ``repro top`` derives the
     lane's busy fraction."""
-    recorder = _active
+    recorder = active()
     if recorder is None:
         return
     recorder.gauge(f"worker.{worker_index}.last_seen", recorder.now())
@@ -332,7 +368,7 @@ def heartbeat(worker_index: int, busy: float | None = None) -> None:
 
 
 def event(name: str, cat: str = "event", **args: object) -> None:
-    recorder = _active
+    recorder = active()
     if recorder is not None:
         recorder.event(name, cat, **args)
 
@@ -340,7 +376,7 @@ def event(name: str, cat: str = "event", **args: object) -> None:
 @contextlib.contextmanager
 def span(name: str, cat: str = "phase", lane: int = MASTER_LANE,
          **args: object):
-    recorder = _active
+    recorder = active()
     if recorder is None:
         yield None
         return

@@ -116,3 +116,93 @@ def write_counters_json(recorder: Recorder, path: str | Path) -> Path:
         json.dumps(counters_payload(recorder), indent=1), encoding="ascii"
     )
     return path
+
+
+# ---------------------------------------------------------------------------
+# Slow-request log -> Chrome trace (the `repro serve` tail-sampled spans).
+# ---------------------------------------------------------------------------
+
+
+def read_slow_log(path: str | Path) -> list[dict]:
+    """Parse a ``serve_slow.jsonl`` file into its slow-request records.
+
+    Tolerant like :func:`repro.obs.telemetry.read_telemetry`: a live
+    daemon may be mid-write, so malformed/partial lines are skipped and
+    a missing file is an empty list.
+    """
+    records: list[dict] = []
+    try:
+        text = Path(path).read_text(encoding="ascii", errors="replace")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and record.get("type") == "slow_request":
+            records.append(record)
+    return records
+
+
+def slow_trace_events(records: list[dict]) -> list[dict]:
+    """Slow-request records as a ``traceEvents`` array.
+
+    Each record's spans carry request-relative millisecond offsets plus
+    the request's wall-clock epoch; all requests are placed on one
+    shared timeline (origin = earliest request) with one trace thread
+    per connection lane, so a multi-connection burst opens in Perfetto
+    with concurrent slow requests visibly overlapping.
+    """
+    events: list[dict] = []
+    lanes: set[int] = set()
+    origins = [r["wall"] for r in records
+               if isinstance(r.get("wall"), (int, float))]
+    origin = min(origins) if origins else 0.0
+    for record in records:
+        lane = int(record.get("lane", 0))
+        lanes.add(lane)
+        base = float(record.get("wall", origin)) - origin
+        args = {"request_id": record.get("request_id"),
+                "op": record.get("op")}
+        for span in record.get("spans", []):
+            events.append({
+                "name": span["name"],
+                "cat": span.get("cat", "stage"),
+                "ph": "X",
+                "ts": _us(base + span["start_ms"] / 1e3),
+                "dur": _us(max(span["dur_ms"], 0.0) / 1e3),
+                "pid": HOST_TRACK,
+                "tid": lane,
+                "args": args,
+            })
+    meta: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": HOST_TRACK, "tid": 0,
+        "args": {"name": "serve daemon (slow requests)"},
+    }]
+    for lane in sorted(lanes):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": HOST_TRACK, "tid": lane,
+            "args": {"name": f"connection lane {lane}"},
+        })
+    return meta + events
+
+
+def slow_trace(records: list[dict]) -> dict:
+    """Full Chrome trace document for a slow-request log."""
+    return {
+        "traceEvents": slow_trace_events(records),
+        "displayTimeUnit": "ms",
+        "otherData": {"slow_requests": len(records)},
+    }
+
+
+def write_slow_trace(log_path: str | Path, out_path: str | Path) -> Path:
+    """Convert ``serve_slow.jsonl`` into a Chrome trace file."""
+    out_path = Path(out_path)
+    document = slow_trace(read_slow_log(log_path))
+    out_path.write_text(json.dumps(document), encoding="ascii")
+    return out_path

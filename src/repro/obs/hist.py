@@ -1,0 +1,206 @@
+"""Streaming log-scale latency histograms for the serving SLO surface.
+
+A :class:`LatencyHistogram` is the daemon-side half of the serving
+latency story: the load generator keeps raw client-side samples, but a
+long-lived daemon cannot (unbounded memory), so it folds every request
+duration into a fixed array of geometric buckets and answers
+percentile queries from the bucket counts.
+
+Bucket scheme (fixed, never negotiated on the wire):
+
+* the resolvable range is ``MIN_LATENCY_S`` (1 µs) to ``MAX_LATENCY_S``
+  (100 s) at :data:`BUCKETS_PER_DECADE` (10) buckets per decade — a
+  geometric grid with ratio ``10^(1/10) ≈ 1.2589`` between consecutive
+  bucket edges;
+* bucket 0 is the underflow bucket (``value <= 1 µs``), the last bucket
+  is the overflow bucket (``value > 100 s``); everything in between
+  covers the half-open interval ``(edge[i-1], edge[i]]``.
+
+Accuracy contract: :meth:`percentile` uses the same nearest-rank
+definition as :func:`repro.serve.loadgen.percentile` and returns the
+*upper edge* of the bucket holding the ranked sample, so its estimate
+is always >= the exact sample and over-reads by at most one bucket
+ratio (~26%) — "within one bucket width", which the histogram tests
+pin down.  Merging is an elementwise count add, hence associative and
+commutative, and :meth:`to_dict`/:meth:`from_dict` round-trip through
+canonical (sorted-key, sparse) JSON for the ``metrics`` protocol verb
+and the ``serve_metrics.jsonl`` sampler stream.
+
+Not thread-safe by itself: the daemon mutates histograms under its own
+metrics lock (one short critical section per finished request).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+
+#: Smallest resolvable latency in seconds (underflow bucket edge).
+MIN_LATENCY_S = 1e-6
+
+#: Largest resolvable latency in seconds (overflow past this).
+MAX_LATENCY_S = 1e2
+
+#: Geometric resolution of the grid.
+BUCKETS_PER_DECADE = 10
+
+#: Ratio between consecutive bucket upper edges.
+BUCKET_FACTOR = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+
+#: Decades spanned by the resolvable range.
+_DECADES = int(round(math.log10(MAX_LATENCY_S / MIN_LATENCY_S)))
+
+#: Upper edges of the resolvable buckets: edge[i] = 1e-6 * 10^(i/10).
+#: Computed from integer decade/step so edges are bit-stable across
+#: platforms (no accumulated multiplication error).
+_EDGES: list[float] = [
+    MIN_LATENCY_S * 10.0 ** (i / BUCKETS_PER_DECADE)
+    for i in range(_DECADES * BUCKETS_PER_DECADE + 1)
+]
+
+#: Total bucket count: underflow-inclusive grid plus the overflow slot.
+N_BUCKETS = len(_EDGES) + 1
+
+#: Schema tag carried by serialized histograms.
+HIST_SCHEMA = "repro-hist/1"
+
+
+def bucket_index(seconds: float) -> int:
+    """The bucket holding a latency of ``seconds`` (clamped range)."""
+    if seconds <= MIN_LATENCY_S:
+        return 0
+    # bisect_left finds the first edge >= value, i.e. the bucket whose
+    # half-open interval (edge[i-1], edge[i]] contains it.
+    idx = bisect.bisect_left(_EDGES, seconds)
+    return min(idx, N_BUCKETS - 1)
+
+
+def bucket_upper_edge(index: int) -> float:
+    """Upper edge of bucket ``index`` (``inf`` for the overflow slot)."""
+    if not 0 <= index < N_BUCKETS:
+        raise IndexError(f"bucket index {index} out of range 0..{N_BUCKETS - 1}")
+    if index == N_BUCKETS - 1:
+        return math.inf
+    return _EDGES[index]
+
+
+def buckets_apart(a_seconds: float, b_seconds: float) -> float:
+    """Distance between two latencies measured in bucket widths.
+
+    The benchmark agreement gate between client-side (raw samples) and
+    server-side (histogram) percentiles is phrased in this unit: two
+    estimates quantised by the same grid can legitimately disagree by
+    about one bucket, so the gate allows a small integer of these.
+    """
+    if a_seconds <= 0 or b_seconds <= 0:
+        raise ValueError("latencies must be positive")
+    return abs(math.log(a_seconds / b_seconds)) / math.log(BUCKET_FACTOR)
+
+
+class LatencyHistogram:
+    """Fixed-bucket geometric latency histogram (seconds in, seconds out)."""
+
+    __slots__ = ("_counts", "_count")
+
+    def __init__(self) -> None:
+        self._counts = [0] * N_BUCKETS
+        self._count = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, seconds: float) -> None:
+        """Fold one request duration into the histogram."""
+        self._counts[bucket_index(seconds)] += 1
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total recorded samples."""
+        return self._count
+
+    # -- merging (associative + commutative) -------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Elementwise add ``other``'s counts into this histogram."""
+        for i, n in enumerate(other._counts):
+            self._counts[i] += n
+        self._count += other._count
+        return self
+
+    def copy(self) -> "LatencyHistogram":
+        out = LatencyHistogram()
+        out._counts = list(self._counts)
+        out._count = self._count
+        return out
+
+    # -- percentile estimation ---------------------------------------------
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile estimate, in seconds.
+
+        Matches :func:`repro.serve.loadgen.percentile`'s rank rule on
+        the same samples, then reports the upper edge of the bucket
+        the ranked sample fell into — so the estimate never under-reads
+        and over-reads by at most one bucket ratio.  Overflow-bucket
+        ranks report ``inf`` (visible, rather than silently clamped).
+        """
+        if self._count == 0:
+            raise ValueError("percentile of an empty histogram")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"pct must be in [0, 100], got {pct}")
+        rank = max(0, min(self._count - 1,
+                          int(round(pct / 100.0 * (self._count - 1)))))
+        seen = 0
+        for index, n in enumerate(self._counts):
+            seen += n
+            if seen > rank:
+                return bucket_upper_edge(index)
+        return math.inf  # unreachable: seen == count > rank by then
+
+    def summary(self) -> dict[str, float]:
+        """The SLO digest per verb: count plus p50/p99/p999 in ms."""
+        out: dict[str, float] = {"count": float(self._count)}
+        if self._count:
+            for label, pct in (("p50_ms", 50.0), ("p99_ms", 99.0),
+                               ("p999_ms", 99.9)):
+                out[label] = round(self.percentile(pct) * 1e3, 4)
+        return out
+
+    # -- canonical-JSON serialization --------------------------------------
+
+    def to_dict(self) -> dict:
+        """Sparse, canonical-JSON-ready form (only non-zero buckets)."""
+        return {
+            "schema": HIST_SCHEMA,
+            "buckets_per_decade": BUCKETS_PER_DECADE,
+            "min_s": MIN_LATENCY_S,
+            "max_s": MAX_LATENCY_S,
+            "count": self._count,
+            "counts": {str(i): n for i, n in enumerate(self._counts) if n},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        if payload.get("schema") != HIST_SCHEMA:
+            raise ValueError(
+                f"not a {HIST_SCHEMA} payload: {payload.get('schema')!r}"
+            )
+        if (payload.get("buckets_per_decade") != BUCKETS_PER_DECADE
+                or payload.get("min_s") != MIN_LATENCY_S
+                or payload.get("max_s") != MAX_LATENCY_S):
+            raise ValueError("histogram bucket scheme mismatch")
+        out = cls()
+        total = 0
+        for key, n in payload.get("counts", {}).items():
+            index = int(key)
+            if not 0 <= index < N_BUCKETS:
+                raise ValueError(f"bucket index {index} out of range")
+            out._counts[index] = int(n)
+            total += int(n)
+        declared = int(payload.get("count", total))
+        if declared != total:
+            raise ValueError(
+                f"declared count {declared} != summed bucket counts {total}"
+            )
+        out._count = total
+        return out

@@ -187,6 +187,22 @@ _SPECS = [
                 "insert-time unions that merged two families"),
     CounterSpec("serve.redundant", "serve",
                 "sequences declared contained (Definition 1) at insert"),
+    # -- Serving request tracing (per-request child recorders) -------------
+    CounterSpec("serve.myers_rejects", "serve",
+                "insert/query containment candidates rejected by the "
+                "sound bit-parallel Myers infix bound (DP skipped)"),
+    CounterSpec("serve.dp_cells", "serve",
+                "DP cells filled by serve-path alignments (cache hits "
+                "and Myers rejects excluded)"),
+    CounterSpec("serve.cache_hits", "serve",
+                "alignment-cache hits attributed to serve insert "
+                "requests (snapshot delta under the state lock)"),
+    CounterSpec("serve.applier_busy_seconds", "serve",
+                "seconds the applier thread spent applying insert jobs "
+                "(busy-fraction source for `repro top --serve`)"),
+    CounterSpec("serve.slow_requests", "serve",
+                "requests over the --slow-ms threshold, span trees "
+                "dumped to serve_slow.jsonl"),
 ]
 
 REGISTRY: dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}

@@ -53,6 +53,10 @@ SCHEMA_VERSION = 1
 #: File name inside a run directory.
 TELEMETRY_FILENAME = "telemetry.jsonl"
 
+#: Serving-daemon metrics stream (same record schema, different probes:
+#: per-verb latency histograms instead of pipeline phase progress).
+SERVE_METRICS_FILENAME = "serve_metrics.jsonl"
+
 #: Default sampling period in seconds.
 DEFAULT_INTERVAL = 0.25
 
@@ -111,12 +115,13 @@ class TelemetrySampler:
         *,
         interval: float = DEFAULT_INTERVAL,
         probes: dict[str, Callable[[], dict]] | None = None,
+        filename: str = TELEMETRY_FILENAME,
     ):
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.recorder = recorder
         self.run_dir = Path(run_dir)
-        self.path = self.run_dir / TELEMETRY_FILENAME
+        self.path = self.run_dir / filename
         self.interval = interval
         self._probes: dict[str, Callable[[], dict]] = dict(probes or {})
         self._seq = 0

@@ -216,6 +216,130 @@ def render_screen(
     return lines
 
 
+def _ms(value: object) -> str:
+    """Format a millisecond reading from a metrics probe ('-' if absent
+    or saturated into the histogram overflow bucket)."""
+    if not isinstance(value, (int, float)) or value != value:
+        return "      -"
+    if value == float("inf"):
+        return "   >1e5"
+    if value >= 1000:
+        return f"{value:7.0f}"
+    return f"{value:7.2f}"
+
+
+def render_serve_screen(
+    meta: dict | None,
+    samples: list[dict],
+    end: dict | None,
+    *,
+    live: bool = False,
+) -> list[str]:
+    """The ``repro top --serve`` screen for one serve_metrics.jsonl.
+
+    Renders the daemon's SLO surface from the latest sample's ``serve``
+    probe (the :meth:`ServeServer.metrics_snapshot` payload): per-verb
+    request counts and p50/p99/p999 latency, per-verb stage time
+    shares, insert-queue depth, and the applier thread's busy fraction
+    (derived from the ``serve.applier_busy_seconds`` counter over the
+    trailing sample window, same scheme as the worker lanes in
+    :func:`render_screen`).
+    """
+    if not samples:
+        return ["repro serve-top: no samples yet" if live else
+                "repro serve-top: metrics file has no samples"]
+    last = samples[-1]
+    now = last["t"]
+    run_meta = (meta or {}).get("meta", {})
+
+    if end is not None:
+        status = end.get("status", "finished")
+        if status == "error":
+            status = f"error ({end.get('error')})"
+    elif live:
+        status = "running"
+    else:
+        status = "no end record — daemon still live or died unreported"
+
+    lines = [
+        "repro serve-top — "
+        + " ".join(f"{k}={v}" for k, v in run_meta.items()),
+        f"status: {status}   t={format_seconds(now)}   "
+        f"samples={last.get('seq', len(samples))}",
+    ]
+
+    probe = last.get("probes", {}).get("serve") or {}
+    if "error" in probe:
+        lines.append("")
+        lines.append(f"metrics probe degraded ({probe['error']})")
+        return lines
+
+    percentiles = probe.get("percentiles") or {}
+    if percentiles:
+        lines.append("")
+        lines.append(
+            f"  {'verb':<14s} {'count':>8s} {'p50 ms':>7s} "
+            f"{'p99 ms':>7s} {'p999 ms':>7s}"
+        )
+        for verb in sorted(percentiles):
+            digest = percentiles[verb]
+            lines.append(
+                f"  {verb:<14s} {int(digest.get('count', 0)):>8,d} "
+                f"{_ms(digest.get('p50_ms'))} {_ms(digest.get('p99_ms'))} "
+                f"{_ms(digest.get('p999_ms'))}"
+            )
+
+    stage_seconds = probe.get("stage_seconds") or {}
+    stage_rows = []
+    for verb in sorted(stage_seconds):
+        stages = {k: v for k, v in stage_seconds[verb].items() if v > 0}
+        total = sum(stages.values())
+        if total <= 0:
+            continue
+        shares = "  ".join(
+            f"{name}={seconds / total:.0%}"
+            for name, seconds in sorted(
+                stages.items(), key=lambda kv: -kv[1]
+            )
+        )
+        stage_rows.append(f"  {verb:<14s} {shares}")
+    if stage_rows:
+        lines.append("")
+        lines.append("stage time shares:")
+        lines.extend(stage_rows)
+
+    # Applier busy fraction over the trailing window (counter delta).
+    window = samples[-8:]
+    dt = window[-1]["t"] - window[0]["t"] if len(window) >= 2 else 0.0
+    busy_name = "serve.applier_busy_seconds"
+    busy_now = last.get("counters", {}).get(busy_name, 0.0)
+    busy_then = window[0].get("counters", {}).get(busy_name, 0.0)
+    busy_frac = min((busy_now - busy_then) / dt, 1.0) if dt > 0 else 0.0
+    queue_depth = probe.get("queue_depth")
+    if queue_depth is None:
+        queue_depth = last.get("gauges", {}).get("serve.queue_depth", 0)
+    lines.append("")
+    lines.append(
+        f"applier {_bar(busy_frac)} {busy_frac:>4.0%} busy   "
+        f"insert queue: {int(queue_depth)} job(s)"
+    )
+
+    counters = last.get("counters", {})
+    totals = (
+        f"requests={int(counters.get('serve.requests', 0)):,d}  "
+        f"errors={int(counters.get('serve.errors', 0)):,d}  "
+        f"slow={int(counters.get('serve.slow_requests', 0)):,d}"
+    )
+    threshold = probe.get("slow_threshold_ms")
+    if threshold is not None:
+        totals += f" (>{threshold:g} ms)"
+    lines.append(totals)
+    rss = last.get("rss_bytes")
+    if rss:
+        lines.append(f"rss: {rss / (1024 * 1024):,.1f} MiB")
+    return lines
+
+
 def follow(
     path: str | Path,
     *,
@@ -223,12 +347,15 @@ def follow(
     stream: IO[str] | None = None,
     clear: bool = True,
     max_refreshes: int | None = None,
+    renderer=render_screen,
 ) -> int:
     """Refresh loop: re-read and re-render until an end record appears.
 
     Returns 0 on a finished run, 1 when the telemetry never produced a
     sample.  ``max_refreshes`` bounds the loop for tests and for
-    attaching to a file that will never finish.
+    attaching to a file that will never finish.  ``renderer`` selects
+    the screen (:func:`render_screen` for pipeline telemetry,
+    :func:`render_serve_screen` for daemon metrics).
     """
     out = stream if stream is not None else sys.stdout
     refreshes = 0
@@ -241,7 +368,7 @@ def follow(
         try:
             if clear and out.isatty():  # pragma: no cover - terminal only
                 out.write("\x1b[2J\x1b[H")
-            for line in render_screen(meta, samples, end, live=end is None):
+            for line in renderer(meta, samples, end, live=end is None):
                 out.write(line + "\n")
             out.flush()
         except BrokenPipeError:  # downstream pager/head closed the pipe

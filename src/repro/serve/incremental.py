@@ -6,7 +6,19 @@ single new sequence against the per-family *representatives* instead of
 the whole collection.  Candidate generation uses the psi-window index
 (exactly the promising-pair criterion at representative scale),
 alignments go through the shared :class:`AlignmentCache`, and merges go
-through the state's journaled union–find wrapper.
+through the state's journaled union–find wrapper.  The Definition 1
+sweep reuses the batch engine's sound bit-parallel prefilter
+(:func:`repro.align.batch.containment_reject_threshold`): candidates
+whose Myers infix distance provably exceeds the containment bound skip
+the semiglobal DP with no change to any decision — the equivalence gate
+in ``tests/test_serve.py`` holds the insert path to the batch output.
+
+Observability: the sweep decomposes into ``candidates`` /
+``myers_reject`` / ``dp`` / ``journal_fsync`` stage spans recorded via
+the ambient obs facade, so when the serving daemon installs a
+per-request child recorder (:class:`repro.obs.request.RequestContext`)
+each insert's span tree and counters (``serve.myers_rejects``,
+``serve.dp_cells``, ...) are attributed to the request that caused them.
 
 Every insert produces a *decision record* — the sequence plus the
 containments and unions it caused — appended to the run's checkpoint
@@ -30,10 +42,46 @@ from __future__ import annotations
 from typing import Any
 
 from repro import obs
+from repro.align.batch import containment_reject_threshold, myers_infix_distance
 from repro.core.checkpoint import CheckpointJournal
 from repro.pace.clustering import _overlap_passes
 from repro.sequence.record import SequenceRecord
 from repro.serve.state import ServeState
+
+
+def myers_rejects_containment(
+    state: ServeState, rep: int, other_encoded, other_length: int,
+    similarity: float, coverage: float,
+) -> bool:
+    """Sound bit-parallel prefilter for one Definition 1 candidate.
+
+    Computes the Myers infix edit distance between the shorter of the
+    pair and the longer, and compares it against
+    :func:`repro.align.batch.containment_reject_threshold` — a bound
+    with the property that exceeding it *proves* both containment
+    directions fail for the scalar-optimal overlap alignment.  True
+    means the semiglobal DP can be skipped without changing any
+    decision; False means nothing (the DP must still judge the pair).
+
+    Records the ``myers_reject`` stage span and bumps
+    ``serve.myers_rejects`` on a rejection.
+    """
+    rep_length = state.length(rep)
+    threshold = containment_reject_threshold(
+        rep_length, other_length, similarity, coverage
+    )
+    if threshold is None:
+        return False
+    with obs.span("myers_reject", cat="stage"):
+        rep_encoded = state.encoded(rep)
+        if rep_length <= other_length:
+            shorter, longer = rep_encoded, other_encoded
+        else:
+            shorter, longer = other_encoded, rep_encoded
+        rejected = myers_infix_distance(shorter, longer) > threshold
+    if rejected:
+        obs.count("serve.myers_rejects")
+    return rejected
 
 
 def _absorb(state: ServeState, index: int, decision: dict[str, Any]) -> None:
@@ -78,7 +126,9 @@ def insert_sequence(
     config = state.config
     new_idx = state.add_sequence(record)
     len_new = state.length(new_idx)
-    candidates = state.rep_index.candidates(state.encoded(new_idx))
+    new_encoded = state.encoded(new_idx)
+    with obs.span("candidates", cat="stage"):
+        candidates = state.rep_index.candidates(new_encoded)
     obs.count("serve.candidates", len(candidates))
 
     redundant_pairs: list[list[int]] = []
@@ -88,8 +138,21 @@ def insert_sequence(
     # -- Definition 1 sweep (RR): is either side contained in the other?
     container: int | None = None
     for rep in candidates:
+        # Sound prefilter before any DP: when the pair is not already
+        # memoised (a cached alignment is free) and the Myers infix
+        # bound proves both containment directions fail, skip the
+        # semiglobal alignment entirely — decision-identical, see
+        # `myers_rejects_containment`.
+        if state.cache.peek("semiglobal", rep, new_idx) is None:
+            if myers_rejects_containment(
+                state, rep, new_encoded, len_new,
+                config.containment_similarity, config.containment_coverage,
+            ):
+                continue
+            obs.count("serve.dp_cells", state.length(rep) * len_new)
         # rep < new_idx always, so coverage_a is the representative's.
-        aln = state.cache.semiglobal(rep, new_idx)
+        with obs.span("dp", cat="stage"):
+            aln = state.cache.semiglobal(rep, new_idx)
         n_alignments += 1
         obs.count("serve.alignments")
         if aln.identity < config.containment_similarity:
@@ -132,7 +195,10 @@ def insert_sequence(
             if state.uf.same(new_idx, rep):
                 obs.count("serve.filtered")
                 continue
-            aln = state.cache.local(rep, new_idx)
+            if state.cache.peek("local", rep, new_idx) is None:
+                obs.count("serve.dp_cells", state.length(rep) * len_new)
+            with obs.span("dp", cat="stage"):
+                aln = state.cache.local(rep, new_idx)
             n_alignments += 1
             obs.count("serve.alignments")
             if _overlap_passes(
@@ -154,7 +220,8 @@ def insert_sequence(
     }
     _absorb(state, new_idx, decision)
     if journal is not None:
-        journal.serve_insert(decision)
+        with obs.span("journal_fsync", cat="stage"):
+            journal.serve_insert(decision)
     obs.count("serve.inserts")
     obs.gauge("serve.families_now", state.n_families())
     return {

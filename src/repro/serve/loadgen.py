@@ -49,9 +49,15 @@ class LoadResult:
         if self.query_latencies:
             out["query_p50_ms"] = percentile(self.query_latencies, 50.0) * 1e3
             out["query_p99_ms"] = percentile(self.query_latencies, 99.0) * 1e3
+            out["query_p999_ms"] = (
+                percentile(self.query_latencies, 99.9) * 1e3
+            )
         if self.insert_latencies:
             out["insert_p50_ms"] = percentile(self.insert_latencies, 50.0) * 1e3
             out["insert_p99_ms"] = percentile(self.insert_latencies, 99.0) * 1e3
+            out["insert_p999_ms"] = (
+                percentile(self.insert_latencies, 99.9) * 1e3
+            )
         if self.elapsed > 0:
             out["query_throughput_per_s"] = self.n_queries / self.elapsed
             out["insert_throughput_per_s"] = self.n_inserts / self.elapsed

@@ -21,6 +21,12 @@ insert
     Incrementally cluster one ``{id, residues}`` sequence.
 insert_batch
     Insert several records through the bounded job queue.
+metrics
+    SLO snapshot: per-verb latency histograms (p50/p99/p999), stage
+    time shares, queue depth, and the ``serve.*`` counter slice.
+    Additive in protocol v1 — no request/response field changed
+    meaning, so the version did not bump; old daemons answer it with
+    ``unknown_op``, which clients must treat as "no metrics surface".
 drain / shutdown
     Stop accepting work, flush the journal, exit cleanly.
 """
@@ -40,8 +46,8 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 
 #: Every operation the daemon understands.
 OPS = frozenset(
-    {"hello", "status", "query", "insert", "insert_batch", "drain",
-     "shutdown"}
+    {"hello", "status", "query", "insert", "insert_batch", "metrics",
+     "drain", "shutdown"}
 )
 
 

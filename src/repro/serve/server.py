@@ -13,6 +13,22 @@ Concurrency model — chosen for the journal, not for throughput:
   to the journal, so any acknowledged insert survives SIGKILL and is
   replayed on restart.
 
+Request tracing & SLO metrics (DESIGN.md §12): every received line gets
+a :class:`repro.obs.request.RequestContext` — a monotonic request id
+plus a private child recorder installed thread-locally around parsing,
+dispatch, and the ack, and re-installed on the applier thread for the
+insert hand-off — so each request decomposes into ``parse ->
+candidates -> myers_reject -> dp -> journal_fsync -> ack`` stage spans
+with per-request counters.  On completion the child's counters merge
+into the daemon recorder, the request duration lands in a per-verb
+:class:`repro.obs.hist.LatencyHistogram`, and stage seconds accumulate
+per verb; requests over ``slow_ms`` additionally have their span tree
+absorbed onto the connection's lane and appended to
+``<run_dir>/serve_slow.jsonl`` (tail sampling — fast requests leave no
+spans behind).  The ``metrics`` protocol verb snapshots the whole
+surface, and a :class:`TelemetrySampler` writes the same snapshot to
+``<run_dir>/serve_metrics.jsonl`` for ``repro top --serve``.
+
 SIGTERM/SIGINT (and the ``shutdown`` op) drain rather than drop: the
 listener closes, queued inserts finish, the journal is fsynced and
 closed, then the process exits 0.
@@ -21,6 +37,7 @@ closed, then the process exits 0.
 from __future__ import annotations
 
 import contextlib
+import json
 import queue
 import signal
 import socket
@@ -34,10 +51,14 @@ import numpy as np
 from repro import obs
 from repro.align.pairwise import local_align, semiglobal_align
 from repro.core.checkpoint import CheckpointJournal
+from repro.obs.core import Recorder, request_recording
+from repro.obs.hist import LatencyHistogram
+from repro.obs.request import RequestContext
+from repro.obs.telemetry import SERVE_METRICS_FILENAME, TelemetrySampler
 from repro.pace.clustering import _overlap_passes
 from repro.sequence.record import SequenceRecord
 from repro.serve import protocol
-from repro.serve.incremental import insert_sequence
+from repro.serve.incremental import insert_sequence, myers_rejects_containment
 from repro.serve.state import ServeState
 
 #: Default cap on queued insert jobs before clients block.
@@ -47,12 +68,38 @@ DEFAULT_MAX_QUEUE = 64
 #: scripts discover an ephemeral port without parsing logs).
 ADDR_FILENAME = "serve.addr"
 
+#: Requests slower than this (milliseconds) dump their span tree.
+DEFAULT_SLOW_MS = 250.0
+
+#: Slow-request log inside the run directory (one JSON record per line).
+SLOW_LOG_FILENAME = "serve_slow.jsonl"
+
+#: Slow-log record schema version.
+SLOW_LOG_SCHEMA = 1
+
+#: Metrics snapshot schema tag (the `metrics` verb response body).
+METRICS_SCHEMA = "repro-serve-metrics/1"
+
+#: Default period of the serve_metrics.jsonl sampler.
+DEFAULT_METRICS_INTERVAL = 1.0
+
+#: Histogram/stage bucket for lines that failed to parse or validate
+#: (no verb to attribute them to, but their latency is still real).
+REJECTED_VERB = "rejected"
+
 
 @dataclass
 class _InsertJob:
-    """One queued insert batch; ``done`` fires after journal flush."""
+    """One queued insert batch; ``done`` fires after journal flush.
+
+    ``recorder`` is the enqueuing request's child recorder: the applier
+    re-installs it thread-locally while applying this job, so the
+    insert's stage spans and counters stay attributed to the request
+    even though it changed threads.
+    """
 
     records: list[dict[str, str]]
+    recorder: Recorder | None = None
     results: list[dict[str, Any]] = field(default_factory=list)
     done: threading.Event = field(default_factory=threading.Event)
 
@@ -69,20 +116,46 @@ class ServeServer:
         port: int = 0,
         max_queue: int = DEFAULT_MAX_QUEUE,
         run_dir: str | Path | None = None,
+        recorder: Recorder | None = None,
+        slow_ms: float = DEFAULT_SLOW_MS,
+        metrics_interval: float = DEFAULT_METRICS_INTERVAL,
     ):
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if slow_ms < 0:
+            raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
         self.state = state
         self.journal = journal
         self.host = host
         self.port = port
         self.run_dir = Path(run_dir) if run_dir is not None else None
+        if recorder is None:
+            recorder = Recorder(meta={"mode": "serve"})
+        #: Daemon-lifetime recorder: request counters merge into it,
+        #: slow-request span trees are absorbed onto connection lanes.
+        self.recorder = recorder
+        self.slow_ms = slow_ms
+        self.metrics_interval = metrics_interval
+        self.metrics_sampler: TelemetrySampler | None = None
         self._lock = threading.RLock()
         self._queue: "queue.Queue[_InsertJob]" = queue.Queue(maxsize=max_queue)
         self._stop = threading.Event()
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self.address: tuple[str, int] | None = None
+        # Per-verb latency histograms + summed stage seconds, both
+        # guarded by one short-critical-section lock (one acquisition
+        # per finished request, plus metrics snapshots).
+        self._metrics_lock = threading.Lock()
+        self._hists: dict[str, LatencyHistogram] = {}
+        self._stage_seconds: dict[str, dict[str, float]] = {}
+        # Connection lanes: lane 0 is the daemon master, each accepted
+        # connection claims the next lane for its requests' spans.
+        self._lane_lock = threading.Lock()
+        self._lanes_claimed = 0
+        # Slow-request log (lazily opened, line-locked).
+        self._slow_lock = threading.Lock()
+        self._slow_fh = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -107,6 +180,12 @@ class ServeServer:
             (self.run_dir / ADDR_FILENAME).write_text(
                 f"{self.address[0]} {self.address[1]}\n", encoding="utf-8"
             )
+            self.metrics_sampler = TelemetrySampler(
+                self.recorder, self.run_dir,
+                interval=self.metrics_interval,
+                filename=SERVE_METRICS_FILENAME,
+                probes={"serve": self.metrics_snapshot},
+            ).start()
         applier = threading.Thread(
             target=self._apply_inserts, name="serve-applier", daemon=True
         )
@@ -133,9 +212,10 @@ class ServeServer:
                 continue
             except OSError:
                 break  # listener closed under us during shutdown
-            obs.count("serve.connections")
+            self.recorder.count("serve.connections")
             worker = threading.Thread(
-                target=self._handle_connection, args=(conn,),
+                target=self._handle_connection,
+                args=(conn, self._claim_lane()),
                 name="serve-conn", daemon=True,
             )
             worker.start()
@@ -161,8 +241,20 @@ class ServeServer:
                 self._listener.close()
         self._queue.join()  # finish every accepted insert
         self._stop.set()
+        if self.metrics_sampler is not None:
+            self.metrics_sampler.stop("finished")
+            self.metrics_sampler = None
+        with self._slow_lock:
+            if self._slow_fh is not None:
+                self._slow_fh.close()
+                self._slow_fh = None
         if self.journal is not None:
             self.journal.close()
+
+    def _claim_lane(self) -> int:
+        with self._lane_lock:
+            self._lanes_claimed += 1
+            return self._lanes_claimed
 
     # -- insert applier ----------------------------------------------------
 
@@ -175,21 +267,34 @@ class ServeServer:
                 if self._stop.is_set():
                     return
                 continue
+            started = self.recorder.now()
             try:
-                for record in job.records:
-                    job.results.append(self._apply_one(record))
+                # Re-install the request's child recorder on this
+                # thread so the insert's spans/counters stay with the
+                # request across the queue hand-off.
+                scope = (request_recording(job.recorder)
+                         if job.recorder is not None
+                         else contextlib.nullcontext())
+                with scope:
+                    for record in job.records:
+                        job.results.append(self._apply_one(record))
             finally:
-                obs.gauge("serve.queue_depth", self._queue.qsize())
+                self.recorder.count("serve.applier_busy_seconds",
+                                    self.recorder.now() - started)
+                self.recorder.gauge("serve.queue_depth", self._queue.qsize())
                 job.done.set()
                 self._queue.task_done()
 
     def _apply_one(self, record: dict[str, str]) -> dict[str, Any]:
         try:
             with self._lock:
+                hits_before = self.state.cache.hits
                 outcome = insert_sequence(
                     self.state, record["id"], record["residues"],
                     journal=self.journal,
                 )
+                obs.count("serve.cache_hits",
+                          self.state.cache.hits - hits_before)
                 family_ids = self._ids(outcome["family"])
                 container = outcome["redundant_against"]
                 container_id = (
@@ -211,26 +316,30 @@ class ServeServer:
             return {"id": record.get("id"), "ok": False, "error": str(exc)}
 
     def _enqueue(self, records: list[dict[str, str]]) -> _InsertJob:
-        job = _InsertJob(records=records)
+        job = _InsertJob(records=records, recorder=obs.active())
         self._queue.put(job)  # blocks when the bounded queue is full
-        obs.gauge("serve.queue_depth", self._queue.qsize())
+        self.recorder.gauge("serve.queue_depth", self._queue.qsize())
         job.done.wait()
         return job
 
     # -- request handling --------------------------------------------------
 
-    def _handle_connection(self, conn: socket.socket) -> None:
+    def _handle_connection(self, conn: socket.socket, lane: int) -> None:
         conn_file = conn.makefile("rb")
         try:
             while not self._stop.is_set():
                 line = conn_file.readline(protocol.MAX_LINE_BYTES + 1)
                 if not line:
                     return
-                response, keep_open = self._respond(line)
-                try:
-                    conn.sendall(protocol.encode(response))
-                except OSError:
-                    return
+                ctx = RequestContext(self.recorder, lane=lane)
+                with ctx.install():
+                    response, keep_open = self._respond(ctx, line)
+                    try:
+                        with ctx.stage("ack"):
+                            conn.sendall(protocol.encode(response))
+                    except OSError:
+                        keep_open = False
+                self._finish_request(ctx)
                 if not keep_open:
                     return
         finally:
@@ -238,29 +347,132 @@ class ServeServer:
                 conn_file.close()
                 conn.close()
 
-    def _respond(self, line: bytes) -> tuple[dict[str, Any], bool]:
-        """One request line -> (response, keep connection open)."""
+    def _respond(
+        self, ctx: RequestContext, line: bytes
+    ) -> tuple[dict[str, Any], bool]:
+        """One request line -> (response, keep connection open).
+
+        `serve.errors` accounting contract: every error *response*
+        bumps the counter exactly once — framing/validation failures
+        here, dispatch-time ProtocolErrors below.  Per-record failures
+        inside an ok insert envelope are not error responses and do
+        not count.
+        """
         obs.count("serve.requests")
         try:
-            message = protocol.decode_line(line)
-            op = protocol.validate_request(message)
+            with ctx.stage("parse"):
+                message = protocol.decode_line(line)
+                op = protocol.validate_request(message)
         except protocol.ProtocolError as exc:
             obs.count("serve.errors")
+            ctx.op = REJECTED_VERB
             # Framing/version errors poison the stream; drop the client.
             fatal = exc.code in ("line_too_long", "bad_json",
                                  "version_mismatch")
             return protocol.error_response(exc.code, str(exc)), not fatal
-        with obs.span(f"req.{op}", cat="serve"):
-            try:
-                return self._dispatch(op, message)
-            except protocol.ProtocolError as exc:
-                obs.count("serve.errors")
-                return protocol.error_response(exc.code, str(exc)), True
+        ctx.op = op
+        try:
+            return self._dispatch(op, message)
+        except protocol.ProtocolError as exc:
+            obs.count("serve.errors")
+            return protocol.error_response(exc.code, str(exc)), True
+
+    def _finish_request(self, ctx: RequestContext) -> None:
+        """Fold one finished request into the daemon's SLO surface."""
+        duration = ctx.finish_into_parent()
+        verb = ctx.op if ctx.op else REJECTED_VERB
+        with self._metrics_lock:
+            hist = self._hists.get(verb)
+            if hist is None:
+                hist = self._hists[verb] = LatencyHistogram()
+            hist.record(duration)
+            shares = self._stage_seconds.setdefault(verb, {})
+            for name, seconds in ctx.stage_seconds().items():
+                shares[name] = shares.get(name, 0.0) + seconds
+        if duration * 1e3 >= self.slow_ms:
+            # Tail sampling: only slow requests ship their span tree
+            # into the daemon recorder (onto the connection's lane) and
+            # the slow log — fast requests leave counters only, so a
+            # long-lived daemon's span memory stays bounded.
+            self.recorder.count("serve.slow_requests")
+            self.recorder.absorb_wall_spans(
+                ctx.recorder.wall_spans(), lane=ctx.lane
+            )
+            self._log_slow(ctx, duration)
+
+    def _log_slow(self, ctx: RequestContext, duration: float) -> None:
+        if self.run_dir is None:
+            return
+        record = {
+            "type": "slow_request",
+            "schema": SLOW_LOG_SCHEMA,
+            "request_id": ctx.request_id,
+            "op": ctx.op if ctx.op else REJECTED_VERB,
+            "lane": ctx.lane,
+            "threshold_ms": self.slow_ms,
+            "duration_ms": round(duration * 1e3, 4),
+            "wall": ctx.recorder.clock.epoch_wall,
+            "counters": ctx.recorder.counters(),
+            "spans": ctx.span_records(),
+        }
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True)
+        with self._slow_lock:
+            if self._stop.is_set() and self._slow_fh is None:
+                return  # shutting down; don't reopen a closed log
+            if self._slow_fh is None:
+                self._slow_fh = open(
+                    self.run_dir / SLOW_LOG_FILENAME, "a", encoding="ascii"
+                )
+            self._slow_fh.write(line + "\n")
+            self._slow_fh.flush()
+
+    # -- metrics surface ---------------------------------------------------
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The SLO surface as one JSON-ready dict.
+
+        Served by the ``metrics`` protocol verb and sampled into
+        ``serve_metrics.jsonl`` — per-verb latency histograms (full
+        sparse form plus the p50/p99/p999 digest), per-verb stage
+        seconds, live queue depth, and the ``serve.*`` counter slice.
+        """
+        with self._metrics_lock:
+            hists = {verb: h.to_dict() for verb, h in self._hists.items()}
+            percentiles = {verb: h.summary()
+                           for verb, h in self._hists.items()}
+            stage_seconds = {
+                verb: {name: round(seconds, 6)
+                       for name, seconds in stages.items()}
+                for verb, stages in self._stage_seconds.items()
+            }
+        counters = self.recorder.counters()
+        return {
+            "schema": METRICS_SCHEMA,
+            "uptime_s": round(self.recorder.now(), 6),
+            "queue_depth": self._queue.qsize(),
+            "slow_threshold_ms": self.slow_ms,
+            "hists": hists,
+            "percentiles": percentiles,
+            "stage_seconds": stage_seconds,
+            "counters": {name: value for name, value in counters.items()
+                         if name.startswith("serve.")},
+        }
+
+    # -- protocol verb handlers (one `_op_<verb>` per wire op; lint rule
+    # -- R10 requires each to open a request span through the obs facade)
 
     def _dispatch(
         self, op: str, message: dict[str, Any]
     ) -> tuple[dict[str, Any], bool]:
-        if op == "hello":
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise protocol.ProtocolError("unknown_op", f"unhandled op {op!r}")
+        return handler(message)
+
+    def _op_hello(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.hello", cat="serve"):
             with self._lock:
                 body = protocol.ok_response(
                     server="repro-serve",
@@ -270,35 +482,64 @@ class ServeServer:
                     n_families=self.state.n_families(),
                 )
             return body, True
-        if op == "status":
+
+    def _op_status(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.status", cat="serve"):
             with self._lock:
                 status = self.state.status()
             status["queue_depth"] = self._queue.qsize()
             return protocol.ok_response(**status), True
-        if op == "query":
+
+    def _op_metrics(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.metrics", cat="serve"):
+            return protocol.ok_response(**self.metrics_snapshot()), True
+
+    def _op_query(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.query", cat="serve"):
             obs.count("serve.queries")
             return self._handle_query(message), True
-        if op == "insert":
+
+    def _op_insert(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.insert", cat="serve"):
             record = {"id": message["id"], "residues": message["residues"]}
             job = self._enqueue([record])
             return protocol.ok_response(results=job.results), True
-        if op == "insert_batch":
+
+    def _op_insert_batch(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.insert_batch", cat="serve"):
             records = [
                 {"id": r["id"], "residues": r["residues"]}
                 for r in message["records"]
             ]
             job = self._enqueue(records)
             return protocol.ok_response(results=job.results), True
-        if op in ("drain", "shutdown"):
+
+    def _op_drain(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.drain", cat="serve"):
+            # Journal stays open; every acknowledged insert is already
+            # flushed, so drain is just a barrier.
             self._queue.join()
-            if self.journal is not None and op == "drain":
-                # Journal stays open; every acknowledged insert is
-                # already flushed, so drain is just a barrier.
-                pass
-            if op == "shutdown":
-                self.request_stop()
-            return protocol.ok_response(stopping=op == "shutdown"), False
-        raise protocol.ProtocolError("unknown_op", f"unhandled op {op!r}")
+            return protocol.ok_response(stopping=False), False
+
+    def _op_shutdown(
+        self, message: dict[str, Any]
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.shutdown", cat="serve"):
+            self._queue.join()
+            self.request_stop()
+            return protocol.ok_response(stopping=True), False
 
     def _ids(self, indices: list[int]) -> list[str]:
         return [self.state.sequences[i].id for i in indices]
@@ -335,25 +576,38 @@ class ServeServer:
         but aligns outside the cache (the sequence has no index) and
         mutates nothing: reports the family a hypothetical insert would
         land in (``contained_in``) or overlap-join (``overlaps``).
+        The Definition 1 check uses the same sound Myers prefilter as
+        the insert path — a rejected candidate skips the semiglobal DP
+        (the overlap check still runs) with no change to the answer.
         """
         state = self.state
         config = state.config
-        candidates = state.rep_index.candidates(encoded)
+        len_query = len(encoded)
+        with obs.span("candidates", cat="stage"):
+            candidates = state.rep_index.candidates(encoded)
         obs.count("serve.candidates", len(candidates))
         contained_in: int | None = None
         overlap_roots: dict[int, int] = {}  # root -> witness rep
         for rep in candidates:
             rep_enc = state.encoded(rep)
-            aln = semiglobal_align(rep_enc, encoded, config.scheme)
+            if not myers_rejects_containment(
+                state, rep, encoded, len_query,
+                config.containment_similarity, config.containment_coverage,
+            ):
+                with obs.span("dp", cat="stage"):
+                    aln = semiglobal_align(rep_enc, encoded, config.scheme)
+                obs.count("serve.alignments")
+                obs.count("serve.dp_cells", state.length(rep) * len_query)
+                if (aln.identity >= config.containment_similarity
+                        and aln.coverage_b(len_query)
+                        >= config.containment_coverage):
+                    contained_in = rep
+                    break
+            with obs.span("dp", cat="stage"):
+                aln = local_align(rep_enc, encoded, config.scheme)
             obs.count("serve.alignments")
-            if (aln.identity >= config.containment_similarity
-                    and aln.coverage_b(len(encoded))
-                    >= config.containment_coverage):
-                contained_in = rep
-                break
-            aln = local_align(rep_enc, encoded, config.scheme)
-            obs.count("serve.alignments")
-            if _overlap_passes(aln, state.length(rep), len(encoded),
+            obs.count("serve.dp_cells", state.length(rep) * len_query)
+            if _overlap_passes(aln, state.length(rep), len_query,
                                config.overlap_similarity,
                                config.overlap_coverage):
                 overlap_roots.setdefault(state.uf.find(rep), rep)

@@ -1,0 +1,6 @@
+"""R10 bad: a verb handler with no request span — invisible to tracing."""
+
+
+class Server:
+    def _op_hello(self, message):
+        return {"ok": True}, True

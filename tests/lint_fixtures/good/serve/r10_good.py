@@ -1,0 +1,9 @@
+"""R10 good: the verb handler opens its request span via the obs facade."""
+
+from repro import obs
+
+
+class Server:
+    def _op_hello(self, message):
+        with obs.span("req.hello", cat="serve"):
+            return {"ok": True}, True

@@ -41,6 +41,7 @@ RULE_FIXTURES = [
     ("R7", "obs/r7"),
     ("R8", "benchmarks/bench_r8"),
     ("R9", "runtime/r9"),
+    ("R10", "serve/r10"),
 ]
 
 
@@ -73,9 +74,9 @@ class TestRuleFixtures:
         assert result.violations == [], [v.formatted() for v in result.violations]
 
     def test_bad_tree_counts_every_rule(self):
-        """All nine rules fire somewhere in the bad/ tree."""
+        """All ten rules fire somewhere in the bad/ tree."""
         result = run_lint([FIXTURES / "bad"], root=FIXTURES / "bad")
-        assert set(result.counts_by_rule()) == {f"R{i}" for i in range(1, 10)}
+        assert set(result.counts_by_rule()) == {f"R{i}" for i in range(1, 11)}
 
     def test_r5_flags_each_bad_target_shape(self):
         result = run_lint(

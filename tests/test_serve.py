@@ -12,7 +12,11 @@ generator — plus the two acceptance gates of the serving design:
 from __future__ import annotations
 
 import json
+import math
+import random
 import socket
+import threading
+import time
 
 import pytest
 
@@ -25,6 +29,26 @@ from repro.core.checkpoint import (
 )
 from repro.core.config import PipelineConfig
 from repro.core.pipeline import ProteinFamilyPipeline
+from repro import obs
+from repro.obs import (
+    SERVE_METRICS_FILENAME,
+    LatencyHistogram,
+    RequestContext,
+    next_request_id,
+    read_slow_log,
+    read_telemetry,
+    request_recording,
+    slow_trace,
+    write_slow_trace,
+)
+from repro.obs.core import Recorder
+from repro.obs.hist import (
+    BUCKET_FACTOR,
+    HIST_SCHEMA,
+    MIN_LATENCY_S,
+    MAX_LATENCY_S,
+)
+from repro.obs.top import render_serve_screen
 from repro.sequence.record import SequenceSet
 from repro.serve import protocol
 from repro.serve.incremental import insert_sequence, replay_insert
@@ -34,7 +58,12 @@ from repro.serve.representatives import (
     RepresentativeIndex,
     select_representatives,
 )
-from repro.serve.server import ServeServer
+from repro.serve.server import (
+    METRICS_SCHEMA,
+    REJECTED_VERB,
+    SLOW_LOG_FILENAME,
+    ServeServer,
+)
 from repro.serve.state import build_serve_state, load_serve_state
 from repro.sequence.alphabet import encode
 
@@ -432,6 +461,7 @@ class TestProtocol:
         {"v": 1, "op": "insert", "id": "x", "residues": "MKLV"},
         {"v": 1, "op": "insert_batch",
          "records": [{"id": "x", "residues": "MKLV"}]},
+        {"v": 1, "op": "metrics"},
         {"v": 1, "op": "shutdown"},
     ])
     def test_validate_accepts(self, message):
@@ -522,5 +552,438 @@ class TestServeCli:
                          base[0].id]) == 0
             out = json.loads(capsys.readouterr().out)
             assert out["found"]
+            # --metrics scrapes the SLO surface over the same wire.
+            assert main(["query", f"{host}:{port}", "--metrics"]) == 0
+            out = json.loads(capsys.readouterr().out)
+            assert out["ok"] and out["schema"] == METRICS_SCHEMA
+            assert out["percentiles"]["query"]["count"] >= 1
         finally:
             server.request_stop()
+
+
+def _wait_for(predicate, timeout=5.0, interval=0.01):
+    """Poll until ``predicate()`` is truthy (cross-thread metric reads:
+    a request lands in the histograms/counters just *after* its ack)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
+
+
+class TestLatencyHistogram:
+    def _samples(self):
+        rng = random.Random(2008)
+        # Log-uniform across the resolvable range plus edge clusters.
+        samples = [10.0 ** rng.uniform(-5.5, 0.5) for _ in range(400)]
+        samples += [2e-4] * 25 + [3e-2] * 10
+        return samples
+
+    def test_merge_is_associative_and_commutative(self):
+        samples = self._samples()
+        thirds = [samples[0::3], samples[1::3], samples[2::3]]
+        parts = []
+        for chunk in thirds:
+            h = LatencyHistogram()
+            for s in chunk:
+                h.record(s)
+            parts.append(h)
+        whole = LatencyHistogram()
+        for s in samples:
+            whole.record(s)
+        a, b, c = parts
+        left = a.copy().merge(b).merge(c)  # (a+b)+c
+        right = a.copy().merge(b.copy().merge(c))  # a+(b+c)
+        swapped = c.copy().merge(a).merge(b)  # c+a+b
+        for merged in (left, right, swapped):
+            assert merged.to_dict() == whole.to_dict()
+            assert merged.count == len(samples)
+
+    def test_percentile_within_one_bucket_of_exact(self):
+        samples = self._samples()
+        hist = LatencyHistogram()
+        for s in samples:
+            hist.record(s)
+        for pct in (0.0, 50.0, 90.0, 99.0, 99.9, 100.0):
+            exact = percentile(samples, pct)  # loadgen's nearest-rank
+            estimate = hist.percentile(pct)
+            # Upper-edge reporting: never under-reads, over-reads by at
+            # most one bucket ratio.
+            assert exact <= estimate <= exact * BUCKET_FACTOR * (1 + 1e-9)
+
+    def test_underflow_and_overflow_buckets(self):
+        hist = LatencyHistogram()
+        hist.record(0.0)
+        hist.record(MIN_LATENCY_S / 10)
+        assert hist.percentile(50.0) == MIN_LATENCY_S
+        hist.record(MAX_LATENCY_S * 10)  # overflow reads as inf, visibly
+        assert hist.percentile(100.0) == math.inf
+        assert hist.summary()["p999_ms"] == math.inf
+
+    def test_percentile_validation(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError, match="empty"):
+            hist.percentile(50.0)
+        hist.record(1e-3)
+        with pytest.raises(ValueError, match="pct"):
+            hist.percentile(101.0)
+        assert hist.summary() == {
+            "count": 1.0, "p50_ms": 1.0, "p99_ms": 1.0, "p999_ms": 1.0,
+        }
+
+    def test_canonical_json_round_trip(self):
+        hist = LatencyHistogram()
+        for s in self._samples():
+            hist.record(s)
+        payload = hist.to_dict()
+        wire = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+        back = LatencyHistogram.from_dict(json.loads(wire))
+        assert back.to_dict() == payload
+        assert back.count == hist.count
+        assert back.percentile(99.0) == hist.percentile(99.0)
+
+    def test_from_dict_rejects_bad_payloads(self):
+        good = LatencyHistogram()
+        good.record(1e-3)
+        with pytest.raises(ValueError, match="payload"):
+            LatencyHistogram.from_dict({"schema": "nope"})
+        scheme = good.to_dict()
+        scheme["buckets_per_decade"] = 5
+        with pytest.raises(ValueError, match="scheme"):
+            LatencyHistogram.from_dict(scheme)
+        lying = good.to_dict()
+        lying["count"] = 99
+        with pytest.raises(ValueError, match="declared count"):
+            LatencyHistogram.from_dict(lying)
+        assert HIST_SCHEMA == good.to_dict()["schema"]
+
+
+class TestRequestContext:
+    def test_request_ids_are_process_monotonic(self):
+        first = next_request_id()
+        parent = Recorder()
+        ids = [RequestContext(parent).request_id for _ in range(5)]
+        assert ids == sorted(ids) and ids[0] > first
+        assert len(set(ids)) == 5
+
+    def test_install_is_thread_local(self):
+        """A request's recorder override must not leak into sibling
+        connection threads (the bug a process-global override had)."""
+        parent = Recorder()
+        ctx = RequestContext(parent)
+        seen = {}
+        with ctx.install():
+            assert obs.active() is ctx.recorder
+            thread = threading.Thread(
+                target=lambda: seen.setdefault("active", obs.active())
+            )
+            thread.start()
+            thread.join()
+        assert seen["active"] is not ctx.recorder
+        assert obs.active() is not ctx.recorder  # uninstalled on exit
+
+    def test_install_moves_across_threads(self):
+        """The applier hand-off: re-installing on another thread routes
+        that thread's ambient counts to the same request."""
+        parent = Recorder()
+        ctx = RequestContext(parent)
+
+        def applier():
+            with request_recording(ctx.recorder):
+                obs.count("serve.alignments", 3)
+
+        thread = threading.Thread(target=applier)
+        thread.start()
+        thread.join()
+        assert ctx.recorder.value("serve.alignments") == 3
+
+    def test_finish_into_parent_merges_counters_once(self):
+        parent = Recorder()
+        ctx = RequestContext(parent)
+        with ctx.install():
+            obs.count("serve.queries")
+            with ctx.stage("parse"):
+                pass
+        first = ctx.finish_into_parent()
+        again = ctx.finish_into_parent()  # idempotent: duration frozen
+        assert first == again == ctx.duration()
+        assert parent.value("serve.queries") == 1
+        # Tail sampling: spans stay on the child until absorbed.
+        assert parent.wall_spans() == []
+        assert ctx.stage_seconds().keys() == {"parse"}
+        (row,) = ctx.span_records()
+        assert row["name"] == "parse" and row["cat"] == "stage"
+
+
+class TestServeErrorsAccounting:
+    """Every error *response* bumps `serve.errors` exactly once; the
+    rejection path decides which latency histogram the request lands in."""
+
+    @pytest.fixture()
+    def server(self, serve_workload, tmp_path):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0,
+                             run_dir=tmp_path)
+        server.run_in_thread()
+        yield server
+        server.request_stop()
+
+    def _errors(self, server):
+        return server.recorder.value("serve.errors")
+
+    def _raw_exchange(self, server, payload: bytes) -> dict:
+        """Send one raw line, read one reply (fatal paths drop us after)."""
+        host, port = server.address
+        with socket.create_connection((host, port), timeout=10) as raw:
+            raw.sendall(payload)
+            reply = json.loads(raw.makefile("rb").readline())
+        return reply
+
+    @pytest.mark.parametrize("op,kwargs,code", [
+        ("frobnicate", {}, "unknown_op"),
+        ("query", {}, "bad_request"),  # neither id nor residues
+        ("insert", {"id": ""}, "bad_request"),  # validation rejects
+        ("query", {"residues": "NOT@PROTEIN!"}, "bad_request"),  # dispatch
+    ])
+    def test_nonfatal_rejections_bump_once(self, server, op, kwargs, code):
+        host, port = server.address
+        before = self._errors(server)
+        with ServeClient.connect(host, port) as client:
+            with pytest.raises(ProtocolError) as excinfo:
+                client.call(op, **kwargs)
+            assert excinfo.value.code == code
+            # Same-connection follow-up: the error request's counters
+            # merged before the server read this line, so no polling.
+            assert client.call("hello")["ok"]
+        assert self._errors(server) == before + 1
+
+    @pytest.mark.parametrize("payload,code", [
+        (b"not json\n", "bad_json"),
+        (b"[1, 2]\n", "bad_request"),  # non-object: non-fatal envelope
+        (b'{"v": 99, "op": "hello"}\n', "version_mismatch"),
+        (b"x" * (protocol.MAX_LINE_BYTES + 1) + b"\n", "line_too_long"),
+    ])
+    def test_framing_rejections_bump_once(self, server, payload, code):
+        before = self._errors(server)
+        reply = self._raw_exchange(server, payload)
+        assert reply["ok"] is False and reply["code"] == code
+        # Fatal paths close the connection; the finish races us, so poll.
+        assert _wait_for(lambda: self._errors(server) == before + 1)
+
+    def test_rejected_lines_land_in_rejected_histogram(self, server):
+        self._raw_exchange(server, b"not json\n")
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            with pytest.raises(ProtocolError):
+                client.call("frobnicate")  # fails validation: no verb
+            client.call("hello")
+        def rejected_count():
+            with server._metrics_lock:
+                hist = server._hists.get(REJECTED_VERB)
+                return hist.count if hist else 0
+        assert _wait_for(lambda: rejected_count() == 2)
+
+    def test_insert_record_failures_are_not_error_responses(self, server):
+        """Per-record failures ride inside an ok envelope: not errors."""
+        base_errors = self._errors(server)
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            out = client.call("insert", id="err-dup", residues="MKLVMKLV")
+            assert out["results"][0]["ok"]
+            dup = client.call("insert", id="err-dup", residues="MKLVMKLV")
+            assert dup["ok"] and dup["results"][0]["ok"] is False
+            client.call("hello")
+        assert self._errors(server) == base_errors
+
+
+class TestMetricsVerb:
+    @pytest.fixture()
+    def server(self, serve_workload, tmp_path):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0,
+                             run_dir=tmp_path)
+        server.run_in_thread()
+        yield server
+        server.request_stop()
+
+    def test_snapshot_schema_and_same_connection_counts(self, server,
+                                                        serve_workload):
+        base, held, _run_dir, _config = serve_workload
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            client.call("query", id=base[0].id)
+            client.call("insert", id="mv-one", residues=held[0].residues)
+            # Same connection: both requests finished before the server
+            # read the metrics line, so counts are exact, race-free.
+            snap = client.call("metrics")
+        assert snap["schema"] == METRICS_SCHEMA
+        assert snap["percentiles"]["query"]["count"] == 1
+        assert snap["percentiles"]["insert"]["count"] == 1
+        assert snap["queue_depth"] == 0
+        assert snap["counters"]["serve.requests"] == 2
+        assert snap["counters"]["serve.queries"] == 1
+        # The full sparse histograms ride along and round-trip.
+        hist = LatencyHistogram.from_dict(snap["hists"]["query"])
+        assert hist.count == 1
+        # Stage decomposition: every traced request parses and acks;
+        # the insert also waited on the applier hand-off.
+        assert set(snap["stage_seconds"]["query"]) >= {"parse", "ack"}
+        assert set(snap["stage_seconds"]["insert"]) >= {"parse",
+                                                        "candidates"}
+
+    def test_loadgen_totals_match_server_histograms(self, server,
+                                                    serve_workload):
+        base, held, _run_dir, _config = serve_workload
+        host, port = server.address
+        result = run_load(
+            host, port,
+            clients=4,
+            requests_per_client=6,
+            query_ids=[r.id for r in base],
+            inserts=[{"id": f"mv-lg-{i}", "residues": r.residues}
+                     for i, r in enumerate(held)],
+            insert_fraction=0.3,
+            seed=11,
+        )
+        assert result.n_errors == 0
+
+        def scrape():
+            with ServeClient.connect(host, port) as client:
+                return client.call("metrics")["percentiles"]
+
+        # Cross-connection read: poll until the last acks' histogram
+        # records land (every client-timed request, server-histogrammed).
+        assert _wait_for(lambda: (
+            scrape().get("query", {}).get("count") == result.n_queries
+            and scrape().get("insert", {}).get("count") == result.n_inserts
+        ))
+        percentiles = scrape()
+        assert percentiles["query"]["p99_ms"] >= percentiles["query"]["p50_ms"]
+
+
+class TestSlowLogAndTrace:
+    @pytest.fixture()
+    def server(self, serve_workload, tmp_path):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        # slow_ms=0: every request is "slow", so the tail-sampling path
+        # runs deterministically.
+        server = ServeServer(state, host="127.0.0.1", port=0,
+                             run_dir=tmp_path, slow_ms=0.0)
+        server.run_in_thread()
+        yield server
+        server.request_stop()
+
+    def test_slow_log_records_span_trees(self, server, serve_workload,
+                                         tmp_path):
+        base, held, _run_dir, _config = serve_workload
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            client.call("query", residues=base[0].residues)
+            client.call("insert", id="slow-one", residues=held[0].residues)
+            client.call("hello")
+        log_path = tmp_path / SLOW_LOG_FILENAME
+        assert _wait_for(lambda: len(read_slow_log(log_path)) == 3)
+        records = read_slow_log(log_path)
+        assert [r["op"] for r in records] == ["query", "insert", "hello"]
+        ids = [r["request_id"] for r in records]
+        assert ids == sorted(ids) and len(set(ids)) == 3
+        assert all(r["lane"] == 1 for r in records)  # one connection
+        assert all(r["threshold_ms"] == 0.0 for r in records)
+        assert all(r["duration_ms"] >= 0.0 for r in records)
+        assert all(r["counters"]["serve.requests"] == 1 for r in records)
+        by_op = {r["op"]: r for r in records}
+        query_spans = {s["name"] for s in by_op["query"]["spans"]}
+        assert {"parse", "candidates", "ack"} <= query_spans
+        insert_spans = {s["name"] for s in by_op["insert"]["spans"]}
+        assert {"parse", "candidates", "ack"} <= insert_spans
+        # Tail sampling absorbed the span trees onto the connection lane
+        # of the daemon recorder, and counted each slow request.
+        assert server.recorder.value("serve.slow_requests") == 3
+        lanes = {s.lane for s in server.recorder.spans}
+        assert 1 in lanes
+
+    def test_slow_trace_export(self, server, serve_workload, tmp_path):
+        base, _held, _run_dir, _config = serve_workload
+        host, port = server.address
+        with ServeClient.connect(host, port) as client:
+            client.call("query", id=base[0].id)
+            client.call("hello")
+        log_path = tmp_path / SLOW_LOG_FILENAME
+        assert _wait_for(lambda: len(read_slow_log(log_path)) == 2)
+        records = read_slow_log(log_path)
+        doc = slow_trace(records)
+        assert doc["otherData"]["slow_requests"] == 2
+        events = doc["traceEvents"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices and all(e["tid"] == 1 for e in slices)
+        assert all("request_id" in e["args"] and "op" in e["args"]
+                   for e in slices)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "connection lane 1" in names
+        out = write_slow_trace(log_path, tmp_path / "slow-trace.json")
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_fast_requests_leave_no_spans(self, serve_workload, tmp_path):
+        """The other half of tail sampling: with a high threshold, the
+        daemon recorder accumulates no span memory and no slow log."""
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0,
+                             run_dir=tmp_path, slow_ms=60_000.0)
+        server.run_in_thread()
+        host, port = server.address
+        try:
+            with ServeClient.connect(host, port) as client:
+                client.call("query", id=base[0].id)
+                client.call("hello")
+                # Counters still merged (visible on the same connection).
+                snap = client.call("metrics")
+            assert snap["counters"]["serve.requests"] == 2
+            assert snap["percentiles"]["query"]["count"] == 1
+            assert server.recorder.spans == []
+            assert not (tmp_path / SLOW_LOG_FILENAME).exists()
+        finally:
+            server.request_stop()
+
+
+class TestServeTopScreen:
+    def test_render_serve_screen_from_sampler_file(self, serve_workload,
+                                                   tmp_path):
+        base, _held, run_dir, config = serve_workload
+        state = load_serve_state(run_dir, _reload_base(base), config)
+        server = ServeServer(state, host="127.0.0.1", port=0,
+                             run_dir=tmp_path)
+        server.run_in_thread()
+        host, port = server.address
+        try:
+            with ServeClient.connect(host, port) as client:
+                client.call("query", id=base[0].id)
+                client.call("metrics")
+
+            def verbs_recorded():
+                with server._metrics_lock:
+                    return {"query", "metrics"} <= set(server._hists)
+
+            assert _wait_for(verbs_recorded)
+            assert server.metrics_sampler is not None
+            server.metrics_sampler.sample_now()
+            meta, samples, end = read_telemetry(
+                tmp_path / SERVE_METRICS_FILENAME
+            )
+        finally:
+            server.request_stop()
+        assert samples
+        screen = "\n".join(render_serve_screen(meta, samples, end))
+        assert "repro serve-top" in screen
+        assert "query" in screen and "metrics" in screen
+        assert "applier" in screen and "insert queue" in screen
+        assert "requests=" in screen and "(>250 ms)" in screen
+
+    def test_render_serve_screen_empty_file(self, tmp_path):
+        meta, samples, end = read_telemetry(tmp_path / "absent.jsonl")
+        lines = render_serve_screen(meta, samples, end)
+        assert "no samples" in lines[0]
