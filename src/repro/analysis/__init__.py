@@ -2,12 +2,16 @@
 
 The framework (:mod:`repro.analysis.framework`) walks each file's AST
 once and dispatches nodes to repo-specific rules
-(:mod:`repro.analysis.rules`, R1–R8) that enforce the pipeline's
+(:mod:`repro.analysis.rules`, R1–R13) that enforce the pipeline's
 correctness contracts — counter-registry closure, seed and clock
 discipline, picklable worker tasks, ``is None`` defaulting, lock
-hygiene, and the shared benchmark schema.  Reporters
-(:mod:`repro.analysis.reporters`) render results as text or the
-``repro-lint/1`` JSON document.
+hygiene, and the shared benchmark schema.  Rules R11–R13 are
+cross-file: they consume the whole-project index built by
+:mod:`repro.analysis.project` (symbol table, call graph, lock model,
+thread map) to check lock ordering, guarded state, and blocking calls
+under locks.  Reporters (:mod:`repro.analysis.reporters`) render
+results as text, the ``repro-lint/1`` JSON document, or SARIF 2.1.0
+for code scanning.
 
 DESIGN.md's "Invariants & static analysis" section documents what each
 rule protects, how to add a rule, and the suppression policy.
@@ -24,10 +28,12 @@ from repro.analysis.framework import (
     dotted_name,
     iter_python_files,
 )
+from repro.analysis.project import ProjectIndex
 from repro.analysis.reporters import (
     LINT_SCHEMA,
     describe_rules,
     json_report,
+    sarif_report,
     text_report,
 )
 from repro.analysis.rules import default_rules
@@ -35,6 +41,7 @@ from repro.analysis.rules import default_rules
 __all__ = [
     "FileContext",
     "LINT_SCHEMA",
+    "ProjectIndex",
     "LintEngine",
     "LintError",
     "LintResult",
@@ -46,5 +53,6 @@ __all__ = [
     "dotted_name",
     "iter_python_files",
     "json_report",
+    "sarif_report",
     "text_report",
 ]

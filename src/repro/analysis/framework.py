@@ -148,10 +148,20 @@ class FileContext:
 
 @dataclass
 class ProjectContext:
-    """Cross-file state handed to ``Rule.finish_project``."""
+    """Cross-file state handed to ``Rule.finish_project``.
+
+    ``index`` is the phase-one :class:`repro.analysis.project.
+    ProjectIndex`, built once per run when any active rule sets
+    ``needs_index`` (the engine shares the already-parsed ASTs with it,
+    so indexing never re-parses).  ``artifacts`` collects
+    machine-readable side outputs a rule wants the CLI to expose —
+    R11 deposits the derived ``lock_order`` document here.
+    """
 
     root: Path
     files: list[FileContext] = field(default_factory=list)
+    index: object | None = None
+    artifacts: dict[str, object] = field(default_factory=dict)
 
     def find_file(self, suffix: str) -> FileContext | None:
         """The first linted file whose relative path ends with ``suffix``."""
@@ -175,6 +185,9 @@ class Rule:
     slug: str = "base"
     severity: str = "error"
     description: str = ""
+    #: Cross-file rules set this; the engine then builds the phase-one
+    #: :class:`~repro.analysis.project.ProjectIndex` before dispatch.
+    needs_index: bool = False
 
     def applies_to(self, ctx: FileContext) -> bool:
         """Whether this rule inspects ``ctx`` at all (path scoping)."""
@@ -210,6 +223,12 @@ class LintResult:
     errors: list[LintError]
     files_checked: int
     rules: tuple[str, ...]
+    #: number of ``ast.parse`` calls the run performed — exactly one
+    #: per checked file (the project index reuses the engine's trees).
+    parse_count: int = 0
+    #: machine-readable side outputs deposited by rules (see
+    #: :attr:`ProjectContext.artifacts`), e.g. ``lock_order``.
+    artifacts: dict[str, object] = field(default_factory=dict)
 
     def counts_by_rule(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -309,6 +328,11 @@ class LintEngine:
                 continue
             resolved.append(path)
 
+        # Phase 1a: parse every file exactly once.  The resulting
+        # FileContexts (with their ASTs) are shared by the project
+        # index and by every rule's dispatch walk — nothing below this
+        # loop ever calls ast.parse again.
+        parse_count = 0
         for file_path in iter_python_files(resolved):
             rel = self._relpath(file_path, root)
             try:
@@ -318,24 +342,33 @@ class LintEngine:
                 continue
             try:
                 tree = ast.parse(source, filename=rel)
+                parse_count += 1
             except SyntaxError as exc:
                 errors.append(
                     LintError(rel, f"syntax error at line {exc.lineno}: {exc.msg}")
                 )
                 continue
-            ctx = FileContext(file_path, rel, source, tree)
+            project.files.append(FileContext(file_path, rel, source, tree))
+
+        # Phase 1b: cross-file index, only when an active rule needs it.
+        if any(rule.needs_index for rule in rules):
+            from repro.analysis.project import ProjectIndex
+
+            project.index = ProjectIndex.build(project.files)
+
+        # Phase 2: per-file node dispatch, then project-level hooks.
+        for ctx in project.files:
             active = [rule for rule in rules if rule.applies_to(ctx)]
             for rule in active:
                 rule.start_file(ctx)
             if active:
                 active_set = set(active)
-                for node in ast.walk(tree):
+                for node in ast.walk(ctx.tree):
                     for rule, attr in handlers.get(type(node).__name__, ()):
                         if rule in active_set:
                             getattr(rule, attr)(ctx, node)
             for rule in active:
                 rule.finish_file(ctx)
-            project.files.append(ctx)
 
         for rule in rules:
             rule.finish_project(project)
@@ -349,6 +382,8 @@ class LintEngine:
             errors=errors,
             files_checked=len(project.files),
             rules=tuple(rule.name for rule in rules),
+            parse_count=parse_count,
+            artifacts=dict(project.artifacts),
         )
 
     @staticmethod

@@ -57,6 +57,88 @@ def json_report(result: LintResult) -> dict:
     }
 
 
+#: SARIF version emitted by :func:`sarif_report`.
+SARIF_VERSION = "2.1.0"
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def sarif_report(result: LintResult) -> dict:
+    """SARIF 2.1.0 document for ``result``.
+
+    The shape GitHub code scanning ingests: one run, the rule catalog
+    under ``tool.driver.rules``, one result per violation with a
+    repo-relative ``artifactLocation`` — findings annotate PR diffs
+    when CI uploads this via ``codeql-action/upload-sarif``.
+    """
+    from repro.analysis.rules import default_rules
+
+    catalog = list(default_rules())
+    rule_index = {cls.name: i for i, cls in enumerate(catalog)}
+    return {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro#design-7"
+                        ),
+                        "rules": [
+                            {
+                                "id": cls.name,
+                                "name": cls.slug,
+                                "shortDescription": {
+                                    "text": cls.description
+                                },
+                                "defaultConfiguration": {
+                                    "level": _SARIF_LEVELS.get(
+                                        cls.severity, "warning"
+                                    )
+                                },
+                            }
+                            for cls in catalog
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": v.rule,
+                        **(
+                            {"ruleIndex": rule_index[v.rule]}
+                            if v.rule in rule_index else {}
+                        ),
+                        "level": _SARIF_LEVELS.get(v.severity, "warning"),
+                        "message": {"text": v.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": v.path,
+                                        "uriBaseId": "%SRCROOT%",
+                                    },
+                                    "region": {
+                                        "startLine": v.line,
+                                        "startColumn": max(v.col, 0) + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for v in result.violations
+                ],
+            }
+        ],
+    }
+
+
 def describe_rules(rules: Mapping[str, type[Rule]] | None = None) -> list[str]:
     """``--list-rules`` output: one aligned line per registered rule."""
     from repro.analysis.rules import default_rules

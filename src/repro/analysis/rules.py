@@ -16,7 +16,15 @@ rule      slug                 contract protected
 ``R8``    bench-schema         benchmarks emit the shared ``repro-bench/1`` schema
 ``R9``    swallowed-exception  recovery paths never swallow exceptions silently
 ``R10``   request-span         serve verb handlers stay visible to request tracing
+``R11``   lock-order           the lock acquisition graph stays cycle-free
+``R12``   guarded-state        guarded attributes only mutate under their lock
+``R13``   blocking-under-lock  no blocking call while a named lock is held
 ========  ===================  ====================================================
+
+R11–R13 are cross-file: they run over the phase-one
+:class:`~repro.analysis.project.ProjectIndex` (symbol table, call
+graph, lock model, thread map) in ``finish_project`` instead of
+visiting nodes file by file.
 """
 
 from __future__ import annotations
@@ -30,6 +38,14 @@ from repro.analysis.framework import (
     Rule,
     dotted_name,
 )
+from repro.analysis.project import ProjectIndex
+
+
+def _project_index(project: ProjectContext) -> ProjectIndex | None:
+    """The phase-one index, typed (``ProjectContext.index`` is opaque
+    to avoid a framework -> project import cycle)."""
+    index = project.index
+    return index if isinstance(index, ProjectIndex) else None
 
 
 class OrDefaultRule(Rule):
@@ -688,6 +704,247 @@ class RequestSpanRule(Rule):
         )
 
 
+class _ConcurrencyRule(Rule):
+    """Shared base for the cross-file concurrency rules (R11–R13).
+
+    These run entirely in ``finish_project`` over the phase-one
+    :class:`~repro.analysis.project.ProjectIndex`; per-file visitation
+    is not enough to see a lock inversion that spans two modules.
+    """
+
+    needs_index = True
+
+    #: top-level package dirs whose lock hygiene these rules police
+    _SCOPED = frozenset({"serve", "runtime", "obs"})
+
+    def _in_scope(self, ctx: FileContext) -> bool:
+        return bool(self._SCOPED & set(ctx.parts[:-1]))
+
+
+class LockOrderRule(_ConcurrencyRule):
+    """R11: the static lock-acquisition graph must be acyclic.
+
+    An edge A→B is recorded whenever lock B is acquired while A can be
+    held — lexically nested ``with`` blocks, or a ``with A:`` body
+    calling (transitively, through the project call graph) a function
+    that takes B.  Any cycle is a latent deadlock: two threads entering
+    the cycle from different ends stall forever, and nothing in a test
+    suite reliably provokes it.  The derived total order is deposited
+    as the ``lock_order`` artifact (written by ``repro lint
+    --lock-order``, committed as ``lock_order.json``) and enforced at
+    runtime by :mod:`repro.util.lockwatch` when
+    ``REPRO_LOCK_WATCHDOG=1``.
+
+    Two hygiene sub-checks keep the model sound: locks in ``serve/`` /
+    ``runtime/`` / ``obs/`` must be created through ``named_lock()`` /
+    ``named_rlock()`` (a raw ``threading.Lock`` is invisible to the
+    watchdog), and an explicit name literal must match the canonical
+    name the analysis derives (else the static and dynamic halves
+    disagree about identity).
+    """
+
+    name = "R11"
+    slug = "lock-order"
+    severity = "error"
+    description = (
+        "lock acquisition graph must be cycle-free; named locks in "
+        "serve/runtime/obs must use named_lock() with canonical names"
+    )
+
+    def finish_project(self, project: ProjectContext) -> None:
+        from repro.util.lockwatch import ORDER_SCHEMA
+
+        index = _project_index(project)
+        if index is None:  # pragma: no cover - engine always builds it
+            return
+        for site in index.raw_lock_sites:
+            if self._in_scope(site.ctx):
+                site.ctx.report(
+                    self,
+                    site.node,
+                    f"raw `{site.dotted}()` in {site.ctx.parts[-2]}/ is "
+                    f"invisible to the lock-order watchdog; create it "
+                    f"with `named_lock(...)`/`named_rlock(...)` from "
+                    f"repro.util.lockwatch",
+                )
+        for mismatch in index.name_mismatches:
+            mismatch.ctx.report(
+                self,
+                mismatch.node,
+                f"named_lock literal {mismatch.literal!r} does not match "
+                f"the canonical name {mismatch.derived!r} the analysis "
+                f"derives; the watchdog and lock_order.json would "
+                f"disagree about this lock's identity",
+            )
+        edges = index.lock_edges()
+        for (a, b), edge in sorted(edges.items()):
+            if a == b:
+                edge.acq.func.ctx.report(
+                    self,
+                    edge.acq.node,
+                    f"non-reentrant lock {a!r} can be re-acquired while "
+                    f"already held ({edge.witness}); this self-deadlocks "
+                    f"— use named_rlock or restructure",
+                )
+        distinct = {k: v for k, v in edges.items() if k[0] != k[1]}
+        cycle = index.find_cycle(distinct)
+        if cycle is not None:
+            witnesses = "; ".join(
+                distinct[(a, b)].witness
+                for a, b in zip(cycle, cycle[1:])
+                if (a, b) in distinct
+            )
+            anchor = distinct[(cycle[0], cycle[1])].acq
+            anchor.func.ctx.report(
+                self,
+                anchor.node,
+                f"lock-order cycle {' -> '.join(cycle)}: two threads "
+                f"entering this cycle from different ends deadlock "
+                f"[{witnesses}]",
+            )
+            return
+        order = index.lock_order(distinct)
+        if order is not None:
+            threads: dict[str, list[str]] = {name: [] for name in order}
+            for acq in index.acquisitions:
+                if acq.lock in threads:
+                    threads[acq.lock] = sorted(
+                        set(threads[acq.lock]) | acq.func.threads
+                    )
+            project.artifacts["lock_order"] = {
+                "schema": ORDER_SCHEMA,
+                "locks": order,
+                "edges": [list(pair) for pair in sorted(distinct)],
+                "threads": threads,
+            }
+
+
+class GuardedStateRule(_ConcurrencyRule):
+    """R12: declared guarded attributes are only mutated under their lock.
+
+    ``self.attr = ...  # guarded by <lock>`` on an ``__init__``
+    assignment is a machine-checked claim: every mutation of that
+    attribute — assignment, augmented assignment, ``del``, or an
+    in-place mutator call like ``.append``/``.setdefault`` — must occur
+    while ``<lock>`` is statically held: lexically inside ``with
+    <lock>:``, inside a function annotated ``# repro-lint:
+    requires=<lock>``, on a call path where every non-exempt caller
+    holds it, inside the owning class's initializer, or inside
+    single-threaded construction code annotated ``# repro-lint:
+    thread=init``.  The same pass verifies ``requires=`` obligations at
+    every call site, so the annotation is a checked contract rather
+    than a comment.
+    """
+
+    name = "R12"
+    slug = "guarded-state"
+    severity = "error"
+    description = (
+        "attributes declared `# guarded by <lock>` may only be mutated "
+        "while that lock is statically held (requires=/thread=init "
+        "annotations documented in DESIGN.md §7)"
+    )
+
+    def finish_project(self, project: ProjectContext) -> None:
+        index = _project_index(project)
+        if index is None:  # pragma: no cover - engine always builds it
+            return
+        for cls_info in index.classes.values():
+            for decl in cls_info.guarded.values():
+                if decl.lock not in index.locks:
+                    decl.ctx.report(
+                        self,
+                        decl.lineno,
+                        f"`# guarded by {decl.lock}` names an unknown "
+                        f"lock; known named locks: "
+                        f"{', '.join(sorted(index.locks)) or '(none)'}",
+                    )
+        for mut in index.mutations:
+            guard = mut.owner.guarded[mut.attr].lock
+            fn = mut.func
+            if (
+                guard in mut.held
+                or guard in fn.requires
+                or (fn.cls is mut.owner and fn.is_init)
+                or fn.exempt
+                or index.always_held(fn, guard)
+            ):
+                continue
+            threads = ", ".join(sorted(fn.threads))
+            fn.ctx.report(
+                self,
+                mut.node,
+                f"{mut.owner.name}.{mut.attr} ({mut.how}) is guarded by "
+                f"{guard} but the lock is not statically held here "
+                f"(function {fn.qualname}, runs on: {threads}); take "
+                f"the lock, annotate `# repro-lint: requires={guard}`, "
+                f"or mark construction-only code `thread=init`",
+            )
+        for site in index.call_sites:
+            for lock in sorted(site.callee.requires):
+                if (
+                    lock in site.held
+                    or lock in site.caller.requires
+                    or site.caller.exempt
+                    or index.always_held(site.caller, lock)
+                ):
+                    continue
+                site.caller.ctx.report(
+                    self,
+                    site.node,
+                    f"{site.callee.qualname} requires {lock} but "
+                    f"{site.caller.qualname} does not hold it at this "
+                    f"call site",
+                )
+
+
+class BlockingUnderLockRule(_ConcurrencyRule):
+    """R13: no blocking call while a named lock is statically held.
+
+    Holding a lock across ``os.fsync``, a socket send/recv, an
+    untimed ``queue.Queue`` put/get, or an alignment-kernel entry point
+    serialises every other thread behind disk or DP latency — exactly
+    the applier-vs-reader stall shape that caps serve throughput.  The
+    held-lock set at a call combines the lexical ``with`` nest with the
+    propagated ``any_held`` entry set, so a blocking call three frames
+    below the ``with`` is still caught (and reported at the blocking
+    site, with a witness naming the path that holds the lock).
+    """
+
+    name = "R13"
+    slug = "blocking-under-lock"
+    severity = "error"
+    description = (
+        "no os.fsync / socket send-recv / untimed queue ops / "
+        "alignment DP while a named lock is statically held"
+    )
+
+    def finish_project(self, project: ProjectContext) -> None:
+        index = _project_index(project)
+        if index is None:  # pragma: no cover - engine always builds it
+            return
+        for bc in index.blocking_calls:
+            fn = bc.func
+            held: dict[str, str] = {
+                lock: f"acquired in {fn.qualname}" for lock in bc.held
+            }
+            for lock in fn.requires:
+                held.setdefault(lock, f"requires= on {fn.qualname}")
+            for lock, witness in fn.any_held.items():
+                held.setdefault(lock, witness)
+            if not held:
+                continue
+            names = ", ".join(sorted(held))
+            witness = held[sorted(held)[0]]
+            fn.ctx.report(
+                self,
+                bc.node,
+                f"{bc.what} can block while {names} is held "
+                f"({witness}); move the blocking work outside the "
+                f"critical section",
+            )
+
+
 def default_rules() -> tuple[type[Rule], ...]:
     """Every rule, in report order."""
     return (
@@ -701,4 +958,7 @@ def default_rules() -> tuple[type[Rule], ...]:
         BenchSchemaRule,
         SwallowedExceptionRule,
         RequestSpanRule,
+        LockOrderRule,
+        GuardedStateRule,
+        BlockingUnderLockRule,
     )

@@ -584,6 +584,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         LintEngine,
         describe_rules,
         json_report,
+        sarif_report,
         text_report,
     )
 
@@ -609,8 +610,22 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return _usage_error(str(exc))
     result = engine.run(paths, root=Path.cwd())
 
+    if args.lock_order:
+        order = result.artifacts.get("lock_order")
+        if order is None:
+            return _usage_error(
+                "--lock-order needs the R11 lock-order rule in the run "
+                "(drop --select/--ignore filters that exclude it)"
+            )
+        Path(args.lock_order).write_text(
+            json.dumps(order, indent=1) + "\n", encoding="utf-8"
+        )
+        print(f"lock order -> {args.lock_order}")
+
     if args.format == "json":
         rendered = json.dumps(json_report(result), indent=1)
+    elif args.format == "sarif":
+        rendered = json.dumps(sarif_report(result), indent=1)
     else:
         rendered = "\n".join(text_report(result))
     if args.output:
@@ -921,12 +936,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule names/slugs to skip",
     )
     p_lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (json = the repro-lint/1 document)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (json = the repro-lint/1 document, "
+             "sarif = SARIF 2.1.0 for code scanning)",
     )
     p_lint.add_argument(
         "--output", metavar="FILE",
         help="write the report to FILE instead of stdout",
+    )
+    p_lint.add_argument(
+        "--lock-order", metavar="FILE",
+        help="write the R11-derived lock total order (repro-lock-order/1) "
+             "to FILE — the runtime watchdog's input",
     )
     p_lint.add_argument(
         "--fail-on", choices=("error", "warning", "never"), default="error",

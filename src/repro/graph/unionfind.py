@@ -46,6 +46,20 @@ class UnionFind:
             x = parent[x]
         return x
 
+    def root(self, x: int) -> int:
+        """Representative of x's set, *without* path halving.
+
+        :meth:`find` writes parent pointers as a side effect, which
+        makes it a mutation even for pure queries.  Lock-free readers
+        (the serve planner walks the structure while only holding it
+        stable against unions, not against other finds) use this
+        compression-free walk instead.
+        """
+        parent = self._parent
+        while parent[x] != x:
+            x = parent[x]
+        return x
+
     def union(self, x: int, y: int) -> bool:
         """Merge the sets of x and y; returns True if they were distinct."""
         rx, ry = self.find(x), self.find(y)

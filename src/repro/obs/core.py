@@ -42,6 +42,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.obs.clock import ClockSync
+from repro.util.lockwatch import named_lock
 
 #: Chrome-trace "pid" carrying measured wall-clock activity.
 HOST_TRACK = 1
@@ -117,7 +118,7 @@ class Recorder:
     """Free-form run description (mode, workers, config digest, ...)."""
 
     def __post_init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = named_lock("Recorder._lock")
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, object] = {}
         self.spans: list[Span] = []

@@ -29,12 +29,12 @@ request's spans in memory).
 from __future__ import annotations
 
 import itertools
-import threading
 
 from repro.obs.core import MASTER_LANE, Recorder, request_recording
+from repro.util.lockwatch import named_lock
 
 _ids = itertools.count(1)
-_ids_lock = threading.Lock()
+_ids_lock = named_lock("request._ids_lock")
 
 
 def next_request_id() -> int:

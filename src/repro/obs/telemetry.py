@@ -46,6 +46,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.obs.core import Recorder
+from repro.util.lockwatch import named_lock
 
 #: Telemetry JSONL schema version (bump on incompatible record changes).
 SCHEMA_VERSION = 1
@@ -124,11 +125,11 @@ class TelemetrySampler:
         self.path = self.run_dir / filename
         self.interval = interval
         self._probes: dict[str, Callable[[], dict]] = dict(probes or {})
-        self._seq = 0
-        self._fh = None
+        self._seq = 0  # guarded by _write_lock
+        self._fh = None  # guarded by _write_lock
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
-        self._write_lock = threading.Lock()
+        self._write_lock = named_lock("TelemetrySampler._write_lock")
 
     # -- probe registry ----------------------------------------------------
 
@@ -156,6 +157,8 @@ class TelemetrySampler:
         }
 
     def _sample_record(self) -> dict:
+        # ``seq`` is stamped at write time, under the write lock — probe
+        # callables must not run inside the critical section.
         recorder = self.recorder
         t = recorder.now()
         gauges = recorder.gauges()
@@ -165,10 +168,9 @@ class TelemetrySampler:
                 probes[name] = _jsonable(fn())
             except Exception as exc:  # keep sampling through any failure
                 probes[name] = {"error": f"{type(exc).__name__}: {exc}"}
-        self._seq += 1
         return {
             "type": "sample",
-            "seq": self._seq,
+            "seq": 0,
             "t": t,
             "wall": recorder.clock.to_wall(t),
             "phase": gauges.get("phase", ""),
@@ -202,14 +204,25 @@ class TelemetrySampler:
         if self._fh is not None:
             return self
         self.run_dir.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "a", encoding="ascii")
+        fh = open(self.path, "a", encoding="ascii")
+        with self._write_lock:
+            if self._fh is not None:  # lost the open race
+                fh.close()
+                return self
+            self._fh = fh
         self._write(self._meta_record())
         return self
 
     def sample_now(self) -> dict:
         """Take and append one sample immediately (also used by tests)."""
         record = self._sample_record()
-        self._write(record)
+        with self._write_lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            if self._fh is not None:
+                line = json.dumps(record, separators=(",", ":"))
+                self._fh.write(line + "\n")
+                self._fh.flush()  # live consumers tail this file
         return record
 
     def start(self) -> "TelemetrySampler":

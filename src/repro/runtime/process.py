@@ -61,6 +61,7 @@ from repro.runtime.base import (
     preferred_start_method,
 )
 from repro.runtime.sharedseq import SharedSequenceStore, StoreSpec
+from repro.util.lockwatch import named_lock
 from repro.util.timing import monotonic_now
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -477,8 +478,12 @@ class ProcessBackend(Backend):
         self._streams: dict[int, "_ProcessStream | _ProcessContainmentStream"] = {}
         self._next_stream_id = 0
         self._next_task_id = 0
-        self._ledger: dict[int, _TaskRecord] = {}
-        self._worker_tasks: dict[int, set[int]] = {}
+        # In-flight ledger: every dispatched-but-unabsorbed task, plus
+        # the per-worker view of it.  Mutated by the master thread
+        # (submit/route/recover), read by the telemetry sampler thread.
+        self._ledger_lock = named_lock("ProcessBackend._ledger_lock")
+        self._ledger: dict[int, _TaskRecord] = {}  # guarded by _ledger_lock
+        self._worker_tasks: dict[int, set[int]] = {}  # guarded by _ledger_lock
         self._respawns_used = 0
         self._degraded = False
         self._shingle_results: dict[int, tuple] = {}
@@ -498,7 +503,8 @@ class ProcessBackend(Backend):
         self._task_queues = [None] * self.workers
         self._dead_queues = []
         self._incarnation = [0] * self.workers
-        self._worker_tasks = {w: set() for w in range(self.workers)}
+        with self._ledger_lock:
+            self._worker_tasks = {w: set() for w in range(self.workers)}
         self._respawns_used = 0
         self._degraded = False
         obs.gauge("runtime.degraded", 0)
@@ -564,8 +570,9 @@ class ProcessBackend(Backend):
             self._store.close()
             self._store = None
         self._streams = {}
-        self._ledger = {}
-        self._worker_tasks = {}
+        with self._ledger_lock:
+            self._ledger = {}
+            self._worker_tasks = {}
 
     def _drain_results_nonblocking(self) -> None:
         """Discard queued result messages during shutdown (the run is
@@ -605,7 +612,8 @@ class ProcessBackend(Backend):
             obs.count("faults.injected")
             obs.event("fault.injected", kind="poison_task",
                       task=record.task_id, phase=record.phase)
-        self._ledger[record.task_id] = record
+        with self._ledger_lock:
+            self._ledger[record.task_id] = record
         obs.count("runtime.batches")
         obs.set_max("runtime.max_outstanding", self._outstanding)
         self._send(record)
@@ -617,10 +625,11 @@ class ProcessBackend(Backend):
         if self._degraded or not slots:
             self._run_in_master(record)
             return
-        slot = min(slots, key=lambda w: (len(self._worker_tasks[w]), w))
-        record.worker = slot
-        record.dispatched_at = monotonic_now()
-        self._worker_tasks[slot].add(record.task_id)
+        with self._ledger_lock:
+            slot = min(slots, key=lambda w: (len(self._worker_tasks[w]), w))
+            record.worker = slot
+            record.dispatched_at = monotonic_now()
+            self._worker_tasks[slot].add(record.task_id)
         fault = None
         if record.poisoned:
             fault = ("die",)
@@ -657,9 +666,10 @@ class ProcessBackend(Backend):
             return
         now = monotonic_now()
         for slot in self._alive_slots():
-            ages = [now - self._ledger[tid].dispatched_at
-                    for tid in self._worker_tasks[slot]
-                    if tid in self._ledger]
+            with self._ledger_lock:
+                ages = [now - self._ledger[tid].dispatched_at
+                        for tid in self._worker_tasks[slot]
+                        if tid in self._ledger]
             if ages and max(ages) > self.task_deadline:
                 obs.event("worker.hung", worker=slot,
                           oldest_task_age=round(max(ages), 3))
@@ -681,13 +691,14 @@ class ProcessBackend(Backend):
                       incarnation=self._incarnation[slot],
                       tasks_lost=len(self._worker_tasks[slot]))
             proc.join(timeout=1.0)
-            for task_id in sorted(self._worker_tasks[slot]):
-                record = self._ledger.get(task_id)
-                if record is not None:
-                    record.deaths += 1
-                    record.worker = -1
-                    orphans.append(record)
-            self._worker_tasks[slot] = set()
+            with self._ledger_lock:
+                for task_id in sorted(self._worker_tasks[slot]):
+                    record = self._ledger.get(task_id)
+                    if record is not None:
+                        record.deaths += 1
+                        record.worker = -1
+                        orphans.append(record)
+                self._worker_tasks[slot] = set()
             # The dead incarnation's queue may still hold undelivered
             # tasks; park it for close() so they can never run twice.
             self._dead_queues.append(self._task_queues[slot])
@@ -794,7 +805,8 @@ class ProcessBackend(Backend):
                 f"worker {worker_index} raised during task execution:\n{text}"
             )
         task_id = msg[1]
-        record = self._ledger.pop(task_id, None)
+        with self._ledger_lock:
+            record = self._ledger.pop(task_id, None)
         if record is None:
             # Exactly-once gate: a result for a task the ledger no
             # longer holds (already recovered elsewhere, or a late
@@ -806,7 +818,8 @@ class ProcessBackend(Backend):
             obs.event("task.duplicate_result", task=task_id)
             return
         if record.worker >= 0:
-            self._worker_tasks[record.worker].discard(task_id)
+            with self._ledger_lock:
+                self._worker_tasks[record.worker].discard(task_id)
         obs.gauge("runtime.outstanding", self._outstanding)
         if msg[0] in ("align", "contain"):
             _, _, stream_id, summaries, busy, worker_obs = msg
@@ -840,15 +853,18 @@ class ProcessBackend(Backend):
     def telemetry_probe(self) -> dict:
         """Live backend state for the telemetry sampler.
 
-        Called from the sampler thread, so it only touches fields that
-        are safe to read racily: integers, and per-process liveness via
-        ``Process.is_alive()`` (a kill-safe syscall).  A worker that
-        died without reporting shows up here as ``alive: false`` long
-        before the master's recovery sweep respawns it, which is what
-        lets ``repro top`` render the degraded view of a dying run.
+        Called from the sampler thread: the in-flight count is read
+        under the ledger lock, the rest are fields safe to read racily
+        (integers, and per-process liveness via ``Process.is_alive()``,
+        a kill-safe syscall).  A worker that died without reporting
+        shows up here as ``alive: false`` long before the master's
+        recovery sweep respawns it, which is what lets ``repro top``
+        render the degraded view of a dying run.
         """
+        with self._ledger_lock:
+            outstanding = self._outstanding
         return {
-            "outstanding": self._outstanding,
+            "outstanding": outstanding,
             "respawns": self._respawns_used,
             "degraded": self._degraded,
             "workers": [

@@ -1,12 +1,27 @@
 """Insert-time clustering: one sequence through RR + CCD, online.
 
-:func:`insert_sequence` runs the batch pipeline's two scientific
-decisions — Definition 1 containment and Definition 2 overlap — for a
-single new sequence against the per-family *representatives* instead of
-the whole collection.  Candidate generation uses the psi-window index
-(exactly the promising-pair criterion at representative scale),
-alignments go through the shared :class:`AlignmentCache`, and merges go
-through the state's journaled union–find wrapper.  The Definition 1
+The insert path is split into a read-only **plan** phase and a
+mutating **commit** phase so the daemon's applier can run the expensive
+dynamic programming outside the server lock (lint rule R13 forbids DP
+under a named lock):
+
+* :func:`plan_insert` runs the batch pipeline's two scientific
+  decisions — Definition 1 containment and Definition 2 overlap — for a
+  single new sequence against the per-family *representatives*, with
+  **no state mutation**: alignments are computed directly (the pair
+  involves a sequence that has no index yet, so the shared
+  :class:`AlignmentCache` can never hold it) and unions are simulated
+  against a snapshot of the candidates' roots.  This is safe lock-free
+  because the applier thread is the state's only mutator; concurrent
+  query threads are readers.
+* :func:`commit_insert` (annotated ``requires=ServeServer._lock``)
+  applies the plan: appends the sequence, seeds the cache with the
+  planned alignments (miss accounting preserved), replays the planned
+  unions through the journaled union–find wrapper, and absorbs the
+  decision record.  It performs no DP and no IO.
+
+Candidate generation uses the psi-window index (exactly the
+promising-pair criterion at representative scale).  The Definition 1
 sweep reuses the batch engine's sound bit-parallel prefilter
 (:func:`repro.align.batch.containment_reject_threshold`): candidates
 whose Myers infix distance provably exceeds the containment bound skip
@@ -39,10 +54,14 @@ batch output.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
 
 from repro import obs
 from repro.align.batch import containment_reject_threshold, myers_infix_distance
+from repro.align.pairwise import Alignment, local_align, semiglobal_align
 from repro.core.checkpoint import CheckpointJournal
 from repro.pace.clustering import _overlap_passes
 from repro.sequence.record import SequenceRecord
@@ -50,7 +69,8 @@ from repro.serve.state import ServeState
 
 
 def myers_rejects_containment(
-    state: ServeState, rep: int, other_encoded, other_length: int,
+    state: ServeState, rep: int, other_encoded: np.ndarray,
+    other_length: int,
     similarity: float, coverage: float,
 ) -> bool:
     """Sound bit-parallel prefilter for one Definition 1 candidate.
@@ -105,54 +125,85 @@ def _absorb(state: ServeState, index: int, decision: dict[str, Any]) -> None:
         state.update_representatives(root)
 
 
-def insert_sequence(
-    state: ServeState,
-    seq_id: str,
-    residues: str,
-    *,
-    journal: CheckpointJournal | None = None,
-) -> dict[str, Any]:
-    """Cluster one new sequence into the live state.
+@dataclass
+class InsertPlan:
+    """Read-only insert decision, ready for :func:`commit_insert`.
 
-    Returns ``{"index", "family", "redundant_against", "n_candidates",
-    "n_alignments", "n_merges"}``.  When ``journal`` is given the
-    decision record is appended (and flushed) before returning, so a
-    crash after return can always replay this insert.
+    ``new_idx`` is the index the sequence *will* receive — the length
+    of the sequence set at plan time.  The single-applier discipline
+    (only the applier thread plans and commits inserts) is what makes
+    the prospective index stable; :func:`commit_insert` re-checks it.
+    """
+
+    record: SequenceRecord
+    new_idx: int
+    container: int | None
+    redundant_pairs: list[list[int]]
+    unions: list[list[int]]
+    n_candidates: int
+    n_alignments: int
+    #: planned alignments to seed into the cache at commit, as
+    #: ``(kind, representative, alignment)`` in computation order.
+    alignments: list[tuple[str, int, Alignment]] = field(default_factory=list)
+
+    @property
+    def decision(self) -> dict[str, Any]:
+        """The ``serve_insert`` journal record for this plan."""
+        return {
+            "id": self.record.id,
+            "residues": self.record.residues,
+            "redundant": self.redundant_pairs,
+            "unions": self.unions,
+        }
+
+
+def plan_insert(state: ServeState, seq_id: str, residues: str) -> InsertPlan:
+    """Run the RR + CCD sweeps for one new sequence, mutating nothing.
+
+    Every read is safe without the server lock: the applier thread
+    calling this is the state's only mutator, the sequence/encoding
+    stores are append-only, and root lookups use the compression-free
+    :meth:`~repro.graph.unionfind.UnionFind.root`.  The pair
+    ``(rep, new_idx)`` can never be cached (``new_idx`` does not exist
+    yet), so alignments run directly and are handed to
+    :func:`commit_insert` for cache seeding — decision- and
+    statistics-identical to aligning through the cache.
     """
     if seq_id in state.sequences:
         raise ValueError(f"sequence id {seq_id!r} already present")
     record = SequenceRecord(id=seq_id, residues=residues)
-    record.encoded  # validate residues before any state mutation
+    new_encoded = record.encoded  # validate residues before planning
     config = state.config
-    new_idx = state.add_sequence(record)
-    len_new = state.length(new_idx)
-    new_encoded = state.encoded(new_idx)
+    new_idx = len(state.sequences)
+    len_new = len(new_encoded)
     with obs.span("candidates", cat="stage"):
         candidates = state.rep_index.candidates(new_encoded)
     obs.count("serve.candidates", len(candidates))
 
     redundant_pairs: list[list[int]] = []
     unions: list[list[int]] = []
+    alignments: list[tuple[str, int, Alignment]] = []
     n_alignments = 0
 
     # -- Definition 1 sweep (RR): is either side contained in the other?
     container: int | None = None
     for rep in candidates:
-        # Sound prefilter before any DP: when the pair is not already
-        # memoised (a cached alignment is free) and the Myers infix
-        # bound proves both containment directions fail, skip the
-        # semiglobal alignment entirely — decision-identical, see
+        # Sound prefilter before any DP: when the Myers infix bound
+        # proves both containment directions fail, skip the semiglobal
+        # alignment entirely — decision-identical, see
         # `myers_rejects_containment`.
-        if state.cache.peek("semiglobal", rep, new_idx) is None:
-            if myers_rejects_containment(
-                state, rep, new_encoded, len_new,
-                config.containment_similarity, config.containment_coverage,
-            ):
-                continue
-            obs.count("serve.dp_cells", state.length(rep) * len_new)
+        if myers_rejects_containment(
+            state, rep, new_encoded, len_new,
+            config.containment_similarity, config.containment_coverage,
+        ):
+            continue
+        obs.count("serve.dp_cells", state.length(rep) * len_new)
         # rep < new_idx always, so coverage_a is the representative's.
         with obs.span("dp", cat="stage"):
-            aln = state.cache.semiglobal(rep, new_idx)
+            aln = semiglobal_align(
+                state.encoded(rep), new_encoded, config.scheme
+            )
+        alignments.append(("semiglobal", rep, aln))
         n_alignments += 1
         obs.count("serve.alignments")
         if aln.identity < config.containment_similarity:
@@ -179,8 +230,7 @@ def insert_sequence(
                 # unioning them would merge unrelated families, which
                 # batch RR never does.
                 container = rep
-                if state.union(new_idx, rep):
-                    unions.append([new_idx, rep])
+                unions.append([new_idx, rep])
         else:
             # The representative is contained in the new sequence.  Batch
             # RR would drop it from CCD; here it simply loses live
@@ -190,15 +240,20 @@ def insert_sequence(
             redundant_pairs.append([rep, new_idx])
 
     # -- Definition 2 sweep (CCD): overlap-merge a non-redundant insert.
+    # The live path unioned as it swept; the plan simulates that with
+    # the set of roots already merged into the (still-singleton) insert.
     if container is None:
+        merged_roots: set[int] = set()
         for rep in candidates:
-            if state.uf.same(new_idx, rep):
+            if state.uf.root(rep) in merged_roots:
                 obs.count("serve.filtered")
                 continue
-            if state.cache.peek("local", rep, new_idx) is None:
-                obs.count("serve.dp_cells", state.length(rep) * len_new)
+            obs.count("serve.dp_cells", state.length(rep) * len_new)
             with obs.span("dp", cat="stage"):
-                aln = state.cache.local(rep, new_idx)
+                aln = local_align(
+                    state.encoded(rep), new_encoded, config.scheme
+                )
+            alignments.append(("local", rep, aln))
             n_alignments += 1
             obs.count("serve.alignments")
             if _overlap_passes(
@@ -208,33 +263,80 @@ def insert_sequence(
                 config.overlap_similarity,
                 config.overlap_coverage,
             ):
-                state.union(new_idx, rep)
+                merged_roots.add(state.uf.root(rep))
                 unions.append([new_idx, rep])
                 obs.count("serve.merges")
 
-    decision = {
-        "id": seq_id,
-        "residues": residues,
-        "redundant": redundant_pairs,
-        "unions": unions,
-    }
-    _absorb(state, new_idx, decision)
-    if journal is not None:
-        with obs.span("journal_fsync", cat="stage"):
-            journal.serve_insert(decision)
+    return InsertPlan(
+        record=record,
+        new_idx=new_idx,
+        container=container,
+        redundant_pairs=redundant_pairs,
+        unions=unions,
+        n_candidates=len(candidates),
+        n_alignments=n_alignments,
+        alignments=alignments,
+    )
+
+
+def commit_insert(  # repro-lint: requires=ServeServer._lock
+    state: ServeState, plan: InsertPlan
+) -> dict[str, Any]:
+    """Apply a planned insert to the live state.  No DP, no IO.
+
+    Returns ``{"index", "family", "redundant_against", "n_candidates",
+    "n_alignments", "n_merges"}``.  The journal write stays with the
+    caller (the applier appends the plan's :attr:`~InsertPlan.decision`
+    *after* releasing the lock — durability before the ack, disk
+    latency outside the critical section).
+    """
+    index = state.add_sequence(plan.record)
+    if index != plan.new_idx:  # pragma: no cover - single-applier invariant
+        raise RuntimeError(
+            f"stale insert plan: planned index {plan.new_idx}, "
+            f"committed at {index}"
+        )
+    for kind, rep, aln in plan.alignments:
+        state.cache.insert(kind, rep, index, aln)
+    for a, b in plan.unions:
+        state.union(int(a), int(b))
+    _absorb(state, index, plan.decision)
     obs.count("serve.inserts")
     obs.gauge("serve.families_now", state.n_families())
     return {
-        "index": new_idx,
-        "family": state.family_members(new_idx),
-        "redundant_against": container,
-        "n_candidates": len(candidates),
-        "n_alignments": n_alignments,
-        "n_merges": len(unions),
+        "index": index,
+        "family": state.family_members(index),
+        "redundant_against": plan.container,
+        "n_candidates": plan.n_candidates,
+        "n_alignments": plan.n_alignments,
+        "n_merges": len(plan.unions),
     }
 
 
-def replay_insert(state: ServeState, decision: dict[str, Any]) -> None:
+def insert_sequence(  # repro-lint: thread=init
+    state: ServeState,
+    seq_id: str,
+    residues: str,
+    *,
+    journal: CheckpointJournal | None = None,
+) -> dict[str, Any]:
+    """Plan + commit one insert in a single call (single-threaded path).
+
+    The offline convenience used by tests and batch tooling; the daemon
+    calls :func:`plan_insert` / :func:`commit_insert` separately so the
+    DP runs outside its lock.  When ``journal`` is given the decision
+    record is appended (and flushed) before returning, so a crash after
+    return can always replay this insert.
+    """
+    plan = plan_insert(state, seq_id, residues)
+    outcome = commit_insert(state, plan)
+    if journal is not None:
+        with obs.span("journal_fsync", cat="stage"):
+            journal.serve_insert(plan.decision)
+    return outcome
+
+
+def replay_insert(state: ServeState, decision: dict[str, Any]) -> None:  # repro-lint: thread=init
     """Re-apply a journaled ``serve_insert`` decision.
 
     No alignments, no candidate generation: the unions are applied in

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.serve.protocol import ProtocolError, ServeClient
+from repro.util.lockwatch import named_lock
 from repro.util.timing import monotonic_now
 
 
@@ -142,7 +143,7 @@ def run_load(
     if not query_ids:
         raise ValueError("query_ids must be non-empty")
     result = LoadResult()
-    lock = threading.Lock()
+    lock = named_lock("loadgen.lock")
     pool = [dict(record) for record in inserts]
     started = monotonic_now()
     threads = [

@@ -59,7 +59,7 @@ class ProtocolError(ValueError):
     ``line_too_long``.
     """
 
-    def __init__(self, code: str, message: str):
+    def __init__(self, code: str, message: str) -> None:
         super().__init__(message)
         self.code = code
 
@@ -165,7 +165,7 @@ class ServeClient:
     code) and ``ConnectionError`` when the daemon hangs up mid-call.
     """
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._file = sock.makefile("rb")
 

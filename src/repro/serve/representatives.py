@@ -69,7 +69,7 @@ class RepresentativeIndex:
     on every family merge).
     """
 
-    def __init__(self, psi: int):
+    def __init__(self, psi: int) -> None:
         if psi < 2:
             raise ValueError(f"psi must be >= 2, got {psi}")
         self.psi = psi

@@ -58,8 +58,13 @@ from repro.obs.telemetry import SERVE_METRICS_FILENAME, TelemetrySampler
 from repro.pace.clustering import _overlap_passes
 from repro.sequence.record import SequenceRecord
 from repro.serve import protocol
-from repro.serve.incremental import insert_sequence, myers_rejects_containment
+from repro.serve.incremental import (
+    commit_insert,
+    myers_rejects_containment,
+    plan_insert,
+)
 from repro.serve.state import ServeState
+from repro.util.lockwatch import named_lock, named_rlock
 
 #: Default cap on queued insert jobs before clients block.
 DEFAULT_MAX_QUEUE = 64
@@ -119,7 +124,7 @@ class ServeServer:
         recorder: Recorder | None = None,
         slow_ms: float = DEFAULT_SLOW_MS,
         metrics_interval: float = DEFAULT_METRICS_INTERVAL,
-    ):
+    ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if slow_ms < 0:
@@ -137,7 +142,7 @@ class ServeServer:
         self.slow_ms = slow_ms
         self.metrics_interval = metrics_interval
         self.metrics_sampler: TelemetrySampler | None = None
-        self._lock = threading.RLock()
+        self._lock = named_rlock("ServeServer._lock")
         self._queue: "queue.Queue[_InsertJob]" = queue.Queue(maxsize=max_queue)
         self._stop = threading.Event()
         self._listener: socket.socket | None = None
@@ -146,16 +151,16 @@ class ServeServer:
         # Per-verb latency histograms + summed stage seconds, both
         # guarded by one short-critical-section lock (one acquisition
         # per finished request, plus metrics snapshots).
-        self._metrics_lock = threading.Lock()
-        self._hists: dict[str, LatencyHistogram] = {}
-        self._stage_seconds: dict[str, dict[str, float]] = {}
+        self._metrics_lock = named_lock("ServeServer._metrics_lock")
+        self._hists: dict[str, LatencyHistogram] = {}  # guarded by _metrics_lock
+        self._stage_seconds: dict[str, dict[str, float]] = {}  # guarded by _metrics_lock
         # Connection lanes: lane 0 is the daemon master, each accepted
         # connection claims the next lane for its requests' spans.
-        self._lane_lock = threading.Lock()
-        self._lanes_claimed = 0
+        self._lane_lock = named_lock("ServeServer._lane_lock")
+        self._lanes_claimed = 0  # guarded by _lane_lock
         # Slow-request log (lazily opened, line-locked).
-        self._slow_lock = threading.Lock()
-        self._slow_fh = None
+        self._slow_lock = named_lock("ServeServer._slow_lock")
+        self._slow_fh = None  # guarded by _slow_lock
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -286,13 +291,16 @@ class ServeServer:
                 self._queue.task_done()
 
     def _apply_one(self, record: dict[str, str]) -> dict[str, Any]:
+        # Plan (all the DP) runs lock-free: this applier thread is the
+        # state's only mutator, so its own reads cannot be torn.  The
+        # lock covers only the mutation (commit), and the journal fsync
+        # happens after release but before the ack — durability is
+        # unchanged, disk latency no longer stalls readers.
         try:
+            plan = plan_insert(self.state, record["id"], record["residues"])
             with self._lock:
                 hits_before = self.state.cache.hits
-                outcome = insert_sequence(
-                    self.state, record["id"], record["residues"],
-                    journal=self.journal,
-                )
+                outcome = commit_insert(self.state, plan)
                 obs.count("serve.cache_hits",
                           self.state.cache.hits - hits_before)
                 family_ids = self._ids(outcome["family"])
@@ -301,6 +309,9 @@ class ServeServer:
                     self.state.sequences[container].id
                     if container is not None else None
                 )
+            if self.journal is not None:
+                with obs.span("journal_fsync", cat="stage"):
+                    self.journal.serve_insert(plan.decision)
             return {
                 "id": record["id"],
                 "ok": True,
@@ -566,28 +577,38 @@ class ServeServer:
             encoded = SequenceRecord(id="__query__", residues=residues).encoded
         except ValueError as exc:
             raise protocol.ProtocolError("bad_request", str(exc)) from exc
+        # The lock covers only candidate snapshot and family resolution;
+        # the DP sweep between them runs lock-free (R13).  A concurrent
+        # insert committing mid-query means the answer is "as of" the
+        # snapshot — the same answer the fully-locked version gave to a
+        # query arriving a moment earlier.
         with self._lock:
-            return self._classify(encoded)
+            with obs.span("candidates", cat="stage"):
+                candidates = self.state.rep_index.candidates(encoded)
+        obs.count("serve.candidates", len(candidates))
+        contained_in, overlap_wits = self._classify_sweep(candidates, encoded)
+        with self._lock:
+            return self._classify_respond(contained_in, overlap_wits)
 
-    def _classify(self, encoded: np.ndarray) -> dict[str, Any]:
-        """Read-only classification of an unseen sequence.
+    def _classify_sweep(
+        self, candidates: list[int], encoded: np.ndarray
+    ) -> tuple[int | None, list[int]]:
+        """Read-only classification sweeps of an unseen sequence.
 
         Runs the same Definition 1 / Definition 2 sweeps as an insert
         but aligns outside the cache (the sequence has no index) and
-        mutates nothing: reports the family a hypothetical insert would
-        land in (``contained_in``) or overlap-join (``overlaps``).
-        The Definition 1 check uses the same sound Myers prefilter as
-        the insert path — a rejected candidate skips the semiglobal DP
-        (the overlap check still runs) with no change to the answer.
+        mutates nothing: finds the representative a hypothetical insert
+        would be contained by, plus every overlap witness.  The
+        Definition 1 check uses the same sound Myers prefilter as the
+        insert path — a rejected candidate skips the semiglobal DP (the
+        overlap check still runs) with no change to the answer.  Safe
+        without the server lock: only append-only stores are read.
         """
         state = self.state
         config = state.config
         len_query = len(encoded)
-        with obs.span("candidates", cat="stage"):
-            candidates = state.rep_index.candidates(encoded)
-        obs.count("serve.candidates", len(candidates))
         contained_in: int | None = None
-        overlap_roots: dict[int, int] = {}  # root -> witness rep
+        overlap_wits: list[int] = []
         for rep in candidates:
             rep_enc = state.encoded(rep)
             if not myers_rejects_containment(
@@ -610,7 +631,14 @@ class ServeServer:
             if _overlap_passes(aln, state.length(rep), len_query,
                                config.overlap_similarity,
                                config.overlap_coverage):
-                overlap_roots.setdefault(state.uf.find(rep), rep)
+                overlap_wits.append(rep)
+        return contained_in, overlap_wits
+
+    def _classify_respond(
+        self, contained_in: int | None, overlap_wits: list[int]
+    ) -> dict[str, Any]:
+        """Resolve sweep witnesses to families (under the server lock)."""
+        state = self.state
         if contained_in is not None:
             return protocol.ok_response(
                 found=True,
@@ -618,6 +646,9 @@ class ServeServer:
                 container=state.sequences[contained_in].id,
                 family=self._ids(state.family_members(contained_in)),
             )
+        overlap_roots: dict[int, int] = {}  # root -> witness rep
+        for rep in overlap_wits:
+            overlap_roots.setdefault(state.uf.find(rep), rep)
         families = [
             self._ids(state.family_members(rep))
             for _root, rep in sorted(overlap_roots.items())

@@ -66,7 +66,7 @@ class ServeState:
         config: PipelineConfig,
         *,
         max_representatives: int = DEFAULT_MAX_REPRESENTATIVES,
-    ):
+    ) -> None:
         self.sequences = sequences
         self.config = config
         self.max_representatives = max_representatives
@@ -77,20 +77,20 @@ class ServeState:
         self.cache.set_phase("serve")
         self.uf = UnionFind(len(sequences))
         #: contained index -> its (first) container.
-        self.redundant: dict[int, int] = {}
+        self.redundant: dict[int, int] = {}  # guarded by ServeServer._lock
         #: container index -> containments it absorbed (rep centrality).
-        self.centrality: dict[int, int] = {}
+        self.centrality: dict[int, int] = {}  # guarded by ServeServer._lock
         #: current root -> member indices (redundant included).
-        self._members: dict[int, list[int]] = {
+        self._members: dict[int, list[int]] = {  # guarded by ServeServer._lock
             i: [i] for i in range(len(sequences))
         }
         #: current root -> active representative indices (sorted).
-        self.reps: dict[int, list[int]] = {}
+        self.reps: dict[int, list[int]] = {}  # guarded by ServeServer._lock
         self.rep_index = RepresentativeIndex(config.psi)
-        self._stale_reps: list[int] = []
+        self._stale_reps: list[int] = []  # guarded by ServeServer._lock
         self.n_base = len(sequences)
         #: (id, residues) of every insert, in insert order.
-        self.inserted: list[tuple[str, str]] = []
+        self.inserted: list[tuple[str, str]] = []  # guarded by ServeServer._lock
 
     # -- sequence access ---------------------------------------------------
 
@@ -212,7 +212,7 @@ class ServeState:
         }
 
 
-def build_serve_state(
+def build_serve_state(  # repro-lint: thread=init
     sequences: SequenceSet,
     config: PipelineConfig,
     resume_state: ResumeState,

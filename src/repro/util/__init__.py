@@ -4,6 +4,12 @@ This package deliberately has no dependencies on the rest of ``repro`` so
 that every other subpackage may import from it freely.
 """
 
+from repro.util.lockwatch import (
+    LockOrderViolation,
+    named_lock,
+    named_rlock,
+    watchdog_enabled,
+)
 from repro.util.hashing import (
     UniversalHashFamily,
     fnv1a_64,
@@ -24,4 +30,8 @@ __all__ = [
     "make_rng",
     "Stopwatch",
     "format_seconds",
+    "LockOrderViolation",
+    "named_lock",
+    "named_rlock",
+    "watchdog_enabled",
 ]

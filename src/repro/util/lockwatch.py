@@ -1,0 +1,236 @@
+"""Runtime lock-order watchdog: the dynamic half of lint rule R11.
+
+``repro lint`` derives a static lock-acquisition graph and emits a
+cycle-free total order as ``lock_order.json`` (committed at the repo
+root).  Static analysis can miss acquisitions reached through dynamic
+dispatch, so this module provides the runtime complement: every named
+lock in the codebase is created through :func:`named_lock` /
+:func:`named_rlock`, and when ``REPRO_LOCK_WATCHDOG=1`` those factories
+return order-checking wrappers instead of plain ``threading`` locks.
+A wrapper keeps a per-thread stack of held named locks and raises
+:class:`LockOrderViolation` the moment any thread acquires a lock whose
+rank in ``lock_order.json`` is not strictly greater than every lock it
+already holds — turning a would-be deadlock (which manifests as a CI
+timeout, hours later, sometimes) into an immediate stack trace at the
+exact acquisition site.
+
+With the environment variable unset the factories return plain
+``threading.Lock``/``RLock`` objects: zero overhead outside the
+watchdog CI job.
+
+Order-file resolution: ``REPRO_LOCK_ORDER`` if set, else
+``lock_order.json`` in the current directory, else at the repo root
+(relative to this file).  A missing file leaves the watchdog inert
+after a single warning — an order file from a different checkout must
+never turn the suite red on its own.
+
+Re-entrant acquisition of the *same* RLock object is legal and skips
+the rank check (matching ``threading.RLock`` semantics).  Two distinct
+instances sharing one name — e.g. two ``Recorder._lock`` objects —
+still check against each other: by-name ranks cannot order instances
+of one class, so nesting them is reported.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+from pathlib import Path
+from typing import Protocol
+
+#: Environment flag enabling the watchdog wrappers.
+WATCHDOG_ENV = "REPRO_LOCK_WATCHDOG"
+
+#: Environment override for the order-file location.
+ORDER_ENV = "REPRO_LOCK_ORDER"
+
+#: Committed artifact name (also what `repro lint --lock-order` writes).
+ORDER_FILENAME = "lock_order.json"
+
+#: Schema tag of the order document.
+ORDER_SCHEMA = "repro-lock-order/1"
+
+
+class AbstractLock(Protocol):
+    """What callers may assume about a named lock (plain or wrapped)."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+    def __enter__(self) -> bool:
+        ...
+
+    def __exit__(self, *exc: object) -> object:
+        ...
+
+
+class LockOrderViolation(RuntimeError):
+    """A thread acquired named locks against ``lock_order.json``."""
+
+
+def watchdog_enabled() -> bool:
+    """Whether the current process runs with the watchdog armed."""
+    return os.environ.get(WATCHDOG_ENV, "") == "1"
+
+
+class _Held:
+    """One held named lock on a thread's stack."""
+
+    __slots__ = ("rank", "name", "lock", "depth")
+
+    def __init__(self, rank: int, name: str, lock: "WatchdogLock") -> None:
+        self.rank = rank
+        self.name = name
+        self.lock = lock
+        self.depth = 1
+
+
+class _WatchState(threading.local):
+    def __init__(self) -> None:
+        self.held: list[_Held] = []
+
+
+_state = _WatchState()
+_ranks: dict[str, int] | None = None
+_ranks_lock = threading.Lock()
+
+
+def _order_path() -> Path | None:
+    override = os.environ.get(ORDER_ENV)
+    if override:
+        path = Path(override)
+        return path if path.is_file() else None
+    cwd = Path.cwd() / ORDER_FILENAME
+    if cwd.is_file():
+        return cwd
+    repo_root = Path(__file__).resolve().parents[3] / ORDER_FILENAME
+    if repo_root.is_file():
+        return repo_root
+    return None
+
+
+def _load_ranks() -> dict[str, int]:
+    global _ranks
+    with _ranks_lock:
+        if _ranks is None:
+            path = _order_path()
+            if path is None:
+                warnings.warn(
+                    f"{WATCHDOG_ENV}=1 but no {ORDER_FILENAME} found; "
+                    f"lock-order watchdog is inert "
+                    f"(run `repro lint --lock-order {ORDER_FILENAME}`)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                _ranks = {}
+            else:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                _ranks = {name: i for i, name in enumerate(doc["locks"])}
+        return _ranks
+
+
+def _reset_ranks_for_tests() -> None:
+    """Drop the cached order so tests can point at fresh files."""
+    global _ranks
+    with _ranks_lock:
+        _ranks = None
+
+
+class WatchdogLock:
+    """Order-checking proxy around one named ``threading`` lock."""
+
+    __slots__ = ("name", "_inner", "_reentrant")
+
+    def __init__(self, name: str, *, reentrant: bool) -> None:
+        self.name = name
+        self._inner: AbstractLock = (
+            threading.RLock() if reentrant else threading.Lock()
+        )
+        self._reentrant = reentrant
+
+    def _mine(self) -> _Held | None:
+        for entry in _state.held:
+            if entry.lock is self:
+                return entry
+        return None
+
+    def _check(self, rank: int) -> None:
+        for entry in _state.held:
+            if entry.lock is self:
+                continue
+            if entry.rank >= rank:
+                raise LockOrderViolation(
+                    f"acquiring {self.name!r} (rank {rank}) while holding "
+                    f"{entry.name!r} (rank {entry.rank}) violates "
+                    f"{ORDER_FILENAME}; the static order says "
+                    f"{self.name!r} must be taken first"
+                )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        mine = self._mine() if self._reentrant else None
+        if mine is not None:
+            got = self._inner.acquire(blocking, timeout)
+            if got:
+                mine.depth += 1
+            return got
+        ranks = _load_ranks()
+        if ranks:
+            rank = ranks.get(self.name)
+            if rank is None:
+                raise LockOrderViolation(
+                    f"lock {self.name!r} is not in {ORDER_FILENAME}; "
+                    f"regenerate it with `repro lint --lock-order "
+                    f"{ORDER_FILENAME}`"
+                )
+            self._check(rank)
+        else:
+            rank = -1  # inert: no order file found
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            _state.held.append(_Held(rank, self.name, self))
+        return got
+
+    def release(self) -> None:
+        for i in range(len(_state.held) - 1, -1, -1):
+            entry = _state.held[i]
+            if entry.lock is self:
+                if entry.depth > 1:
+                    entry.depth -= 1
+                else:
+                    del _state.held[i]
+                break
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<WatchdogLock {self.name!r} reentrant={self._reentrant}>"
+
+
+def named_lock(name: str) -> AbstractLock:
+    """A mutex with a stable project-wide name.
+
+    The name must be the canonical identity the static analysis derives
+    (``ClassName.attr`` for instance locks, ``module.name`` for
+    module-level locks) — R11 checks the literal against the derived
+    name.  Plain ``threading.Lock`` unless the watchdog is armed.
+    """
+    if watchdog_enabled():
+        return WatchdogLock(name, reentrant=False)
+    return threading.Lock()
+
+
+def named_rlock(name: str) -> AbstractLock:
+    """Re-entrant variant of :func:`named_lock`."""
+    if watchdog_enabled():
+        return WatchdogLock(name, reentrant=True)
+    return threading.RLock()

@@ -1,0 +1,28 @@
+"""R11 bad: a raw lock in serve/, a named_lock literal that disagrees
+with the canonical name, and — together with the sibling module
+``r11_order_bad`` — a lock-order inversion that spans two files:
+``enqueue`` takes ``_state_lock`` then calls into the sibling's
+``_flush_lock``, while the sibling's ``flush_then_poke`` takes
+``_flush_lock`` then calls back into ``poke`` which takes
+``_state_lock``."""
+
+import threading
+
+from r11_order_bad import grab_flush
+from repro.util.lockwatch import named_lock
+
+_fallback = threading.Lock()  # raw lock: invisible to the watchdog
+
+_queue_lock = named_lock("serve.totally_wrong_name")  # literal mismatch
+
+_state_lock = named_lock("r11_bad._state_lock")
+
+
+def enqueue(item):
+    with _state_lock:
+        grab_flush(item)
+
+
+def poke():
+    with _state_lock:
+        return True

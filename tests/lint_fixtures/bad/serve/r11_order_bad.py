@@ -1,0 +1,19 @@
+"""Sibling of ``r11_bad``: acquires the same two locks in the opposite
+order, completing the cross-file inversion R11 reports as a cycle.
+Linted on its own this module is clean — the deadlock only exists in
+the whole-project view."""
+
+from r11_bad import poke
+from repro.util.lockwatch import named_lock
+
+_flush_lock = named_lock("r11_order_bad._flush_lock")
+
+
+def grab_flush(item):
+    with _flush_lock:
+        return item
+
+
+def flush_then_poke():
+    with _flush_lock:
+        poke()

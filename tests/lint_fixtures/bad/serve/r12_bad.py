@@ -1,0 +1,20 @@
+"""R12 bad: guarded attribute mutated lock-free, a ``requires=``
+callee invoked without the lock, and a guard naming an unknown lock."""
+
+from repro.util.lockwatch import named_lock
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = named_lock("Ledger._lock")
+        self.entries = []  # guarded by _lock
+        self.closed = False  # guarded by _audit_lock
+
+    def record(self, item):
+        self.entries.append(item)
+
+    def rollover(self):
+        self._flush_locked()
+
+    def _flush_locked(self):  # repro-lint: requires=Ledger._lock
+        del self.entries[:]

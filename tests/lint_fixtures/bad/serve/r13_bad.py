@@ -1,0 +1,25 @@
+"""R13 bad: fsync and a socket send while a named lock is held — the
+send three frames down is caught through the propagated held set."""
+
+import os
+
+from repro.util.lockwatch import named_lock
+
+
+class SlowPath:
+    def __init__(self, fh, sock):
+        self._lock = named_lock("SlowPath._lock")
+        self._fh = fh
+        self._sock = sock
+
+    def persist(self, line):
+        with self._lock:
+            self._fh.write(line)
+            os.fsync(self._fh.fileno())
+
+    def broadcast(self, payload):
+        with self._lock:
+            self._hand_off(payload)
+
+    def _hand_off(self, payload):
+        self._sock.sendall(payload)

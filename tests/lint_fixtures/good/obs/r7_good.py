@@ -1,8 +1,8 @@
 """R7 good: the lock is held with `with`, exception-safe by construction."""
 
-import threading
+from repro.util.lockwatch import named_lock
 
-_LOCK = threading.Lock()
+_LOCK = named_lock("r7_good._LOCK")
 _COUNTERS = {}
 
 

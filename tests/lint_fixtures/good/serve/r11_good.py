@@ -1,0 +1,22 @@
+"""R11 good: named locks with canonical names, one consistent order."""
+
+from repro.util.lockwatch import named_lock
+
+
+class Coordinator:
+    def __init__(self):
+        self._head_lock = named_lock("Coordinator._head_lock")
+        self._tail_lock = named_lock("Coordinator._tail_lock")
+        self.pending = []
+
+    def push(self, item):
+        with self._head_lock:
+            with self._tail_lock:
+                self.pending.append(item)
+
+    def drain(self):
+        with self._head_lock:
+            with self._tail_lock:
+                out = list(self.pending)
+                self.pending.clear()
+        return out

@@ -1,0 +1,27 @@
+"""R12 good: guarded attributes are only touched under their lock —
+lexically, via a checked ``requires=`` contract, or in construction
+code marked ``thread=init``."""
+
+from repro.util.lockwatch import named_lock
+
+
+class Tally:
+    def __init__(self):
+        self._lock = named_lock("Tally._lock")
+        self.counts = {}  # guarded by _lock
+        self.total = 0  # guarded by _lock
+
+    def bump(self, key):
+        with self._lock:
+            self._bump_locked(key)
+
+    def _bump_locked(self, key):  # repro-lint: requires=Tally._lock
+        self.counts[key] = self.counts.get(key, 0) + 1
+        self.total += 1
+
+
+def seed_tally(keys):  # repro-lint: thread=init
+    tally = Tally()
+    for key in keys:
+        tally.counts[key] = 0
+    return tally

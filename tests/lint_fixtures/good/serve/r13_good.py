@@ -1,0 +1,24 @@
+"""R13 good: snapshot under the lock, do the blocking work outside."""
+
+import os
+
+from repro.util.lockwatch import named_lock
+
+
+class JournalWriter:
+    def __init__(self, fh):
+        self._lock = named_lock("JournalWriter._lock")
+        self._fh = fh
+        self.lines = []
+
+    def note_line(self, line):
+        with self._lock:
+            self.lines.append(line)
+
+    def sync_to_disk(self):
+        with self._lock:
+            batch = list(self.lines)
+            del self.lines[:]
+        for line in batch:
+            self._fh.write(line)
+        os.fsync(self._fh.fileno())

@@ -22,8 +22,11 @@ from repro.analysis import (
     default_rules,
     describe_rules,
     json_report,
+    sarif_report,
     text_report,
 )
+from repro.analysis.reporters import SARIF_VERSION
+from repro.util.lockwatch import ORDER_SCHEMA
 from repro.cli import main
 from repro.obs import registry
 
@@ -42,6 +45,9 @@ RULE_FIXTURES = [
     ("R8", "benchmarks/bench_r8"),
     ("R9", "runtime/r9"),
     ("R10", "serve/r10"),
+    ("R11", "serve/r11"),
+    ("R12", "serve/r12"),
+    ("R13", "serve/r13"),
 ]
 
 
@@ -74,9 +80,9 @@ class TestRuleFixtures:
         assert result.violations == [], [v.formatted() for v in result.violations]
 
     def test_bad_tree_counts_every_rule(self):
-        """All ten rules fire somewhere in the bad/ tree."""
+        """All thirteen rules fire somewhere in the bad/ tree."""
         result = run_lint([FIXTURES / "bad"], root=FIXTURES / "bad")
-        assert set(result.counts_by_rule()) == {f"R{i}" for i in range(1, 11)}
+        assert set(result.counts_by_rule()) == {f"R{i}" for i in range(1, 14)}
 
     def test_r5_flags_each_bad_target_shape(self):
         result = run_lint(
@@ -95,6 +101,80 @@ class TestRuleFixtures:
         )
         severities = {v.severity for v in result.violations if v.rule == "R8"}
         assert severities == {"warning", "error"}
+
+
+class TestConcurrencyRules:
+    """Whole-project behaviour of R11–R13 beyond the fixture pairs."""
+
+    def test_cross_file_inversion_needs_the_whole_tree(self):
+        """The r11_bad/r11_order_bad pair inverts lock order across two
+        modules: the sibling is clean on its own, and the cycle only
+        exists in the project view."""
+        sibling = FIXTURES / "bad" / "serve" / "r11_order_bad.py"
+        alone = run_lint([sibling], root=FIXTURES / "bad")
+        assert alone.violations == [], \
+            [v.formatted() for v in alone.violations]
+        both = run_lint(
+            [sibling, FIXTURES / "bad" / "serve" / "r11_bad.py"],
+            root=FIXTURES / "bad",
+        )
+        cycles = [v for v in both.violations if "lock-order cycle" in v.message]
+        assert len(cycles) == 1
+        assert "r11_bad._state_lock" in cycles[0].message
+        assert "r11_order_bad._flush_lock" in cycles[0].message
+
+    def test_r11_reports_raw_lock_and_name_mismatch(self):
+        result = run_lint(
+            [FIXTURES / "bad" / "serve" / "r11_bad.py"],
+            root=FIXTURES / "bad",
+        )
+        messages = " ".join(
+            v.message for v in result.violations if v.rule == "R11"
+        )
+        assert "invisible to the lock-order watchdog" in messages
+        assert "does not match the canonical name" in messages
+
+    def test_lock_order_artifact_on_clean_tree(self):
+        result = run_lint([FIXTURES / "good"], root=FIXTURES / "good")
+        order = result.artifacts["lock_order"]
+        assert order["schema"] == ORDER_SCHEMA
+        assert "Coordinator._head_lock" in order["locks"]
+        assert ["Coordinator._head_lock", "Coordinator._tail_lock"] \
+            in order["edges"]
+        # every edge endpoint is ranked, and ranks respect the edges
+        rank = {name: i for i, name in enumerate(order["locks"])}
+        for a, b in order["edges"]:
+            assert rank[a] < rank[b]
+        assert set(order["threads"]) == set(order["locks"])
+
+    def test_no_artifact_when_bad_tree_has_a_cycle(self):
+        result = run_lint([FIXTURES / "bad"], root=FIXTURES / "bad")
+        assert "lock_order" not in result.artifacts
+
+    def test_r12_waives_thread_init_paths(self, tmp_path):
+        result = lint_source(
+            tmp_path,
+            """\
+            from repro.util.lockwatch import named_lock
+
+            class Box:
+                def __init__(self):
+                    self._lock = named_lock("Box._lock")
+                    self.items = []  # guarded by _lock
+
+                def stuff(self, item):
+                    self.items.append(item)
+
+            def build():  # repro-lint: thread=init
+                box = Box()
+                box.items.append(0)
+                return box
+            """,
+            name="serve/box.py",
+        )
+        flagged = [v for v in result.violations if v.rule == "R12"]
+        assert len(flagged) == 1  # stuff() only; build() is exempt
+        assert flagged[0].line == 9
 
 
 class TestFramework:
@@ -191,6 +271,35 @@ class TestFramework:
         assert result.fails("warning")
         assert not result.fails("never")
 
+    def test_each_file_parsed_exactly_once(self):
+        """The project index (R11–R13) reuses phase-one ASTs; adding the
+        cross-file rules must not re-parse anything."""
+        result = run_lint([FIXTURES / "bad"], root=FIXTURES / "bad")
+        assert result.parse_count == result.files_checked
+        per_file = run_lint(
+            [FIXTURES / "bad"], root=FIXTURES / "bad", select=["R1"]
+        )
+        assert per_file.parse_count == result.parse_count
+
+    def test_index_build_does_not_call_ast_parse_again(self, monkeypatch):
+        """Stronger than the counter: intercept ``ast.parse`` itself and
+        prove the engine's count is the true number of parses."""
+        import ast as ast_module
+
+        from repro.analysis import framework
+
+        calls = []
+        real_parse = ast_module.parse
+
+        def counting_parse(*args, **kwargs):
+            calls.append(1)
+            return real_parse(*args, **kwargs)
+
+        monkeypatch.setattr(framework.ast, "parse", counting_parse)
+        result = run_lint([FIXTURES / "bad"], root=FIXTURES / "bad")
+        assert len(calls) == result.files_checked
+        assert result.parse_count == len(calls)
+
     def test_r2_completeness_needs_registry_in_tree(self, tmp_path):
         """The 'every declared counter is bumped' half only runs when the
         linted tree contains obs/registry.py."""
@@ -243,6 +352,31 @@ class TestReporters:
         first = doc["violations"][0]
         assert set(first) == {"rule", "severity", "path", "line", "col", "message"}
 
+    def test_sarif_report_shape(self):
+        result = run_lint([FIXTURES / "bad"], root=FIXTURES / "bad")
+        doc = json.loads(json.dumps(sarif_report(result)))
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        assert [r["id"] for r in rules] == [c.name for c in default_rules()]
+        assert len(run["results"]) == len(result.violations)
+        for res in run["results"]:
+            assert rules[res["ruleIndex"]]["id"] == res["ruleId"]
+            assert res["level"] in ("error", "warning", "note")
+            (loc,) = res["locations"]
+            phys = loc["physicalLocation"]
+            uri = phys["artifactLocation"]["uri"]
+            assert not uri.startswith("/") and "\\" not in uri
+            assert phys["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+            assert phys["region"]["startLine"] >= 1
+            assert phys["region"]["startColumn"] >= 1
+
+    def test_sarif_clean_result_has_no_results(self):
+        result = run_lint([FIXTURES / "good"], root=FIXTURES / "good")
+        doc = sarif_report(result)
+        assert doc["runs"][0]["results"] == []
+
     def test_describe_rules_covers_default_set(self):
         lines = describe_rules()
         assert len(lines) == len(default_rules())
@@ -259,6 +393,30 @@ class TestRepoIsClean:
         assert result.errors == []
         assert result.violations == [], [v.formatted() for v in result.violations]
         assert result.files_checked > 50
+
+    def test_committed_lock_order_matches_derived(self):
+        """`lock_order.json` at the repo root is the artifact the lint
+        derives — regenerate with `repro lint --lock-order
+        lock_order.json` when it drifts."""
+        result = run_lint(
+            [REPO_ROOT / "src", REPO_ROOT / "benchmarks"], root=REPO_ROOT
+        )
+        committed = json.loads(
+            (REPO_ROOT / "lock_order.json").read_text(encoding="utf-8")
+        )
+        assert committed == result.artifacts["lock_order"]
+
+    def test_lock_order_covers_the_concurrent_packages(self):
+        result = run_lint([REPO_ROOT / "src"], root=REPO_ROOT)
+        order = result.artifacts["lock_order"]
+        assert order["schema"] == ORDER_SCHEMA
+        locks = set(order["locks"])
+        assert {
+            "ServeServer._lock",
+            "ProcessBackend._ledger_lock",
+            "Recorder._lock",
+            "TelemetrySampler._write_lock",
+        } <= locks
 
 
 class TestLintCli:
@@ -298,6 +456,49 @@ class TestLintCli:
         assert doc["schema"] == LINT_SCHEMA
         assert doc["counts"]
         assert str(report) in capsys.readouterr().out
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        report = tmp_path / "lint.sarif"
+        rc = main(
+            [
+                "lint",
+                "--format",
+                "sarif",
+                "--output",
+                str(report),
+                str(FIXTURES / "bad"),
+            ]
+        )
+        assert rc == 1
+        doc = json.loads(report.read_text(encoding="utf-8"))
+        assert doc["version"] == SARIF_VERSION
+        assert doc["runs"][0]["results"]
+        assert str(report) in capsys.readouterr().out
+
+    def test_lock_order_option_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "lock_order.json"
+        rc = main(["lint", "--lock-order", str(out), str(FIXTURES / "good")])
+        assert rc == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["schema"] == ORDER_SCHEMA
+        assert "Coordinator._head_lock" in doc["locks"]
+        assert str(out) in capsys.readouterr().out
+
+    def test_lock_order_without_r11_is_a_usage_error(self, tmp_path, capsys):
+        out = tmp_path / "lock_order.json"
+        rc = main(
+            [
+                "lint",
+                "--select",
+                "R1",
+                "--lock-order",
+                str(out),
+                str(FIXTURES / "good"),
+            ]
+        )
+        assert rc == 2
+        assert not out.exists()
+        assert "lock-order" in capsys.readouterr().err
 
     def test_fail_on_never_reports_but_passes(self):
         rc = main(["lint", "--fail-on", "never", str(FIXTURES / "bad")])

@@ -1,0 +1,174 @@
+"""Unit tests for the runtime lock-order watchdog
+(:mod:`repro.util.lockwatch`), the dynamic half of lint rule R11.
+
+Each test writes its own ``lock_order.json``, points the watchdog at
+it through ``REPRO_LOCK_ORDER``, and resets the cached ranks — the
+module-level cache would otherwise leak one test's order into the
+next.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.util.lockwatch import (
+    ORDER_ENV,
+    ORDER_SCHEMA,
+    WATCHDOG_ENV,
+    LockOrderViolation,
+    WatchdogLock,
+    _reset_ranks_for_tests,
+    named_lock,
+    named_rlock,
+    watchdog_enabled,
+)
+
+
+@pytest.fixture
+def armed(tmp_path, monkeypatch):
+    """Arm the watchdog against a three-lock order; returns the path so
+    tests can rewrite it."""
+    order = tmp_path / "lock_order.json"
+    order.write_text(
+        json.dumps(
+            {
+                "schema": ORDER_SCHEMA,
+                "locks": ["A", "B", "C"],
+                "edges": [["A", "B"]],
+                "threads": {},
+            }
+        ),
+        encoding="utf-8",
+    )
+    monkeypatch.setenv(WATCHDOG_ENV, "1")
+    monkeypatch.setenv(ORDER_ENV, str(order))
+    _reset_ranks_for_tests()
+    yield order
+    _reset_ranks_for_tests()
+
+
+class TestFactories:
+    def test_disarmed_factories_return_plain_locks(self, monkeypatch):
+        monkeypatch.delenv(WATCHDOG_ENV, raising=False)
+        assert not watchdog_enabled()
+        lock = named_lock("A")
+        assert not isinstance(lock, WatchdogLock)
+        rlock = named_rlock("B")
+        assert not isinstance(rlock, WatchdogLock)
+        with lock:
+            with rlock:
+                with rlock:  # re-entrant
+                    pass
+
+    def test_armed_factories_wrap(self, armed):
+        assert watchdog_enabled()
+        assert isinstance(named_lock("A"), WatchdogLock)
+        assert isinstance(named_rlock("B"), WatchdogLock)
+
+
+class TestOrderEnforcement:
+    def test_in_order_nesting_is_fine(self, armed):
+        a, b, c = named_lock("A"), named_lock("B"), named_lock("C")
+        with a:
+            with b:
+                with c:
+                    pass
+        # stacks unwind cleanly: the same order works twice
+        with a, c:
+            pass
+
+    def test_inversion_raises_at_the_acquisition_site(self, armed):
+        a, b = named_lock("A"), named_lock("B")
+        with b:
+            with pytest.raises(LockOrderViolation, match="'A'.*rank 0"):
+                a.acquire()
+
+    def test_equal_rank_two_instances_one_name(self, armed):
+        """Two instances sharing a name cannot be ordered by rank, so
+        nesting them is reported even though the objects differ."""
+        first, second = named_lock("A"), named_lock("A")
+        with first:
+            with pytest.raises(LockOrderViolation):
+                second.acquire()
+
+    def test_rlock_reentry_skips_the_check(self, armed):
+        outer = named_rlock("B")
+        with outer:
+            with outer:  # same object: legal RLock re-entry
+                pass
+        # and the depth bookkeeping unwound: A -> B still inverts
+        a = named_lock("A")
+        with outer:
+            with pytest.raises(LockOrderViolation):
+                a.acquire()
+
+    def test_unknown_lock_name_raises(self, armed):
+        stranger = named_lock("NotInTheOrder")
+        with pytest.raises(LockOrderViolation, match="not in lock_order"):
+            stranger.acquire()
+
+    def test_release_pops_the_held_stack(self, armed):
+        a, b = named_lock("A"), named_lock("B")
+        b.acquire()
+        b.release()
+        # B no longer held: acquiring A afterwards must be legal
+        with a:
+            pass
+
+    def test_per_thread_stacks_are_independent(self, armed):
+        a, b = named_lock("A"), named_lock("B")
+        failures: list[str] = []
+
+        def other():
+            try:
+                with a:  # legal: this thread holds nothing
+                    pass
+            except LockOrderViolation as exc:  # pragma: no cover
+                failures.append(str(exc))
+
+        with b:
+            worker = threading.Thread(target=other, name="other")
+            worker.start()
+            worker.join(timeout=10)
+        assert failures == []
+
+
+class TestOrderFile:
+    def test_missing_file_warns_once_and_goes_inert(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(WATCHDOG_ENV, "1")
+        monkeypatch.setenv(ORDER_ENV, str(tmp_path / "nope.json"))
+        monkeypatch.chdir(tmp_path)  # hide the repo's committed order
+        _reset_ranks_for_tests()
+        try:
+            a, b = named_lock("A"), named_lock("B")
+            with pytest.warns(RuntimeWarning, match="inert"):
+                with b:
+                    with a:  # would invert, but the watchdog is inert
+                        pass
+        finally:
+            _reset_ranks_for_tests()
+
+    def test_repo_order_file_accepts_the_serve_locks(
+        self, monkeypatch
+    ):
+        """The committed lock_order.json ranks the real serve/runtime
+        locks; the documented edge must be accepted in order."""
+        monkeypatch.setenv(WATCHDOG_ENV, "1")
+        monkeypatch.delenv(ORDER_ENV, raising=False)
+        _reset_ranks_for_tests()
+        try:
+            outer = named_rlock("ServeServer._lock")
+            inner = named_lock("Recorder._lock")
+            with outer:
+                with inner:
+                    pass
+            with inner:
+                with pytest.raises(LockOrderViolation):
+                    outer.acquire()
+        finally:
+            _reset_ranks_for_tests()
