@@ -1,0 +1,198 @@
+"""Serving behaviour *past* capacity (``repro serve`` hardening).
+
+The latency bench (``bench_serve_latency``) measures a daemon inside
+its comfort zone; this one measures the failure mode the hardening
+work exists for (DESIGN.md §13): a closed-loop client fleet several
+times larger than the insert queue, against a deliberately tiny queue
+with a near-zero admission wait.  A pre-hardening daemon answers this
+burst by blocking every client on the full queue; the hardened daemon
+must **shed** — typed ``overloaded`` responses with a retry-after hint
+— while the requests it *does* admit keep a bounded p99 and the daemon
+itself stays healthy (no degrade, applier alive, still answering).
+
+Reported metrics:
+
+* ``capacity_inserts_per_s`` — single-client calibration of the
+  applier's sequential insert throughput;
+* ``overload_factor`` — offered concurrency over queue capacity
+  (>= 4x by construction);
+* ``shed_fraction`` and ``n_overloaded`` — admission control at work
+  (must be > 0: the burst really did exceed capacity);
+* ``insert_p99_ms`` / ``query_p99_ms`` — of **admitted** requests only;
+* ``n_errors`` — must be 0: sheds are not errors, and nothing else may
+  fail.
+
+Writes ``BENCH_serve_overload.json`` in the shared schema.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core.checkpoint import (
+    CheckpointJournal,
+    config_digest,
+    input_digest,
+)
+from repro.core.pipeline import ProteinFamilyPipeline
+from repro.sequence.generator import MetagenomeSpec, generate_metagenome
+from repro.serve.loadgen import percentile, run_load
+from repro.serve.protocol import ServeClient
+from repro.serve.server import ServeServer
+from repro.serve.state import build_serve_state
+from repro.util.timing import monotonic_now
+
+from workloads import BENCH_CONFIG, print_banner, write_bench
+
+#: Queue capacity under test: deliberately tiny, near-zero wait.
+MAX_QUEUE = 2
+QUEUE_WAIT_S = 0.01
+
+#: Closed-loop overload fleet (>= 4x the queue capacity).
+CLIENTS = 24
+REQUESTS_PER_CLIENT = 10
+INSERT_FRACTION = 0.75
+SEED = 2008
+
+#: Single-client calibration inserts (sequential, uncontended).
+CALIBRATION_INSERTS = 8
+
+SPEC = MetagenomeSpec(
+    n_families=12,
+    mean_family_size=10,
+    mean_length=120,
+    redundant_fraction=0.1,
+    noise_fraction=0.05,
+    seed=7071,
+)
+
+
+def run_serve_overload() -> dict:
+    sequences = generate_metagenome(SPEC).sequences
+    n_base = int(len(sequences) * 0.8)
+    base = sequences.subset(range(n_base))
+    held = list(sequences.subset(range(n_base, len(sequences))))
+    # The overload pool recycles held-out residues under fresh ids so
+    # the burst is much larger than the held-out set itself.
+    pool = [
+        {"id": f"ov-{i}", "residues": held[i % len(held)].residues}
+        for i in range(CLIENTS * REQUESTS_PER_CLIENT)
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        run_dir = Path(tmp)
+        ProteinFamilyPipeline(BENCH_CONFIG).run(base, run_dir=run_dir)
+        journal = CheckpointJournal.resume(
+            run_dir,
+            config_dig=config_digest(BENCH_CONFIG),
+            input_dig=input_digest(base),
+            n_input=len(base),
+        )
+        state = build_serve_state(base, BENCH_CONFIG, journal.resume_state)
+        server = ServeServer(
+            state, journal=journal, host="127.0.0.1", port=0,
+            run_dir=run_dir, max_queue=MAX_QUEUE, queue_wait=QUEUE_WAIT_S,
+        )
+        server.run_in_thread()
+        host, port = server.address
+        try:
+            # Calibration: sequential inserts, one client, no overload.
+            calib: list[float] = []
+            with ServeClient.connect(host, port) as client:
+                for i in range(CALIBRATION_INSERTS):
+                    record = held[i % len(held)]
+                    started = monotonic_now()
+                    client.call("insert", id=f"calib-{i}",
+                                residues=record.residues)
+                    calib.append(monotonic_now() - started)
+            capacity_per_s = len(calib) / sum(calib)
+
+            # The burst: a fleet far larger than the queue.
+            result = run_load(
+                host, port,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                query_ids=[r.id for r in base],
+                inserts=pool,
+                insert_fraction=INSERT_FRACTION,
+                seed=SEED,
+            )
+
+            # The daemon must have survived the burst un-degraded and
+            # still be answering.
+            with ServeClient.connect(host, port) as client:
+                health = client.call("health")
+                status = client.call("status")
+            assert not health["degraded"], (
+                f"overload burst degraded the daemon: {health}"
+            )
+            assert health["applier_alive"], "applier died under overload"
+            assert status["n_inserted"] >= result.n_inserts, (
+                "acked inserts missing from live state"
+            )
+        finally:
+            server.request_stop()
+
+    record = result.metrics()
+    record["n_base"] = float(len(base))
+    record["calib_insert_ms"] = percentile(calib, 50.0) * 1e3
+    record["capacity_inserts_per_s"] = capacity_per_s
+    record["overload_factor"] = CLIENTS / (MAX_QUEUE + 1)
+    record["n_inserted_live"] = float(status["n_inserted"])
+    return record
+
+
+def _report(record: dict) -> None:
+    print_banner(
+        f"serve overload: {CLIENTS} clients vs queue={MAX_QUEUE} "
+        f"(~{record['overload_factor']:.0f}x capacity)"
+    )
+    for key in ("capacity_inserts_per_s", "goodput_per_s",
+                "shed_fraction", "n_overloaded", "n_deadline_exceeded",
+                "insert_p50_ms", "insert_p99_ms",
+                "query_p50_ms", "query_p99_ms"):
+        if key in record:
+            print(f"{key:>26s} {record[key]:>10.3f}")
+    print(f"{'errors':>26s} {record['n_errors']:>10.0f}")
+    write_bench(
+        "serve_overload",
+        params={
+            "clients": CLIENTS,
+            "requests_per_client": REQUESTS_PER_CLIENT,
+            "insert_fraction": INSERT_FRACTION,
+            "max_queue": MAX_QUEUE,
+            "queue_wait_ms": QUEUE_WAIT_S * 1e3,
+            "seed": SEED,
+            "workload_seed": SPEC.seed,
+        },
+        metrics=record,
+    )
+
+
+def _gate(record: dict) -> None:
+    assert record["n_errors"] == 0, (
+        f"{record['n_errors']:.0f} real errors under overload — sheds "
+        f"must be typed, not failures"
+    )
+    assert record["n_overloaded"] > 0, (
+        "no requests shed: the burst never exceeded capacity, the "
+        "bench is not measuring overload"
+    )
+    # Admitted requests must stay bounded: nothing blocked behind the
+    # full queue for the whole burst.
+    assert record["insert_p99_ms"] < 30_000, (
+        f"admitted insert p99 {record['insert_p99_ms']:.0f} ms — "
+        f"clients are blocking, not shedding"
+    )
+
+
+def test_serve_overload(benchmark):
+    record = benchmark.pedantic(run_serve_overload, rounds=1, iterations=1)
+    _report(record)
+    _gate(record)
+
+
+if __name__ == "__main__":
+    record = run_serve_overload()
+    _report(record)
+    _gate(record)

@@ -246,10 +246,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     Exit 0 when the scientific counters and the final families are
     bit-identical, 1 on drift (a recovery bug), 2 on unusable input.
+    With ``--serve`` the daemon-side scenario matrix runs instead
+    (journal failure, applier/daemon kills, torn journal/snapshot,
+    overload, stalled clients) — same exit convention.
     """
     from repro.faults.harness import run_chaos
     from repro.faults.plan import FaultPlan, FaultPlanError
 
+    if args.serve:
+        return _cmd_chaos_serve(args)
     if args.plan:
         plan, rc = _load_fault_plan(argparse.Namespace(fault_plan=args.plan))
         if rc is not None:
@@ -276,6 +281,53 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         report = run_chaos(sequences, config, plan, run_dir=args.run_dir)
     except FaultPlanError as exc:
         return _usage_error(str(exc))
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos_serve(args: argparse.Namespace) -> int:
+    """``repro chaos --serve``: the daemon-side scenario matrix."""
+    import tempfile
+
+    from repro.faults.plan import FaultPlanError
+    from repro.faults.serve_chaos import run_serve_chaos
+
+    if args.plan:
+        return _usage_error(
+            "--serve runs a fixed scenario matrix; --plan does not apply "
+            "(use --only to subset scenarios)"
+        )
+    if args.fasta:
+        sequences = _read_fasta_or_none(args.fasta)
+        if sequences is None:
+            return 2
+    else:
+        spec = MetagenomeSpec(n_families=6, mean_family_size=8,
+                              redundant_fraction=0.1, noise_fraction=0.05,
+                              seed=args.seed)
+        sequences = generate_metagenome(spec).sequences
+        print(f"chaos: no FASTA given; generated {len(sequences)} "
+              f"synthetic sequences (seed {args.seed})")
+    try:
+        config = _config_from_args(args)
+    except ValueError as exc:
+        return _usage_error(f"invalid configuration: {exc}")
+    only = args.only.split(",") if args.only else None
+    run_dir = args.run_dir
+    cleanup_ctx: "tempfile.TemporaryDirectory[str] | None" = None
+    if run_dir is None:
+        cleanup_ctx = tempfile.TemporaryDirectory(prefix="repro-serve-chaos-")
+        run_dir = cleanup_ctx.name
+    try:
+        report = run_serve_chaos(
+            sequences, config, run_dir=run_dir, only=only
+        )
+    except FaultPlanError as exc:
+        return _usage_error(str(exc))
+    finally:
+        if cleanup_ctx is not None:
+            cleanup_ctx.cleanup()
     for line in report.lines():
         print(line)
     return 0 if report.ok else 1
@@ -336,13 +388,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         config_digest,
         input_digest,
     )
+    from repro.faults.plan import FaultInjector
     from repro.obs.telemetry import TelemetrySampler
     from repro.serve.server import ServeServer
-    from repro.serve.state import build_serve_state
+    from repro.serve.state import build_or_restore_serve_state
 
     sequences = _read_fasta_or_none(args.fasta)
     if sequences is None:
         return 2
+    plan, rc = _load_fault_plan(args)
+    if rc is not None:
+        return rc
     try:
         config = _config_from_args(args)
     except ValueError as exc:
@@ -356,23 +412,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     except CheckpointError as exc:
         return _usage_error(str(exc))
+    injector = None
+    if plan is not None:
+        if len(plan.serve_faults) != len(plan.faults):
+            journal.close()
+            return _usage_error(
+                "serve --fault-plan accepts serve_* faults only "
+                "(serve_delay_insert / serve_journal_error / "
+                "serve_kill_applier / serve_kill_daemon)"
+            )
+        injector = FaultInjector(plan)
     recorder = obs.Recorder()
     try:
         with obs.recording(recorder):
             assert journal.resume_state is not None
             try:
-                state = build_serve_state(
+                state, restore_info = build_or_restore_serve_state(
                     sequences, config, journal.resume_state,
+                    run_dir=args.run_dir,
                     max_representatives=args.max_representatives,
                 )
             except CheckpointError as exc:
                 return _usage_error(str(exc))
-            server = ServeServer(
-                state, journal=journal, host=args.host, port=args.port,
-                max_queue=args.max_queue, run_dir=args.run_dir,
-                recorder=recorder, slow_ms=args.slow_ms,
-                metrics_interval=args.metrics_interval,
-            )
+            try:
+                server = ServeServer(
+                    state, journal=journal, host=args.host, port=args.port,
+                    max_queue=args.max_queue, run_dir=args.run_dir,
+                    recorder=recorder, slow_ms=args.slow_ms,
+                    metrics_interval=args.metrics_interval,
+                    queue_wait=args.queue_wait_ms / 1e3,
+                    default_deadline_ms=args.default_deadline_ms,
+                    max_batch_records=args.max_batch_records,
+                    snapshot_every=args.snapshot_every,
+                    snapshot_covered=restore_info["snapshot_covered"],
+                    injector=injector,
+                )
+            except ValueError as exc:
+                return _usage_error(f"invalid serve configuration: {exc}")
             try:
                 host, port = server.start()
             except OSError as exc:
@@ -386,12 +462,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     interval=args.telemetry_interval,
                     probes={"cache": state.cache.stats},
                 ).start()
-            replayed = len(state.inserted)
+            covered = restore_info["snapshot_covered"]
+            restored = (f"snapshot covered {covered}, "
+                        if covered is not None else "")
+            # Flushed eagerly: CI and scripts redirect this to a file
+            # and read it while the daemon is still running.
             print(f"repro serve: {state.n_base} base sequences, "
-                  f"{state.n_families()} families, "
-                  f"{replayed} journaled inserts replayed")
+                  f"{state.n_families()} families, {restored}"
+                  f"{restore_info['replayed']} journaled inserts replayed",
+                  flush=True)
             print(f"repro serve: listening on {host}:{port} "
-                  f"(SIGTERM or the shutdown op drains and exits)")
+                  f"(SIGTERM or the shutdown op drains and exits)",
+                  flush=True)
             try:
                 server.serve_forever(install_signals=True)
             finally:
@@ -403,40 +485,62 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    from repro.serve.protocol import ProtocolError, ServeClient
+    from repro.serve.protocol import (
+        ProtocolError,
+        ServeClient,
+        ServeTimeout,
+    )
 
     addr = _parse_addr(args.address)
     if addr is None:
         return _usage_error(
             f"address {args.address!r} is not host:port"
         )
+    if args.retries < 0:
+        return _usage_error(f"--retries must be >= 0, got {args.retries}")
     inserts: list[dict[str, str]] = []
     if args.insert_fasta:
         records = _read_fasta_or_none(args.insert_fasta)
         if records is None:
             return 2
         inserts = [{"id": r.id, "residues": r.residues} for r in records]
+    extra: dict[str, object] = {}
+    if args.deadline_ms is not None:
+        extra["deadline_ms"] = args.deadline_ms
     try:
         client = ServeClient.connect(addr[0], addr[1], timeout=args.timeout)
     except OSError as exc:
         return _usage_error(f"cannot connect to {args.address}: {exc}")
     try:
         with client:
+            def call(op: str, **fields: object) -> dict:
+                if args.retries:
+                    return client.call_with_retry(
+                        op, retries=args.retries, **fields, **extra
+                    )
+                return client.call(op, **fields, **extra)
+
             if args.shutdown:
-                response = client.call("shutdown")
+                response = call("shutdown")
+            elif args.health:
+                response = call("health")
             elif args.metrics:
-                response = client.call("metrics")
+                response = call("metrics")
             elif inserts:
-                response = client.call("insert_batch", records=inserts)
+                response = call("insert_batch", records=inserts)
             elif args.id:
-                response = client.call("query", id=args.id)
+                response = call("query", id=args.id)
             elif args.residues:
-                response = client.call("query", residues=args.residues)
+                response = call("query", residues=args.residues)
             else:
-                response = client.call("status")
+                response = call("status")
             print(json.dumps(response, indent=1, sort_keys=True))
     except ProtocolError as exc:
         return _usage_error(f"{exc.code}: {exc}")
+    except ServeTimeout as exc:
+        return _usage_error(
+            f"timeout: {exc} (raise --timeout or add --retries)"
+        )
     except (ConnectionError, OSError) as exc:
         return _usage_error(f"connection to {args.address} failed: {exc}")
     return 0
@@ -475,6 +579,8 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         inserts=inserts,
         insert_fraction=args.insert_fraction,
         seed=args.seed,
+        timeout=args.timeout,
+        deadline_ms=args.deadline_ms,
     )
     metrics = result.metrics()
     # Scrape the daemon's own SLO surface so the committed BENCH file
@@ -503,12 +609,18 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         "n_query_ids": len(sequences),
         "n_insert_pool": len(inserts),
         "seed": args.seed,
+        "deadline_ms": args.deadline_ms,
     }
     path = write_bench_json("serve_latency", params, metrics,
                             directory=args.out_dir)
     for name in sorted(metrics):
         print(f"{name:<24s} {metrics[name]:.3f}")
     print(f"bench -> {path}")
+    if result.n_shed:
+        print(f"bench: {result.n_shed} request(s) shed "
+              f"(overloaded={result.n_overloaded}, "
+              f"deadline_exceeded={result.n_deadline}) — "
+              f"admission control, not errors")
     return 1 if result.n_errors else 0
 
 
@@ -761,6 +873,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--run-dir", default=None, metavar="DIR",
         help="write chaos_report.json + faulted-run telemetry into DIR",
     )
+    p_chaos.add_argument(
+        "--serve", action="store_true",
+        help="run the serve-side scenario matrix instead (journal "
+             "failure, applier/daemon kills, torn journal/snapshot, "
+             "overload, stalled clients); writes "
+             "DIR/serve_chaos_report.json",
+    )
+    p_chaos.add_argument(
+        "--only", default=None, metavar="NAMES",
+        help="with --serve: comma-separated scenario subset",
+    )
     _add_pipeline_args(p_chaos)
     _add_backend_args(p_chaos)
     p_chaos.set_defaults(func=cmd_chaos, backend="process", workers=2)
@@ -839,6 +962,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-interval", type=float, default=1.0, metavar="SEC",
         help="sampling period of DIR/serve_metrics.jsonl (default: 1.0)",
     )
+    p_serve.add_argument(
+        "--queue-wait-ms", type=float, default=500.0, metavar="MS",
+        help="bounded wait for an insert-queue slot before the request "
+             "is shed with `overloaded` (default: 500)",
+    )
+    p_serve.add_argument(
+        "--default-deadline-ms", type=float, default=None, metavar="MS",
+        help="deadline budget applied to requests that carry none "
+             "(default: no deadline)",
+    )
+    p_serve.add_argument(
+        "--max-batch-records", type=int, default=512, metavar="N",
+        help="per-request cap on insert_batch records (default: 512)",
+    )
+    p_serve.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="write a serve snapshot and compact the journal every N "
+             "applied inserts (0 = disabled, the default)",
+    )
+    p_serve.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="inject serve_* faults from a FaultPlan JSON (chaos "
+             "drills only)",
+    )
     _add_pipeline_args(p_serve)
     _add_telemetry_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
@@ -865,7 +1012,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help="ask the daemon to drain and exit",
     )
-    p_query.add_argument("--timeout", type=float, default=60.0)
+    group.add_argument(
+        "--health", action="store_true",
+        help="liveness/degradation probe (degraded flag, applier "
+             "liveness, queue depth)",
+    )
+    p_query.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="socket timeout in seconds; expiry exits 2 with a typed "
+             "timeout error (default: 60)",
+    )
+    p_query.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline budget; the daemon sheds work past "
+             "it with deadline_exceeded",
+    )
+    p_query.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry timeouts and retryable sheds up to N times with "
+             "exponential backoff (default: 0; inserts stay "
+             "exactly-once via the daemon's idempotency key)",
+    )
     p_query.set_defaults(func=cmd_query)
 
     p_bench = sub.add_parser(
@@ -892,6 +1059,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for BENCH_serve_latency.json (default: .)",
     )
     p_bench.add_argument("--timeout", type=float, default=60.0)
+    p_bench.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="stamp this deadline budget on every request (sheds are "
+             "counted, not errored)",
+    )
     p_bench.set_defaults(func=cmd_bench_serve)
 
     p_gate = sub.add_parser(

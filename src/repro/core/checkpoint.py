@@ -21,9 +21,12 @@ Record types::
     phase_start  {phase}
     ccd_union    {i, j}        global indices of a union that merged
     phase_done   {phase, data} phase result payload (see *_payload below)
-    serve_insert {data}        one serving-time insert decision
+    serve_insert {seq, data}   one serving-time insert decision
                                (:mod:`repro.serve`), appended after the
-                               batch run completed
+                               batch run completed; ``seq`` is the
+                               global insert ordinal (survives snapshot
+                               compaction, absent in pre-snapshot
+                               journals)
 
 Unknown record types are *skipped with a warning* rather than failing
 the parse, so a journal extended by a newer writer (higher
@@ -351,6 +354,11 @@ class ResumeState:
     ccd_unions: list[tuple[int, int]] = field(default_factory=list)
     started: list[str] = field(default_factory=list)
     serve_inserts: list[dict[str, Any]] = field(default_factory=list)
+    #: Global insert ordinal of each entry of ``serve_inserts`` (the
+    #: record's ``seq`` field).  After a snapshot compacted the journal
+    #: these no longer start at 0; records written before the field
+    #: existed are numbered by position.
+    serve_insert_seqs: list[int] = field(default_factory=list)
 
     def has(self, phase: str) -> bool:
         """True iff ``phase`` *and every earlier phase* checkpointed."""
@@ -377,7 +385,14 @@ class ResumeState:
             elif kind == "phase_done":
                 state.phase_payloads[record["phase"]] = record["data"]
             elif kind == "serve_insert":
+                seq = record.get("seq")
+                if not isinstance(seq, int):
+                    # Pre-snapshot journals carry no ordinal; they are
+                    # never compacted, so position == ordinal.
+                    seq = (state.serve_insert_seqs[-1] + 1
+                           if state.serve_insert_seqs else 0)
                 state.serve_inserts.append(record["data"])
+                state.serve_insert_seqs.append(seq)
             elif kind not in KNOWN_RECORD_TYPES and kind not in unknown:
                 unknown.add(str(kind))
                 warnings.warn(
@@ -406,6 +421,12 @@ class CheckpointJournal:
         self._pending = 0
         self._current_phase = ""
         self._closed = False
+        # Next serve_insert global ordinal: continues the journal's
+        # numbering so snapshot coverage stays meaningful even after
+        # the covered prefix was compacted away.
+        self._next_serve_seq = 0
+        if resume_state is not None and resume_state.serve_insert_seqs:
+            self._next_serve_seq = resume_state.serve_insert_seqs[-1] + 1
 
     # -- constructors ------------------------------------------------------
 
@@ -492,11 +513,64 @@ class CheckpointJournal:
         """Journal one accepted CCD union (global indices, merge only)."""
         self._append({"type": "ccd_union", "i": gi, "j": gj}, flush=False)
 
-    def serve_insert(self, data: dict[str, Any]) -> None:
+    def serve_insert(self, data: dict[str, Any]) -> int:
         """Journal one serving-time insert decision (see
         :mod:`repro.serve.incremental`).  Flushed per record: an insert
-        acknowledged to a client must survive a crash."""
-        self._append({"type": "serve_insert", "data": data}, flush=True)
+        acknowledged to a client must survive a crash.  Each record is
+        stamped with its global insert ordinal ``seq`` (monotonic
+        across compactions); returns the ordinal used."""
+        seq = self._next_serve_seq
+        self._append({"type": "serve_insert", "seq": seq, "data": data},
+                     flush=True)
+        self._next_serve_seq = seq + 1
+        return seq
+
+    def compact_serve_inserts(self, keep_from: int) -> int:
+        """Drop journaled ``serve_insert`` records with ``seq`` below
+        ``keep_from`` (they are covered by a durable snapshot).
+
+        Rewrites the journal atomically — valid prefix to a temp file,
+        fsync, ``os.replace`` — exactly the torn-tail-amputation
+        discipline of :meth:`resume`, then reopens for append.  Must
+        only be called from the journal's single writer thread (the
+        serve applier) with no append in flight; every serve_insert is
+        already fsynced per record, so reading the file back sees all
+        of them.  Returns the number of records dropped.
+        """
+        if self._closed:
+            raise CheckpointError("checkpoint journal is closed")
+        if keep_from < 0:
+            raise ValueError(f"keep_from must be >= 0, got {keep_from}")
+        self._fsync()
+        records = read_journal(self.path)
+        kept: list[dict[str, Any]] = []
+        dropped = 0
+        fallback_seq = 0
+        for record in records:
+            if record.get("type") != "serve_insert":
+                kept.append(record)
+                continue
+            seq = record.get("seq")
+            if not isinstance(seq, int):
+                seq = fallback_seq
+            fallback_seq = seq + 1
+            if seq < keep_from:
+                dropped += 1
+            else:
+                kept.append(record)
+        if not dropped:
+            return 0
+        self._fh.close()
+        tmp = self.path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as out:
+            for record in kept:
+                out.write(_frame(record))
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        obs.count("checkpoint.compactions")
+        return dropped
 
     def phase_done(self, phase: str, data: dict[str, Any]) -> None:
         self._append({"type": "phase_done", "phase": phase, "data": data},

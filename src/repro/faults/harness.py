@@ -93,6 +93,11 @@ def run_chaos(
             "(kill_worker/delay_task/poison_task); checkpoint faults "
             "terminate the run and are covered by --resume"
         )
+    if plan.serve_faults:
+        raise FaultPlanError(
+            "serve faults target the daemon, not the batch pipeline; "
+            "run them through `repro chaos --serve`"
+        )
 
     base_config = replace(config, fault_plan=None)
     fault_config = replace(config, fault_plan=plan)

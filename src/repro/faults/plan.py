@@ -37,6 +37,24 @@ Kinds
     Exit the master (``os._exit(70)``) after ``after_records`` journal
     records of ``phase`` have been appended and fsynced — the
     SIGKILL-mid-CCD scenario behind ``repro run --resume``.
+``serve_delay_insert``
+    The daemon's applier sleeps ``seconds`` before applying its
+    ``at_task``-th insert — the slow-applier scenario that drives the
+    bounded queue into ``overloaded`` sheds.
+``serve_journal_error``
+    The ``at_task``-th insert's journal append raises ``OSError``
+    (disk-full stand-in) — the daemon must degrade to read-only with
+    its live state unmutated.
+``serve_kill_applier``
+    The applier thread dies mid-insert *after* the decision is
+    journaled but before it commits — restart must replay it.
+``serve_kill_daemon``
+    The whole daemon calls ``os._exit(73)`` on its ``at_task``-th
+    insert, after the journal append — SIGKILL mid-batch.
+
+Serve kinds are addressed by the daemon-wide insert ordinal alone
+(``at_task``); ``phase``/``worker`` do not apply and must stay at
+their defaults.
 """
 
 from __future__ import annotations
@@ -48,7 +66,13 @@ from typing import Any, Iterable
 
 WORKER_FAULT_KINDS = ("kill_worker", "delay_task", "poison_task")
 CHECKPOINT_FAULT_KINDS = ("truncate_checkpoint", "abort_master")
-FAULT_KINDS = WORKER_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
+SERVE_FAULT_KINDS = (
+    "serve_delay_insert",
+    "serve_journal_error",
+    "serve_kill_applier",
+    "serve_kill_daemon",
+)
+FAULT_KINDS = WORKER_FAULT_KINDS + CHECKPOINT_FAULT_KINDS + SERVE_FAULT_KINDS
 
 #: Pipeline phase names a fault may target ("" = any phase, worker-task
 #: kinds only).
@@ -59,6 +83,8 @@ PHASES = ("redundancy", "clustering", "bipartite", "dense_subgraphs")
 ABORT_EXIT_CODE = 70
 #: Exit code after a ``truncate_checkpoint`` fault fired.
 TRUNCATE_EXIT_CODE = 71
+#: Exit code of a deliberate ``serve_kill_daemon`` fault.
+SERVE_KILL_EXIT_CODE = 73
 
 
 class FaultPlanError(ValueError):
@@ -99,6 +125,11 @@ class Fault:
         if self.kind in CHECKPOINT_FAULT_KINDS and not self.phase:
             raise FaultPlanError(
                 f"{self.kind} faults must name a target phase"
+            )
+        if self.kind in SERVE_FAULT_KINDS and (self.phase or self.worker):
+            raise FaultPlanError(
+                f"{self.kind} faults are addressed by insert ordinal "
+                f"only; phase/worker do not apply"
             )
         if self.worker < 0:
             raise FaultPlanError(f"worker must be >= 0, got {self.worker}")
@@ -154,6 +185,10 @@ class FaultPlan:
     @property
     def checkpoint_faults(self) -> tuple[Fault, ...]:
         return self.of_kind(*CHECKPOINT_FAULT_KINDS)
+
+    @property
+    def serve_faults(self) -> tuple[Fault, ...]:
+        return self.of_kind(*SERVE_FAULT_KINDS)
 
     # -- serialisation -----------------------------------------------------
 
@@ -252,6 +287,7 @@ class FaultInjector:
     _sends: dict[tuple[str, int], int] = field(default_factory=dict)
     _new_tasks: dict[str, int] = field(default_factory=dict)
     _phase_records: dict[str, int] = field(default_factory=dict)
+    _serve_inserts: int = 0
 
     @property
     def fired(self) -> int:
@@ -308,6 +344,29 @@ class FaultInjector:
             self._consumed.add(idx)
             return True
         return False
+
+    # -- serve faults ------------------------------------------------------
+
+    def serve_insert_marker(self) -> tuple | None:
+        """Fault marker for the daemon's next applied insert.
+
+        Called by the applier exactly once per insert it is about to
+        apply (the call advances the daemon-wide insert ordinal).
+        Returns ``("delay", seconds)``, ``("journal_error",)``,
+        ``("kill_applier",)``, ``("kill_daemon",)``, or None.
+        """
+        ordinal = self._serve_inserts
+        self._serve_inserts = ordinal + 1
+        for idx, fault in enumerate(self.plan.faults):
+            if idx in self._consumed or fault.kind not in SERVE_FAULT_KINDS:
+                continue
+            if ordinal != fault.at_task:
+                continue
+            self._consumed.add(idx)
+            if fault.kind == "serve_delay_insert":
+                return ("delay", fault.seconds)
+            return (fault.kind.removeprefix("serve_"),)
+        return None
 
     # -- checkpoint faults -------------------------------------------------
 

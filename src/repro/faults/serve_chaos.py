@@ -1,0 +1,810 @@
+"""Serve-side chaos: prove the daemon loses nothing it acknowledged.
+
+``run_serve_chaos`` runs one batch pipeline over the base 80% of a
+workload, then subjects a fresh daemon to a fixed scenario matrix —
+injected journal-write failure, applier death mid-insert, whole-daemon
+SIGKILL mid-batch (a real subprocess, killed via the
+``serve_kill_daemon`` fault's ``os._exit``), torn journal tail, torn
+snapshot generation, queue overload with deadline sheds, and stalled /
+abruptly-disconnecting clients.  After every scenario the run
+directory is restored **twice** through the normal resume path
+(:func:`~repro.serve.state.build_or_restore_serve_state`) and the
+verdict is checked the same way the batch chaos harness checks it:
+
+* **zero lost acks** — every insert a client saw acknowledged is
+  present in the restored state;
+* **replay identity** — restoring is deterministic
+  (``ServeState.digest()`` identical across restores) and, where the
+  live daemon survived to report one, identical to the live digest;
+* **typed sheds** — overload and expired deadlines answer
+  ``overloaded`` / ``deadline_exceeded``, never block, never kill the
+  daemon.
+
+The subprocess scenarios relaunch the daemon as ``python -m repro
+serve`` with configuration flags derived from the chaos config, so
+they exercise the CLI's restore path end to end; configs not
+expressible through those flags (for example ``min_component_size !=
+min_subgraph_size``) should use the in-process scenarios only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.core.checkpoint import (
+    CHECKPOINT_NAME,
+    CheckpointJournal,
+    config_digest,
+    input_digest,
+)
+from repro.core.config import PipelineConfig
+from repro.faults.plan import (
+    SERVE_KILL_EXIT_CODE,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+)
+from repro.sequence.fasta import write_fasta
+from repro.sequence.record import SequenceRecord, SequenceSet
+from repro.serve.protocol import ProtocolError, ServeClient
+from repro.serve.server import ADDR_FILENAME, ServeServer
+from repro.serve.snapshot import SNAPSHOT_NAME, SNAPSHOT_PREV_NAME
+from repro.serve.state import build_or_restore_serve_state
+from repro.util.timing import monotonic_now
+
+#: Report filename inside the chaos run directory.
+SERVE_CHAOS_REPORT = "serve_chaos_report.json"
+
+#: Report schema tag.
+SERVE_CHAOS_SCHEMA = "repro-serve-chaos/1"
+
+#: How long to wait for a subprocess daemon to write its address file.
+_SPAWN_TIMEOUT = 90.0
+
+#: Socket timeout for every chaos client.
+_CLIENT_TIMEOUT = 30.0
+
+
+@dataclass
+class ServeChaosScenario:
+    """Outcome of one scenario: empty ``failures`` means it held."""
+
+    name: str
+    failures: list[str] = field(default_factory=list)
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class ServeChaosReport:
+    """The scenario matrix's combined verdict."""
+
+    scenarios: list[ServeChaosScenario] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.scenarios)
+
+    def lines(self) -> list[str]:
+        out = [f"serve chaos: {len(self.scenarios)} scenario(s)"]
+        for s in self.scenarios:
+            out.append(f"  {s.name}: {'ok' if s.ok else 'FAILED'}")
+            out.extend(f"    {f}" for f in s.failures)
+        out.append(
+            f"serve chaos verdict: {'IDENTICAL' if self.ok else 'DRIFT'}"
+        )
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SERVE_CHAOS_SCHEMA,
+            "ok": self.ok,
+            "scenarios": [
+                {
+                    "name": s.name,
+                    "ok": s.ok,
+                    "failures": s.failures,
+                    "details": s.details,
+                }
+                for s in self.scenarios
+            ],
+        }
+
+
+@dataclass
+class _Ctx:
+    """Everything a scenario needs: records, config, subprocess bits."""
+
+    base_records: list[SequenceRecord]
+    inserts: list[dict[str, str]]
+    config: PipelineConfig
+    fasta_path: Path
+    config_flags: list[str]
+
+
+def _fresh_set(records: Sequence[SequenceRecord]) -> SequenceSet:
+    """A new, un-mutated SequenceSet (serving appends to its input)."""
+    return SequenceSet(records)
+
+
+def _config_flags(config: PipelineConfig) -> list[str]:
+    """CLI flags reproducing ``config``'s science-relevant fields.
+
+    Mirrors ``repro.cli._config_from_args``: the subprocess daemon
+    built from these flags must digest-match the journal this driver's
+    in-process batch run wrote.
+    """
+    return [
+        "--psi", str(config.psi),
+        "--tau", str(config.tau),
+        "--reduction", config.reduction,
+        "--edge-similarity", str(config.edge_similarity),
+        "--min-size", str(config.min_component_size),
+        "--shingle-s", str(config.shingle.s1),
+        "--shingle-c", str(config.shingle.c1),
+        "--seed", str(config.seed),
+    ]
+
+
+def _restore(sdir: Path, ctx: _Ctx) -> tuple[str, set[str], dict[str, Any]]:
+    """Resume ``sdir`` exactly as a restarting daemon would.
+
+    Returns (state digest, inserted ids, restore info).  Goes through
+    :meth:`CheckpointJournal.resume` so torn journal tails are
+    amputated the same way the real restart path amputates them.
+    """
+    base = _fresh_set(ctx.base_records)
+    journal = CheckpointJournal.resume(
+        sdir,
+        config_dig=config_digest(ctx.config),
+        input_dig=input_digest(base),
+        n_input=len(base),
+    )
+    try:
+        state, info = build_or_restore_serve_state(
+            base, ctx.config, journal.resume_state, run_dir=sdir
+        )
+    finally:
+        journal.close()
+    return state.digest(), {seq_id for seq_id, _res in state.inserted}, info
+
+
+@contextlib.contextmanager
+def _daemon(sdir: Path, ctx: _Ctx, **server_kw: Any) -> Iterator[ServeServer]:
+    """An in-process daemon over ``sdir``'s journal, stopped on exit."""
+    base = _fresh_set(ctx.base_records)
+    journal = CheckpointJournal.resume(
+        sdir,
+        config_dig=config_digest(ctx.config),
+        input_dig=input_digest(base),
+        n_input=len(base),
+    )
+    state, info = build_or_restore_serve_state(
+        base, ctx.config, journal.resume_state, run_dir=sdir
+    )
+    server = ServeServer(
+        state,
+        journal=journal,
+        run_dir=sdir,
+        snapshot_covered=info["snapshot_covered"],
+        **server_kw,
+    )
+    thread = server.run_in_thread()
+    try:
+        yield server
+    finally:
+        server.request_stop()
+        thread.join(timeout=30.0)
+
+
+def _insert_all(
+    client: ServeClient,
+    records: Sequence[dict[str, str]],
+) -> tuple[list[str], list[str]]:
+    """Insert ``records`` one by one; returns (acked ids, error codes)."""
+    acked: list[str] = []
+    codes: list[str] = []
+    for record in records:
+        try:
+            response = client.call("insert", **record)
+        except ProtocolError as exc:
+            codes += [exc.code]
+            continue
+        results = response.get("results", [])
+        if results and results[0].get("ok"):
+            acked += [str(record["id"])]
+    return acked, codes
+
+
+def _check_restore_identity(
+    name: str,
+    sdir: Path,
+    ctx: _Ctx,
+    acked: Sequence[str],
+    failures: list[str],
+    *,
+    live_digest: str | None = None,
+) -> tuple[str, dict[str, Any]]:
+    """The two invariants every scenario ends on: restore twice, then
+    assert restore determinism, zero lost acks, and (when the live
+    daemon survived to report one) live/restored digest identity."""
+    digest_a, ids_a, info = _restore(sdir, ctx)
+    digest_b, _ids_b, _info_b = _restore(sdir, ctx)
+    if digest_a != digest_b:
+        failures.append(
+            f"{name}: restore is not deterministic "
+            f"({digest_a[:12]} != {digest_b[:12]})"
+        )
+    lost = sorted(seq_id for seq_id in acked if seq_id not in ids_a)
+    if lost:
+        failures.append(f"{name}: acked inserts lost on restore: {lost}")
+    if live_digest is not None and live_digest != digest_a:
+        failures.append(
+            f"{name}: restored digest {digest_a[:12]} != live digest "
+            f"{live_digest[:12]}"
+        )
+    return digest_a, info
+
+
+# -- in-process scenarios ---------------------------------------------------
+
+
+def _scenario_journal_error(sdir: Path, ctx: _Ctx) -> ServeChaosScenario:
+    """Injected journal-write failure: clean read-only degrade, state
+    unmutated past the failure, queries keep answering."""
+    failures: list[str] = []
+    plan = FaultPlan((Fault(kind="serve_journal_error", at_task=2),))
+    with _daemon(sdir, ctx, injector=FaultInjector(plan)) as server:
+        host, port = server.address  # type: ignore[misc]
+        with ServeClient.connect(host, port, timeout=_CLIENT_TIMEOUT) as cl:
+            acked, codes = _insert_all(cl, ctx.inserts[:4])
+            health = cl.call("health")
+            probe = cl.call("query", id=ctx.base_records[0].id)
+            live = str(cl.call("status")["digest"])
+        if acked != [r["id"] for r in ctx.inserts[:2]]:
+            failures.append(
+                f"journal_error: expected the 2 pre-fault inserts acked, "
+                f"got {acked}"
+            )
+        if codes != ["read_only", "read_only"]:
+            failures.append(
+                f"journal_error: expected read_only refusals after the "
+                f"fault, got {codes}"
+            )
+        if not health.get("degraded"):
+            failures.append("journal_error: health does not report degraded")
+        if not probe.get("found"):
+            failures.append(
+                "journal_error: queries stopped answering in degraded mode"
+            )
+    # The failed insert never mutated live state, so the journal (both
+    # pre-fault inserts) restores to exactly the live digest.
+    _check_restore_identity(
+        "journal_error", sdir, ctx, acked, failures, live_digest=live
+    )
+    return ServeChaosScenario(
+        "journal_error", failures,
+        {"acked": acked, "codes": codes, "live_digest": live},
+    )
+
+
+def _scenario_kill_applier(sdir: Path, ctx: _Ctx) -> ServeChaosScenario:
+    """Applier dies after journaling but before commit/ack: the client
+    sees a typed error, the journal wins on restart (the unacked insert
+    is replayed — journaled-but-unacked is the allowed direction)."""
+    failures: list[str] = []
+    plan = FaultPlan((Fault(kind="serve_kill_applier", at_task=1),))
+    with _daemon(sdir, ctx, injector=FaultInjector(plan)) as server:
+        host, port = server.address  # type: ignore[misc]
+        with ServeClient.connect(host, port, timeout=_CLIENT_TIMEOUT) as cl:
+            acked, codes = _insert_all(cl, ctx.inserts[:3])
+            health = cl.call("health")
+        if acked != [ctx.inserts[0]["id"]]:
+            failures.append(
+                f"kill_applier: expected exactly the first insert acked, "
+                f"got {acked}"
+            )
+        if codes != ["read_only", "read_only"]:
+            failures.append(
+                f"kill_applier: expected read_only after applier death, "
+                f"got {codes}"
+            )
+        if health.get("applier_alive"):
+            failures.append(
+                "kill_applier: health still reports the applier alive"
+            )
+    digest, _info = _check_restore_identity(
+        "kill_applier", sdir, ctx, acked, failures
+    )
+    _digest_again, ids, _info2 = _restore(sdir, ctx)
+    journaled_unacked = ctx.inserts[1]["id"]
+    if journaled_unacked not in ids:
+        failures.append(
+            f"kill_applier: insert {journaled_unacked!r} was journaled "
+            f"before the applier died but is missing after restore"
+        )
+    return ServeChaosScenario(
+        "kill_applier", failures,
+        {"acked": acked, "codes": codes, "restored_digest": digest},
+    )
+
+
+def _scenario_torn_journal(sdir: Path, ctx: _Ctx) -> ServeChaosScenario:
+    """A torn (partial, CRC-failing) journal tail is amputated on
+    resume; everything acked before the tear survives."""
+    failures: list[str] = []
+    with _daemon(sdir, ctx) as server:
+        host, port = server.address  # type: ignore[misc]
+        with ServeClient.connect(host, port, timeout=_CLIENT_TIMEOUT) as cl:
+            acked, codes = _insert_all(cl, ctx.inserts[:3])
+            live = str(cl.call("status")["digest"])
+        if codes:
+            failures.append(f"torn_journal: unexpected refusals {codes}")
+    with open(sdir / CHECKPOINT_NAME, "ab") as fh:
+        fh.write(b'00000000 {"type":"serve_insert","seq":9')  # no newline
+    _check_restore_identity(
+        "torn_journal", sdir, ctx, acked, failures, live_digest=live
+    )
+    return ServeChaosScenario(
+        "torn_journal", failures, {"acked": acked, "live_digest": live}
+    )
+
+
+def _scenario_torn_snapshot(sdir: Path, ctx: _Ctx) -> ServeChaosScenario:
+    """A torn current-generation snapshot falls back to the previous
+    generation plus the journal tail (two-generation retention)."""
+    failures: list[str] = []
+    with _daemon(sdir, ctx, snapshot_every=1) as server:
+        host, port = server.address  # type: ignore[misc]
+        with ServeClient.connect(host, port, timeout=_CLIENT_TIMEOUT) as cl:
+            acked, codes = _insert_all(cl, ctx.inserts[:4])
+            live = str(cl.call("status")["digest"])
+        if codes:
+            failures.append(f"torn_snapshot: unexpected refusals {codes}")
+    cur = sdir / SNAPSHOT_NAME
+    prev = sdir / SNAPSHOT_PREV_NAME
+    if not cur.exists() or not prev.exists():
+        failures.append(
+            "torn_snapshot: snapshot_every=1 left no two snapshot "
+            "generations behind"
+        )
+        return ServeChaosScenario("torn_snapshot", failures, {})
+    # Untorn control first: the current generation restores to the
+    # live digest without replaying the whole insert history.
+    _digest, info = _check_restore_identity(
+        "torn_snapshot[cur]", sdir, ctx, acked, failures, live_digest=live
+    )
+    if info["snapshot_covered"] != len(acked):
+        failures.append(
+            f"torn_snapshot: current snapshot covers "
+            f"{info['snapshot_covered']}, expected {len(acked)}"
+        )
+    # Tear the current generation (truncate mid-line) and leave a
+    # garbage temp file behind; restore must fall back to prev + tail.
+    blob = cur.read_bytes()
+    cur.write_bytes(blob[: max(1, int(len(blob) * 0.6))])
+    (sdir / (SNAPSHOT_NAME + ".tmp")).write_bytes(b"garbage, not a snapshot")
+    _digest2, info2 = _check_restore_identity(
+        "torn_snapshot[prev]", sdir, ctx, acked, failures, live_digest=live
+    )
+    if info2["snapshot_covered"] != len(acked) - 1:
+        failures.append(
+            f"torn_snapshot: previous-generation fallback covers "
+            f"{info2['snapshot_covered']}, expected {len(acked) - 1}"
+        )
+    if info2["replayed"] < 1:
+        failures.append(
+            "torn_snapshot: fallback restore replayed no journal tail"
+        )
+    return ServeChaosScenario(
+        "torn_snapshot", failures,
+        {"acked": acked, "live_digest": live,
+         "cur_covered": info["snapshot_covered"],
+         "prev_covered": info2["snapshot_covered"]},
+    )
+
+
+def _scenario_overload(sdir: Path, ctx: _Ctx) -> ServeChaosScenario:
+    """A single-slot queue behind a slowed applier: admission control
+    sheds with ``overloaded`` + retry hint, expired budgets shed with
+    ``deadline_exceeded``, retries with the idempotency key converge,
+    and the daemon never degrades."""
+    failures: list[str] = []
+    details: dict[str, Any] = {}
+    plan = FaultPlan(
+        (Fault(kind="serve_delay_insert", at_task=0, seconds=1.2),)
+    )
+    with _daemon(
+        sdir, ctx,
+        max_queue=1, queue_wait=0.05, injector=FaultInjector(plan),
+    ) as server:
+        host, port = server.address  # type: ignore[misc]
+        outcomes: dict[str, Any] = {}
+
+        def _threaded_insert(key: str, record: dict[str, str]) -> None:
+            try:
+                with ServeClient.connect(
+                    host, port, timeout=_CLIENT_TIMEOUT
+                ) as worker:
+                    outcomes[key] = worker.call("insert", **record)
+            except ProtocolError as exc:
+                outcomes[key] = exc
+            except OSError as exc:
+                outcomes[key] = exc
+
+        # First insert occupies the applier (0.6s injected delay), the
+        # second parks on the single queue slot, the third must shed.
+        threads = [
+            threading.Thread(
+                target=_threaded_insert, args=(key, record), daemon=True
+            )
+            for key, record in (
+                ("applying", ctx.inserts[0]), ("queued", ctx.inserts[1])
+            )
+        ]
+        threads[0].start()
+        time.sleep(0.2)
+        threads[1].start()
+        # Don't race the worker threads: the shed attempt only makes
+        # sense once the single queue slot is actually occupied.
+        wait_until = monotonic_now() + 10.0
+        while not server._queue.full() and monotonic_now() < wait_until:
+            time.sleep(0.01)
+        with ServeClient.connect(host, port, timeout=_CLIENT_TIMEOUT) as cl:
+            shed_code = None
+            retry_after = None
+            try:
+                cl.call("insert", **ctx.inserts[2])
+            except ProtocolError as exc:
+                shed_code = exc.code
+                retry_after = exc.retry_after_ms
+            if shed_code != "overloaded":
+                failures.append(
+                    f"overload: expected the third insert shed with "
+                    f"overloaded, got {shed_code!r}"
+                )
+            if shed_code == "overloaded" and not retry_after:
+                failures.append(
+                    "overload: overloaded response carried no "
+                    "retry_after_ms hint"
+                )
+            # The shed client retries its way in once the applier wakes.
+            retried = cl.call_with_retry(
+                "insert", retries=12, backoff=0.3, **ctx.inserts[2]
+            )
+            if not retried["results"][0].get("ok"):
+                failures.append(
+                    f"overload: retried insert not acked: "
+                    f"{retried['results'][0]}"
+                )
+            for thread in threads:
+                thread.join(timeout=30.0)
+            for key in ("applying", "queued"):
+                got = outcomes.get(key)
+                if not (isinstance(got, dict)
+                        and got["results"][0].get("ok")):
+                    failures.append(
+                        f"overload: {key} insert did not complete ok: {got}"
+                    )
+            # An expired budget sheds before any work happens.
+            deadline_code = None
+            try:
+                cl.call(
+                    "query",
+                    residues=ctx.inserts[3]["residues"],
+                    deadline_ms=0.001,
+                )
+            except ProtocolError as exc:
+                deadline_code = exc.code
+            if deadline_code != "deadline_exceeded":
+                failures.append(
+                    f"overload: 1µs-budget query answered "
+                    f"{deadline_code!r}, expected deadline_exceeded"
+                )
+            # Retrying an acked insert is exactly-once: same outcome,
+            # flagged idempotent, nothing re-journaled.
+            dup = cl.call("insert", **ctx.inserts[0])
+            if not dup["results"][0].get("idempotent"):
+                failures.append(
+                    "overload: retried acked insert was not answered "
+                    "idempotently"
+                )
+            health = cl.call("health")
+            live = str(cl.call("status")["digest"])
+        if health.get("degraded") or not health.get("applier_alive"):
+            failures.append(
+                f"overload: daemon unhealthy after overload burst: {health}"
+            )
+        details = {
+            "shed_code": shed_code,
+            "retry_after_ms": retry_after,
+            "live_digest": live,
+        }
+    acked = [r["id"] for r in ctx.inserts[:3]]
+    _check_restore_identity(
+        "overload", sdir, ctx, acked, failures, live_digest=live
+    )
+    return ServeChaosScenario("overload", failures, details)
+
+
+def _scenario_stalled_client(sdir: Path, ctx: _Ctx) -> ServeChaosScenario:
+    """A half-line stall and an abrupt mid-line disconnect must not
+    wedge the accept loop or poison other connections."""
+    import socket as socket_mod
+
+    failures: list[str] = []
+    with _daemon(sdir, ctx) as server:
+        host, port = server.address  # type: ignore[misc]
+        stalled = socket_mod.create_connection((host, port), timeout=10.0)
+        stalled.sendall(b'{"v": 1, "op": "status"')  # never finishes the line
+        dropper = socket_mod.create_connection((host, port), timeout=10.0)
+        dropper.sendall(b'{"v": 1, "op": "in')
+        dropper.close()  # abrupt disconnect mid-line
+        time.sleep(0.1)
+        with ServeClient.connect(host, port, timeout=_CLIENT_TIMEOUT) as cl:
+            hello = cl.call("hello")
+            acked, codes = _insert_all(cl, ctx.inserts[:2])
+            health = cl.call("health")
+            live = str(cl.call("status")["digest"])
+        stalled.close()
+        if not hello.get("ok"):
+            failures.append("stalled_client: hello failed beside a stall")
+        if codes:
+            failures.append(
+                f"stalled_client: inserts refused beside a stall: {codes}"
+            )
+        if len(acked) != 2:
+            failures.append(
+                f"stalled_client: expected 2 acks beside a stall, "
+                f"got {acked}"
+            )
+        if health.get("degraded"):
+            failures.append(
+                "stalled_client: stalled/dropped connections degraded "
+                "the daemon"
+            )
+    _check_restore_identity(
+        "stalled_client", sdir, ctx, acked, failures, live_digest=live
+    )
+    return ServeChaosScenario(
+        "stalled_client", failures, {"acked": acked, "live_digest": live}
+    )
+
+
+# -- subprocess scenario ----------------------------------------------------
+
+
+def _spawn_serve(
+    sdir: Path, ctx: _Ctx, extra_args: Sequence[str] = ()
+) -> "subprocess.Popen[str]":
+    """Launch ``python -m repro serve`` over ``sdir`` (port 0)."""
+    with contextlib.suppress(FileNotFoundError):
+        (sdir / ADDR_FILENAME).unlink()
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    cmd = [
+        sys.executable, "-m", "repro", "serve", str(ctx.fasta_path),
+        "--run-dir", str(sdir), "--port", "0",
+        *ctx.config_flags, *extra_args,
+    ]
+    return subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+
+
+def _wait_for_addr(
+    sdir: Path, proc: "subprocess.Popen[str]"
+) -> tuple[str, int] | None:
+    """Poll for the daemon's address file; None if it died or timed out."""
+    path = sdir / ADDR_FILENAME
+    deadline = monotonic_now() + _SPAWN_TIMEOUT
+    while monotonic_now() < deadline:
+        if proc.poll() is not None:
+            return None
+        if path.exists():
+            parts = path.read_text(encoding="utf-8").split()
+            if len(parts) == 2:
+                return parts[0], int(parts[1])
+        time.sleep(0.05)
+    return None
+
+
+def _reap(proc: "subprocess.Popen[str]", timeout: float = 30.0) -> int | None:
+    """Wait for ``proc``; kill it and return None on timeout."""
+    try:
+        return proc.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        rc = None
+        proc.kill()
+        proc.wait(timeout=10.0)
+        return rc
+
+
+def _scenario_kill_daemon(sdir: Path, ctx: _Ctx) -> ServeChaosScenario:
+    """SIGKILL-equivalent mid-batch (``os._exit`` from the injected
+    ``serve_kill_daemon`` fault) against a real ``python -m repro
+    serve`` subprocess; a second subprocess restart must report exactly
+    the restored digest."""
+    failures: list[str] = []
+    details: dict[str, Any] = {}
+    plan = FaultPlan((Fault(kind="serve_kill_daemon", at_task=2),))
+    plan_path = sdir / "serve_faults.json"
+    plan.dump(plan_path)
+    proc = _spawn_serve(sdir, ctx, ("--fault-plan", str(plan_path)))
+    addr = _wait_for_addr(sdir, proc)
+    if addr is None:
+        out = proc.stdout.read() if proc.stdout else ""
+        _reap(proc, timeout=5.0)
+        failures.append(
+            f"kill_daemon: daemon never came up: {out[-500:]!r}"
+        )
+        return ServeChaosScenario("kill_daemon", failures, details)
+    acked: list[str] = []
+    io_errors: list[str] = []
+    try:
+        with ServeClient.connect(
+            addr[0], addr[1], timeout=_CLIENT_TIMEOUT
+        ) as cl:
+            for record in ctx.inserts[:4]:
+                try:
+                    response = cl.call("insert", **record)
+                except (ProtocolError, OSError) as exc:
+                    io_errors += [type(exc).__name__]
+                    break
+                if response["results"][0].get("ok"):
+                    acked += [str(record["id"])]
+    except OSError as exc:
+        io_errors += [type(exc).__name__]
+    rc = _reap(proc)
+    details["exit_code"] = rc
+    details["acked"] = acked
+    if rc != SERVE_KILL_EXIT_CODE:
+        failures.append(
+            f"kill_daemon: daemon exited {rc}, expected the injected "
+            f"kill's exit code {SERVE_KILL_EXIT_CODE}"
+        )
+    if acked != [r["id"] for r in ctx.inserts[:2]]:
+        failures.append(
+            f"kill_daemon: expected the 2 pre-kill inserts acked, "
+            f"got {acked} (io: {io_errors})"
+        )
+    digest, _info = _check_restore_identity(
+        "kill_daemon", sdir, ctx, acked, failures
+    )
+    details["restored_digest"] = digest
+    # Restart for real and let the CLI's own restore path report its
+    # digest: the daemon must come back to exactly the restored state.
+    proc2 = _spawn_serve(sdir, ctx)
+    addr2 = _wait_for_addr(sdir, proc2)
+    if addr2 is None:
+        out = proc2.stdout.read() if proc2.stdout else ""
+        _reap(proc2, timeout=5.0)
+        failures.append(
+            f"kill_daemon: restart after kill never came up: {out[-500:]!r}"
+        )
+        return ServeChaosScenario("kill_daemon", failures, details)
+    try:
+        with ServeClient.connect(
+            addr2[0], addr2[1], timeout=_CLIENT_TIMEOUT
+        ) as cl:
+            live = str(cl.call("status")["digest"])
+            with contextlib.suppress(ProtocolError, OSError):
+                cl.call("shutdown")
+    except OSError as exc:
+        live = ""
+        failures.append(f"kill_daemon: restarted daemon unreachable: {exc}")
+    rc2 = _reap(proc2)
+    details["restart_exit_code"] = rc2
+    details["live_digest"] = live
+    if live and live != digest:
+        failures.append(
+            f"kill_daemon: restarted daemon digest {live[:12]} != "
+            f"restored digest {digest[:12]}"
+        )
+    if rc2 != 0:
+        failures.append(
+            f"kill_daemon: restarted daemon exited {rc2} on shutdown"
+        )
+    return ServeChaosScenario("kill_daemon", failures, details)
+
+
+#: The scenario matrix, in execution order.
+SCENARIOS: tuple[tuple[str, Callable[[Path, _Ctx], ServeChaosScenario]], ...]
+SCENARIOS = (
+    ("journal_error", _scenario_journal_error),
+    ("kill_applier", _scenario_kill_applier),
+    ("torn_journal", _scenario_torn_journal),
+    ("torn_snapshot", _scenario_torn_snapshot),
+    ("overload", _scenario_overload),
+    ("stalled_client", _scenario_stalled_client),
+    ("kill_daemon", _scenario_kill_daemon),
+)
+
+
+def run_serve_chaos(
+    sequences: SequenceSet,
+    config: PipelineConfig,
+    *,
+    run_dir: "str | Path",
+    only: Sequence[str] | None = None,
+) -> ServeChaosReport:
+    """Run the serve-side scenario matrix; returns the verdict.
+
+    Splits ``sequences`` 80/20 into a base set (one batch pipeline run,
+    shared by every scenario via a copied journal) and an insert pool,
+    then executes each scenario in its own subdirectory of ``run_dir``.
+    ``only`` restricts to a subset of scenario names (unknown names
+    raise :class:`FaultPlanError`).  The report is also written to
+    ``run_dir/serve_chaos_report.json``.
+    """
+    known = {name for name, _fn in SCENARIOS}
+    if only is not None:
+        unknown = sorted(set(only) - known)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown serve chaos scenario(s) {unknown}; "
+                f"known: {sorted(known)}"
+            )
+    records = list(sequences)
+    n_base = int(len(records) * 0.8)
+    base_records = records[:n_base]
+    insert_records = records[n_base:]
+    if len(insert_records) < 5 or not base_records:
+        raise FaultPlanError(
+            f"serve chaos needs >= 5 held-out inserts and a non-empty "
+            f"base (got {len(insert_records)} / {len(base_records)}); "
+            f"provide a larger workload"
+        )
+    run_path = Path(run_dir)
+    run_path.mkdir(parents=True, exist_ok=True)
+
+    base_dir = run_path / "base"
+    from repro.core.pipeline import ProteinFamilyPipeline
+
+    pipeline_config = replace(config, fault_plan=None)
+    ProteinFamilyPipeline(pipeline_config).run(
+        _fresh_set(base_records), run_dir=base_dir
+    )
+    fasta_path = run_path / "base.fasta"
+    write_fasta(base_records, fasta_path)
+    ctx = _Ctx(
+        base_records=base_records,
+        inserts=[
+            {"id": r.id, "residues": r.residues} for r in insert_records
+        ],
+        config=pipeline_config,
+        fasta_path=fasta_path,
+        config_flags=_config_flags(pipeline_config),
+    )
+
+    import shutil
+
+    report = ServeChaosReport()
+    for name, scenario_fn in SCENARIOS:
+        if only is not None and name not in only:
+            continue
+        sdir = run_path / name
+        sdir.mkdir(parents=True, exist_ok=True)
+        shutil.copy2(base_dir / CHECKPOINT_NAME, sdir / CHECKPOINT_NAME)
+        report.scenarios.append(scenario_fn(sdir, ctx))
+    out = run_path / SERVE_CHAOS_REPORT
+    out.write_text(
+        json.dumps(report.to_dict(), indent=1, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return report

@@ -162,6 +162,9 @@ _SPECS = [
                 "records appended to the run-dir checkpoint journal"),
     CounterSpec("checkpoint.phases_skipped", "checkpoint",
                 "finished phases rebuilt from checkpoint on --resume"),
+    CounterSpec("checkpoint.compactions", "checkpoint",
+                "journal rewrites that dropped snapshot-covered "
+                "serve_insert records"),
     # -- Serving (`repro serve` incremental daemon) ------------------------
     CounterSpec("serve.requests", "serve",
                 "protocol requests handled by the daemon"),
@@ -203,6 +206,28 @@ _SPECS = [
     CounterSpec("serve.slow_requests", "serve",
                 "requests over the --slow-ms threshold, span trees "
                 "dumped to serve_slow.jsonl"),
+    # -- Serving failure hardening (DESIGN.md §13) -------------------------
+    CounterSpec("serve.deadline_sheds", "serve",
+                "requests shed because their deadline_ms budget expired "
+                "(before dispatch, mid-query-sweep, or while queued)"),
+    CounterSpec("serve.overloaded", "serve",
+                "inserts refused with `overloaded` after the bounded "
+                "queue-admission wait"),
+    CounterSpec("serve.readonly_refused", "serve",
+                "inserts refused because the daemon is in read-only "
+                "degraded mode (journal failure or dead applier)"),
+    CounterSpec("serve.idempotent_hits", "serve",
+                "insert retries answered from the (id, residues) "
+                "idempotency key without re-planning or re-journaling"),
+    CounterSpec("serve.snapshots", "serve",
+                "serve-state snapshots written (tmp+rename, two "
+                "generations retained)"),
+    CounterSpec("serve.snapshot_skipped_replays", "serve",
+                "journaled serve_insert decisions skipped at load "
+                "because the restored snapshot already covered them"),
+    CounterSpec("serve.snapshot_errors", "serve",
+                "snapshot write failures and unusable snapshot files "
+                "skipped at load (journal remains the authority)"),
 ]
 
 REGISTRY: dict[str, CounterSpec] = {spec.name: spec for spec in _SPECS}
@@ -227,6 +252,8 @@ GAUGES: dict[str, str] = {
                          "queue",
     "serve.families_now": "live family count (non-redundant components) "
                           "in the serving state",
+    "serve.degraded": "1 once the daemon entered read-only degraded "
+                      "mode (journal write failure or applier death)",
 }
 
 #: Families of counter names constructed at runtime (f-strings).  A

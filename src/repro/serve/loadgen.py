@@ -6,6 +6,14 @@ latencies to the ``BENCH_serve_latency.json`` metrics (p50/p99 query
 latency, insert throughput).  Deterministic per seed: each client owns
 a ``random.Random(seed + client_index)``, so the request mixture is
 reproducible even though thread interleaving is not.
+
+Load sheds are *not* errors: a hardened daemon answering ``overloaded``
+or ``deadline_exceeded`` is doing admission control exactly as
+designed, so those replies are counted separately
+(``n_overloaded`` / ``n_deadline``) and only requests that were
+actually admitted contribute latency samples.  ``metrics()`` reports
+**goodput** (admitted requests per second) next to the shed fraction —
+the two numbers an overload benchmark exists to measure.
 """
 
 from __future__ import annotations
@@ -25,10 +33,14 @@ class LoadResult:
     """Latency samples from one load-generation run."""
 
     query_latencies: list[float] = field(default_factory=list)
-    """Per-query round-trip seconds, across all clients."""
+    """Per-query round-trip seconds, across all clients (admitted only)."""
     insert_latencies: list[float] = field(default_factory=list)
-    """Per-insert acknowledged round-trip seconds."""
+    """Per-insert acknowledged round-trip seconds (admitted only)."""
     n_errors: int = 0
+    n_overloaded: int = 0
+    """Requests shed with ``overloaded`` (admission control, not errors)."""
+    n_deadline: int = 0
+    """Requests shed with ``deadline_exceeded``."""
     elapsed: float = 0.0
 
     @property
@@ -39,12 +51,24 @@ class LoadResult:
     def n_inserts(self) -> int:
         return len(self.insert_latencies)
 
+    @property
+    def n_shed(self) -> int:
+        return self.n_overloaded + self.n_deadline
+
+    @property
+    def n_attempted(self) -> int:
+        return self.n_queries + self.n_inserts + self.n_shed + self.n_errors
+
     def metrics(self) -> dict[str, float]:
         """The BENCH metric payload (milliseconds / ops-per-second)."""
         out: dict[str, float] = {
             "n_queries": float(self.n_queries),
             "n_inserts": float(self.n_inserts),
             "n_errors": float(self.n_errors),
+            "n_overloaded": float(self.n_overloaded),
+            "n_deadline_exceeded": float(self.n_deadline),
+            "shed_fraction": (self.n_shed / self.n_attempted
+                              if self.n_attempted else 0.0),
             "elapsed_s": self.elapsed,
         }
         if self.query_latencies:
@@ -62,6 +86,9 @@ class LoadResult:
         if self.elapsed > 0:
             out["query_throughput_per_s"] = self.n_queries / self.elapsed
             out["insert_throughput_per_s"] = self.n_inserts / self.elapsed
+            out["goodput_per_s"] = (
+                (self.n_queries + self.n_inserts) / self.elapsed
+            )
         return out
 
 
@@ -87,34 +114,49 @@ def _client_worker(
     insert_fraction: float,
     result: LoadResult,
     lock: threading.Lock,
+    timeout: float | None,
+    deadline_ms: float | None,
 ) -> None:
     queries: list[float] = []
     ins: list[float] = []
-    errors = 0
+    errors = overloaded = deadline = 0
+    extra: dict[str, Any] = {}
+    if deadline_ms is not None:
+        extra["deadline_ms"] = deadline_ms
     try:
-        with ServeClient.connect(host, port) as client:
+        with ServeClient.connect(host, port, timeout=timeout) as client:
             for _ in range(n_requests):
                 do_insert = inserts and rng.random() < insert_fraction
                 started = monotonic_now()
                 try:
                     if do_insert:
                         record = inserts.pop()  # atomic under the GIL
-                        client.call("insert", **record)
+                        client.call("insert", **record, **extra)
                         ins.append(monotonic_now() - started)
                     else:
                         seq_id = rng.choice(query_ids)
-                        client.call("query", id=seq_id)
+                        client.call("query", id=seq_id, **extra)
                         queries.append(monotonic_now() - started)
                 except IndexError:
                     continue  # another client took the last insert
-                except ProtocolError:
-                    errors += 1
+                except ProtocolError as exc:
+                    # Sheds are admission control doing its job, not
+                    # failures; count them apart so goodput and shed
+                    # fraction mean what they say.
+                    if exc.code == "overloaded":
+                        overloaded += 1
+                    elif exc.code == "deadline_exceeded":
+                        deadline += 1
+                    else:
+                        errors += 1
     except (ConnectionError, OSError):
         errors += 1
     with lock:
         result.query_latencies.extend(queries)
         result.insert_latencies.extend(ins)
         result.n_errors += errors
+        result.n_overloaded += overloaded
+        result.n_deadline += deadline
 
 
 def run_load(
@@ -127,12 +169,16 @@ def run_load(
     inserts: Sequence[dict[str, str]] = (),
     insert_fraction: float = 0.2,
     seed: int = 2008,
+    timeout: float | None = 30.0,
+    deadline_ms: float | None = None,
 ) -> LoadResult:
     """Run ``clients`` concurrent clients; returns pooled latencies.
 
     ``query_ids`` are existing sequence ids to query; ``inserts`` is a
     shared pool of ``{id, residues}`` records that clients draw from
-    (each inserted exactly once).
+    (each inserted exactly once).  ``timeout`` bounds every socket
+    operation per client; ``deadline_ms`` is stamped onto each request
+    so the daemon sheds late work instead of finishing it late.
     """
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
@@ -150,7 +196,8 @@ def run_load(
         threading.Thread(
             target=_client_worker,
             args=(host, port, random.Random(seed + i), list(query_ids),
-                  pool, requests_per_client, insert_fraction, result, lock),
+                  pool, requests_per_client, insert_fraction, result, lock,
+                  timeout, deadline_ms),
             name=f"loadgen-{i}",
             daemon=True,
         )

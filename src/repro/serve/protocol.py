@@ -27,14 +27,33 @@ metrics
     Additive in protocol v1 — no request/response field changed
     meaning, so the version did not bump; old daemons answer it with
     ``unknown_op``, which clients must treat as "no metrics surface".
+health
+    Liveness/degradation probe: ``{ok, degraded, applier_alive,
+    queue_depth, draining}``.  Additive in v1, like ``metrics``.
 drain / shutdown
     Stop accepting work, flush the journal, exit cleanly.
+
+Failure semantics (DESIGN.md §13)
+---------------------------------
+Any request may carry ``deadline_ms`` — a relative latency budget,
+measured from the moment the daemon reads the line.  Work past the
+budget is shed with a ``deadline_exceeded`` error instead of being
+finished late.  Inserts arriving when the bounded queue stays full for
+the admission wait are refused with ``overloaded`` (the response
+carries ``retry_after_ms``), and a daemon whose journal can no longer
+accept writes degrades to read-only: queries keep working, inserts are
+refused with ``read_only``.  All three codes are *retryable* from the
+client's perspective; insert retries are exactly-once because the
+daemon dedupes on the (sequence id, residues digest) idempotency key
+against its decision journal.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 from typing import Any
 
 #: Protocol generation; bump on any wire-visible change.
@@ -47,21 +66,40 @@ MAX_LINE_BYTES = 8 * 1024 * 1024
 #: Every operation the daemon understands.
 OPS = frozenset(
     {"hello", "status", "query", "insert", "insert_batch", "metrics",
-     "drain", "shutdown"}
+     "health", "drain", "shutdown"}
 )
+
+#: Error codes a client may retry (after backoff): the daemon refused
+#: or shed the request without doing the work, so a retry is safe —
+#: and for inserts additionally exactly-once via the idempotency key.
+RETRYABLE_CODES = frozenset({"overloaded", "deadline_exceeded"})
 
 
 class ProtocolError(ValueError):
-    """A malformed, unsupported, or version-mismatched message.
+    """A malformed, unsupported, refused, or shed message.
 
     ``code`` is the machine-readable error family echoed to clients:
     ``bad_json``, ``bad_request``, ``unknown_op``, ``version_mismatch``,
-    ``line_too_long``.
+    ``line_too_long``, plus the load-shedding family ``overloaded``
+    (with ``retry_after_ms``), ``deadline_exceeded``, and ``read_only``.
     """
 
-    def __init__(self, code: str, message: str) -> None:
+    def __init__(
+        self, code: str, message: str, *,
+        retry_after_ms: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.code = code
+        self.retry_after_ms = retry_after_ms
+
+
+class ServeTimeout(OSError):
+    """A client-side socket timeout: the daemon did not answer in time.
+
+    Typed so callers can tell "the daemon is wedged or slow" apart
+    from connection refusal and protocol errors; the CLI maps it to
+    the usage-error exit 2 like every other unusable-endpoint failure.
+    """
 
 
 def encode(obj: dict[str, Any]) -> bytes:
@@ -97,8 +135,10 @@ def ok_response(**fields: Any) -> dict[str, Any]:
     return msg
 
 
-def error_response(code: str, message: str) -> dict[str, Any]:
-    return {"ok": False, "code": code, "error": message}
+def error_response(code: str, message: str, **extra: Any) -> dict[str, Any]:
+    msg: dict[str, Any] = {"ok": False, "code": code, "error": message}
+    msg.update(extra)
+    return msg
 
 
 def _require_record(obj: dict[str, Any], where: str) -> None:
@@ -127,6 +167,16 @@ def validate_request(obj: dict[str, Any]) -> str:
     op = obj.get("op")
     if not isinstance(op, str) or op not in OPS:
         raise ProtocolError("unknown_op", f"unknown operation {op!r}")
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None and (
+        isinstance(deadline_ms, bool)
+        or not isinstance(deadline_ms, (int, float))
+        or deadline_ms <= 0
+    ):
+        raise ProtocolError(
+            "bad_request",
+            f"deadline_ms must be a positive number, got {deadline_ms!r}",
+        )
     if op == "query":
         seq_id = obj.get("id")
         residues = obj.get("residues")
@@ -154,6 +204,16 @@ def validate_request(obj: dict[str, Any]) -> str:
     return op
 
 
+#: Default number of extra attempts ``call_with_retry`` makes.
+DEFAULT_RETRIES = 3
+
+#: First-retry backoff in seconds; doubles per attempt (plus jitter).
+DEFAULT_BACKOFF = 0.05
+
+#: Backoff growth cap in seconds.
+MAX_BACKOFF = 2.0
+
+
 class ServeClient:
     """Blocking line-JSON client for one daemon connection.
 
@@ -162,32 +222,119 @@ class ServeClient:
 
     ``call`` raises :class:`ProtocolError` when the daemon answers with
     an error response (the response's ``code`` becomes the exception's
-    code) and ``ConnectionError`` when the daemon hangs up mid-call.
+    code), ``ConnectionError`` when the daemon hangs up mid-call, and
+    :class:`ServeTimeout` when the socket timeout expires — a wedged
+    daemon can no longer hang callers forever.  ``call_with_retry``
+    layers exponential-backoff-with-jitter retries over retryable
+    failures (timeouts, hangups, ``overloaded``/``deadline_exceeded``
+    sheds); insert retries stay exactly-once through the daemon's
+    idempotency key.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
         self._sock = sock
         self._file = sock.makefile("rb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        # Jitter source for retry backoff.  Deterministically seeded:
+        # retries must stay reproducible in tests and fault drills, and
+        # per-connection ports decorrelate concurrent clients already.
+        self._rng = random.Random(0x5E12)
 
     @classmethod
     def connect(
         cls, host: str, port: int, *, timeout: float | None = 30.0
     ) -> "ServeClient":
+        """Open a connection; ``timeout`` bounds connect *and* every
+        subsequent send/receive on the socket (None = block forever,
+        the pre-hardening behaviour)."""
         sock = socket.create_connection((host, port), timeout=timeout)
-        return cls(sock)
+        return cls(sock, host=host, port=port, timeout=timeout)
+
+    def _reconnect(self) -> None:
+        if self._host is None or self._port is None:
+            raise ConnectionError(
+                "cannot reconnect: client was built from a raw socket"
+            )
+        self.close()
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._sock = sock
+        self._file = sock.makefile("rb")
 
     def call(self, op: str, **fields: Any) -> dict[str, Any]:
-        self._sock.sendall(encode(request(op, **fields)))
-        line = self._file.readline(MAX_LINE_BYTES + 1)
+        try:
+            self._sock.sendall(encode(request(op, **fields)))
+            line = self._file.readline(MAX_LINE_BYTES + 1)
+        except TimeoutError as exc:
+            raise ServeTimeout(
+                f"daemon did not answer {op!r} within "
+                f"{self._timeout if self._timeout is not None else '?'}s"
+            ) from exc
         if not line:
             raise ConnectionError("server closed the connection")
         response = decode_line(line)
         if not response.get("ok"):
+            retry_after = response.get("retry_after_ms")
             raise ProtocolError(
                 str(response.get("code", "error")),
                 str(response.get("error", "request failed")),
+                retry_after_ms=(float(retry_after)
+                                if isinstance(retry_after, (int, float))
+                                and not isinstance(retry_after, bool)
+                                else None),
             )
         return response
+
+    def call_with_retry(
+        self,
+        op: str,
+        *,
+        retries: int = DEFAULT_RETRIES,
+        backoff: float = DEFAULT_BACKOFF,
+        **fields: Any,
+    ) -> dict[str, Any]:
+        """``call`` with exponential-backoff-with-jitter retries.
+
+        Retries socket timeouts, connection drops (after reconnecting),
+        and the retryable shed codes (``overloaded`` honours the
+        daemon's ``retry_after_ms`` hint as the backoff floor).  Makes
+        ``retries + 1`` attempts total, then re-raises the last
+        failure.  Safe for inserts: the daemon's idempotency key makes
+        a retried acked insert return its original outcome.
+        """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        attempt = 0
+        while True:
+            reconnect = False
+            try:
+                return self.call(op, **fields)
+            except ProtocolError as exc:
+                if exc.code not in RETRYABLE_CODES or attempt >= retries:
+                    raise
+                floor = (exc.retry_after_ms or 0.0) / 1e3
+            except (ServeTimeout, ConnectionError):
+                if attempt >= retries:
+                    raise
+                floor = 0.0
+                reconnect = True
+            delay = min(MAX_BACKOFF, backoff * (2.0 ** attempt))
+            # Full jitter: uniform in (0, delay], floored by the
+            # daemon's retry-after hint when it gave one.
+            time.sleep(max(floor, delay * self._rng.uniform(0.1, 1.0)))
+            if reconnect:
+                self._reconnect()
+            attempt += 1
 
     def close(self) -> None:
         try:

@@ -6,12 +6,28 @@ Concurrency model — chosen for the journal, not for throughput:
   status / hello take the state lock briefly and answer inline;
 * **writes serialise**: the checkpoint journal is single-writer by
   design, so every ``insert`` / ``insert_batch`` becomes a job on one
-  bounded queue consumed by a single applier thread.  A full queue
-  pushes back on clients (the request blocks in ``put``) instead of
-  buffering unbounded work in memory;
+  bounded queue consumed by a single applier thread.  A queue that
+  stays full past the bounded admission wait sheds the request with a
+  typed ``overloaded`` error (plus a ``retry_after_ms`` hint) instead
+  of blocking the client or buffering unbounded work in memory;
 * an insert is acknowledged only after its decision record is flushed
   to the journal, so any acknowledged insert survives SIGKILL and is
-  replayed on restart.
+  replayed on restart.  The applier journals *before* it commits:
+  a journal write failure (disk full) therefore leaves the live state
+  unmutated and flips the daemon into **read-only degraded mode** —
+  queries keep working, inserts are refused with ``read_only``, the
+  ``serve.degraded`` gauge and the ``health`` verb expose it;
+* every request may carry a relative ``deadline_ms`` budget; work that
+  would finish past the budget is shed with ``deadline_exceeded``
+  (queries check between DP candidates, inserts while queued);
+* retried inserts are **exactly once**: the (sequence id, residues)
+  idempotency key is checked against the live state — which is exactly
+  the journal's replay — and a duplicate returns its current outcome
+  without re-planning or re-journaling;
+* with ``snapshot_every`` set, the applier periodically persists a
+  digest-validated :mod:`~repro.serve.snapshot` of the state between
+  jobs and compacts the covered ``serve_insert`` prefix out of the
+  journal, so restart cost stops growing with insert history.
 
 Request tracing & SLO metrics (DESIGN.md §12): every received line gets
 a :class:`repro.obs.request.RequestContext` — a monotonic request id
@@ -38,10 +54,12 @@ from __future__ import annotations
 
 import contextlib
 import json
+import os
 import queue
 import signal
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -50,7 +68,13 @@ import numpy as np
 
 from repro import obs
 from repro.align.pairwise import local_align, semiglobal_align
-from repro.core.checkpoint import CheckpointJournal
+from repro.core.checkpoint import (
+    CheckpointError,
+    CheckpointJournal,
+    config_digest,
+    input_digest,
+)
+from repro.faults.plan import SERVE_KILL_EXIT_CODE, FaultInjector
 from repro.obs.core import Recorder, request_recording
 from repro.obs.hist import LatencyHistogram
 from repro.obs.request import RequestContext
@@ -63,11 +87,22 @@ from repro.serve.incremental import (
     myers_rejects_containment,
     plan_insert,
 )
+from repro.serve.snapshot import write_snapshot
 from repro.serve.state import ServeState
 from repro.util.lockwatch import named_lock, named_rlock
 
-#: Default cap on queued insert jobs before clients block.
+#: Default cap on queued insert jobs before admission control sheds.
 DEFAULT_MAX_QUEUE = 64
+
+#: Default bounded wait (seconds) for a queue slot before a request is
+#: refused with ``overloaded``.
+DEFAULT_QUEUE_WAIT = 0.5
+
+#: Default cap on records in one ``insert_batch`` request — the
+#: per-connection in-flight bound (the protocol is one request at a
+#: time per connection, so batch size is a connection's whole possible
+#: in-flight contribution).
+DEFAULT_MAX_BATCH_RECORDS = 512
 
 #: File written next to the journal with the bound "host port" (lets
 #: scripts discover an ephemeral port without parsing logs).
@@ -107,6 +142,13 @@ class _InsertJob:
     recorder: Recorder | None = None
     results: list[dict[str, Any]] = field(default_factory=list)
     done: threading.Event = field(default_factory=threading.Event)
+    #: Job-level failure (applier died, daemon shutting down) — the
+    #: enqueuing request surfaces it as a typed error response.
+    error: str | None = None
+
+
+class _ApplierKill(Exception):
+    """Injected applier death (``serve_kill_applier`` fault)."""
 
 
 class ServeServer:
@@ -124,11 +166,31 @@ class ServeServer:
         recorder: Recorder | None = None,
         slow_ms: float = DEFAULT_SLOW_MS,
         metrics_interval: float = DEFAULT_METRICS_INTERVAL,
+        queue_wait: float = DEFAULT_QUEUE_WAIT,
+        default_deadline_ms: float | None = None,
+        max_batch_records: int = DEFAULT_MAX_BATCH_RECORDS,
+        snapshot_every: int = 0,
+        snapshot_covered: int | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if slow_ms < 0:
             raise ValueError(f"slow_ms must be >= 0, got {slow_ms}")
+        if queue_wait < 0:
+            raise ValueError(f"queue_wait must be >= 0, got {queue_wait}")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
+        if max_batch_records < 1:
+            raise ValueError(
+                f"max_batch_records must be >= 1, got {max_batch_records}"
+            )
+        if snapshot_every < 0:
+            raise ValueError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
         self.state = state
         self.journal = journal
         self.host = host
@@ -142,11 +204,26 @@ class ServeServer:
         self.slow_ms = slow_ms
         self.metrics_interval = metrics_interval
         self.metrics_sampler: TelemetrySampler | None = None
+        self.queue_wait = queue_wait
+        self.default_deadline_ms = default_deadline_ms
+        self.max_batch_records = max_batch_records
+        #: Applied inserts between snapshots (0 disables snapshotting).
+        self.snapshot_every = snapshot_every
+        self.injector = injector
         self._lock = named_rlock("ServeServer._lock")
         self._queue: "queue.Queue[_InsertJob]" = queue.Queue(maxsize=max_queue)
         self._stop = threading.Event()
+        #: Read-only degraded mode (set on journal write failure or
+        #: applier death); queries keep working, inserts are refused.
+        self._degraded = threading.Event()
+        self.degraded_reason: str | None = None
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
+        self._applier: threading.Thread | None = None
+        # Snapshot bookkeeping — applier-thread only, no lock needed.
+        self._applied_since_snapshot = 0
+        self._last_snapshot_covered = snapshot_covered
+        self._snapshot_digests: tuple[str, str] | None = None
         self.address: tuple[str, int] | None = None
         # Per-verb latency histograms + summed stage seconds, both
         # guarded by one short-critical-section lock (one acquisition
@@ -191,11 +268,13 @@ class ServeServer:
                 filename=SERVE_METRICS_FILENAME,
                 probes={"serve": self.metrics_snapshot},
             ).start()
+        self.recorder.gauge("serve.degraded", 0)
         applier = threading.Thread(
             target=self._apply_inserts, name="serve-applier", daemon=True
         )
         applier.start()
         self._threads.append(applier)
+        self._applier = applier
         return self.address
 
     def serve_forever(self, *, install_signals: bool = False) -> None:
@@ -244,7 +323,12 @@ class ServeServer:
         if self._listener is not None:
             with contextlib.suppress(OSError):
                 self._listener.close()
-        self._queue.join()  # finish every accepted insert
+        if self._applier_alive():
+            self._queue.join()  # finish every accepted insert
+        else:
+            # A dead applier can never drain the queue; fail whatever
+            # is still parked on it so waiting clients get an answer.
+            self._fail_pending_jobs("daemon stopping with a dead applier")
         self._stop.set()
         if self.metrics_sampler is not None:
             self.metrics_sampler.stop("finished")
@@ -254,7 +338,31 @@ class ServeServer:
                 self._slow_fh.close()
                 self._slow_fh = None
         if self.journal is not None:
-            self.journal.close()
+            # In degraded mode the journal may already be unwritable;
+            # close() flushing into a dead disk must not mask shutdown.
+            with contextlib.suppress(OSError, CheckpointError):
+                self.journal.close()
+
+    def _applier_alive(self) -> bool:
+        return self._applier is not None and self._applier.is_alive()
+
+    def _enter_degraded(self, reason: str) -> None:
+        """Flip to read-only mode (idempotent; first reason wins)."""
+        if not self._degraded.is_set():
+            self.degraded_reason = reason
+            self._degraded.set()
+            self.recorder.gauge("serve.degraded", 1)
+
+    def _fail_pending_jobs(self, reason: str) -> None:
+        """Answer every queued-but-unapplied job with a job error."""
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            job.error = reason
+            job.done.set()
+            self._queue.task_done()
 
     def _claim_lane(self) -> int:
         with self._lane_lock:
@@ -282,7 +390,26 @@ class ServeServer:
                          else contextlib.nullcontext())
                 with scope:
                     for record in job.records:
+                        if self._degraded.is_set():
+                            obs.count("serve.readonly_refused")
+                            job.results.append({
+                                "id": record.get("id"), "ok": False,
+                                "code": "read_only",
+                                "error": "daemon is read-only "
+                                         f"({self.degraded_reason})",
+                            })
+                            continue
                         job.results.append(self._apply_one(record))
+                # Snapshot + compaction piggyback on the applier between
+                # jobs, before task_done: `_queue.join()` (drain, stop)
+                # therefore cannot return mid-compaction, and the sole
+                # state mutator never mutates while persisting.
+                self._maybe_snapshot()
+            except _ApplierKill:
+                job.error = "applier killed by injected fault"
+                self._enter_degraded("applier died mid-insert")
+                self._fail_pending_jobs("applier died mid-insert")
+                return
             finally:
                 self.recorder.count("serve.applier_busy_seconds",
                                     self.recorder.now() - started)
@@ -293,11 +420,31 @@ class ServeServer:
     def _apply_one(self, record: dict[str, str]) -> dict[str, Any]:
         # Plan (all the DP) runs lock-free: this applier thread is the
         # state's only mutator, so its own reads cannot be torn.  The
-        # lock covers only the mutation (commit), and the journal fsync
-        # happens after release but before the ack — durability is
-        # unchanged, disk latency no longer stalls readers.
+        # lock covers only the mutation (commit).  Ordering is
+        # idempotency-check -> plan -> journal -> commit -> ack: a
+        # journal failure leaves the live state unmutated (clean
+        # read-only degrade), and acked inserts are always journaled.
+        # A crash between journal and commit leaves a journaled-but-
+        # unacked insert — replayed on restart, deduped on retry.
+        seq_id, residues = record["id"], record["residues"]
         try:
-            plan = plan_insert(self.state, record["id"], record["residues"])
+            duplicate = self._idempotent_outcome(seq_id, residues)
+            if duplicate is not None:
+                return duplicate
+            plan = plan_insert(self.state, seq_id, residues)
+            marker = (self.injector.serve_insert_marker()
+                      if self.injector is not None else None)
+            if marker is not None and marker[0] == "delay":
+                time.sleep(marker[1])
+            if self.journal is not None:
+                if marker is not None and marker[0] == "journal_error":
+                    raise OSError("injected journal write failure")
+                with obs.span("journal_fsync", cat="stage"):
+                    self.journal.serve_insert(plan.decision)
+            if marker is not None and marker[0] == "kill_daemon":
+                os._exit(SERVE_KILL_EXIT_CODE)
+            if marker is not None and marker[0] == "kill_applier":
+                raise _ApplierKill()
             with self._lock:
                 hits_before = self.state.cache.hits
                 outcome = commit_insert(self.state, plan)
@@ -309,11 +456,9 @@ class ServeServer:
                     self.state.sequences[container].id
                     if container is not None else None
                 )
-            if self.journal is not None:
-                with obs.span("journal_fsync", cat="stage"):
-                    self.journal.serve_insert(plan.decision)
+            self._applied_since_snapshot += 1
             return {
-                "id": record["id"],
+                "id": seq_id,
                 "ok": True,
                 "index": outcome["index"],
                 "family": family_ids,
@@ -323,15 +468,133 @@ class ServeServer:
                 "n_alignments": outcome["n_alignments"],
                 "n_merges": outcome["n_merges"],
             }
+        except (OSError, CheckpointError) as exc:
+            self._enter_degraded(f"journal write failed: {exc}")
+            return {
+                "id": seq_id, "ok": False, "code": "read_only",
+                "error": f"journal write failed; daemon is now "
+                         f"read-only: {exc}",
+            }
         except ValueError as exc:
             return {"id": record.get("id"), "ok": False, "error": str(exc)}
 
-    def _enqueue(self, records: list[dict[str, str]]) -> _InsertJob:
+    def _idempotent_outcome(
+        self, seq_id: str, residues: str
+    ) -> dict[str, Any] | None:
+        """Exactly-once insert retries: the (id, residues) idempotency
+        key resolved against the live state — which *is* the decision
+        journal's replay.  A known id with identical residues returns
+        its current outcome without re-planning or re-journaling; the
+        same id with different residues is a hard per-record error."""
+        if seq_id not in self.state.sequences:
+            return None
+        index = self.state.sequences.index_of(seq_id)
+        if self.state.sequences[index].residues != residues:
+            return {
+                "id": seq_id, "ok": False,
+                "error": f"sequence id {seq_id!r} already present with "
+                         f"different residues",
+            }
+        obs.count("serve.idempotent_hits")
+        with self._lock:
+            container = self.state.redundant.get(index)
+            return {
+                "id": seq_id,
+                "ok": True,
+                "idempotent": True,
+                "index": index,
+                "family": self._ids(self.state.family_members(index)),
+                "redundant": container is not None,
+                "container": (self.state.sequences[container].id
+                              if container is not None else None),
+            }
+
+    def _maybe_snapshot(self) -> None:
+        """Applier-thread snapshot + journal compaction, when due.
+
+        Failure to snapshot is never fatal — the journal stays the
+        authority and the counter/warning surface the problem.  The
+        journal is compacted only below the *previous* generation's
+        coverage (two-generation retention, see
+        :mod:`repro.serve.snapshot`).
+        """
+        if (not self.snapshot_every or self.run_dir is None
+                or self._degraded.is_set()
+                or self._applied_since_snapshot < self.snapshot_every):
+            return
+        if self._snapshot_digests is None:
+            base = self.state.sequences.subset(range(self.state.n_base))
+            self._snapshot_digests = (
+                config_digest(self.state.config), input_digest(base)
+            )
+        config_dig, input_dig = self._snapshot_digests
+        prev_covered = self._last_snapshot_covered
+        try:
+            write_snapshot(
+                self.run_dir, self.state,
+                config_dig=config_dig, input_dig=input_dig,
+            )
+            covered = len(self.state.inserted)
+            if self.journal is not None and prev_covered is not None:
+                self.journal.compact_serve_inserts(prev_covered)
+        except (OSError, CheckpointError):
+            obs.count("serve.snapshot_errors")
+            return
+        self._last_snapshot_covered = covered
+        self._applied_since_snapshot = 0
+
+    def _enqueue(
+        self, records: list[dict[str, str]], deadline_at: float | None
+    ) -> _InsertJob:
+        """Admission-controlled hand-off to the applier.
+
+        Sheds instead of blocking: ``read_only`` when degraded or the
+        applier is dead, ``overloaded`` (with a retry-after hint) when
+        the bounded queue stays full past ``queue_wait``, and
+        ``deadline_exceeded`` when the request's budget expires while
+        queued.  All three raise :class:`protocol.ProtocolError`, which
+        `_respond` turns into the typed error response.
+        """
+        self._refuse_if_read_only()
         job = _InsertJob(records=records, recorder=obs.active())
-        self._queue.put(job)  # blocks when the bounded queue is full
+        wait = self.queue_wait
+        if deadline_at is not None:
+            wait = min(wait, max(0.0, deadline_at - self.recorder.now()))
+        try:
+            self._queue.put(job, timeout=wait)
+        except queue.Full:
+            obs.count("serve.overloaded")
+            raise protocol.ProtocolError(
+                "overloaded",
+                f"insert queue full after waiting {wait:.3f}s",
+                retry_after_ms=round(self.queue_wait * 1e3, 3),
+            ) from None
         self.recorder.gauge("serve.queue_depth", self._queue.qsize())
-        job.done.wait()
+        while not job.done.wait(0.2):
+            if deadline_at is not None and self.recorder.now() > deadline_at:
+                obs.count("serve.deadline_sheds")
+                raise protocol.ProtocolError(
+                    "deadline_exceeded",
+                    "insert deadline expired while queued",
+                )
+            if not self._applier_alive():
+                # The applier died with this job parked; fail the
+                # queue so every waiter (us included) gets an answer.
+                self._fail_pending_jobs("applier died mid-insert")
+        if job.error is not None:
+            self._enter_degraded(job.error)
+            obs.count("serve.readonly_refused")
+            raise protocol.ProtocolError("read_only", job.error)
         return job
+
+    def _refuse_if_read_only(self) -> None:
+        if self._degraded.is_set() or not self._applier_alive():
+            obs.count("serve.readonly_refused")
+            reason = self.degraded_reason or "applier thread is dead"
+            raise protocol.ProtocolError(
+                "read_only",
+                f"daemon is read-only ({reason}); inserts refused",
+            )
 
     # -- request handling --------------------------------------------------
 
@@ -370,6 +633,7 @@ class ServeServer:
         not count.
         """
         obs.count("serve.requests")
+        received = self.recorder.now()
         try:
             with ctx.stage("parse"):
                 message = protocol.decode_line(line)
@@ -382,11 +646,20 @@ class ServeServer:
                                  "version_mismatch")
             return protocol.error_response(exc.code, str(exc)), not fatal
         ctx.op = op
+        # The deadline is a *relative* budget from line receipt (no
+        # client/server clock comparison); the daemon's default applies
+        # when the request carries none.
+        deadline_ms = message.get("deadline_ms", self.default_deadline_ms)
+        deadline_at = (received + float(deadline_ms) / 1e3
+                       if deadline_ms is not None else None)
         try:
-            return self._dispatch(op, message)
+            return self._dispatch(op, message, deadline_at)
         except protocol.ProtocolError as exc:
             obs.count("serve.errors")
-            return protocol.error_response(exc.code, str(exc)), True
+            extra: dict[str, Any] = {}
+            if exc.retry_after_ms is not None:
+                extra["retry_after_ms"] = exc.retry_after_ms
+            return protocol.error_response(exc.code, str(exc), **extra), True
 
     def _finish_request(self, ctx: RequestContext) -> None:
         """Fold one finished request into the daemon's SLO surface."""
@@ -461,6 +734,7 @@ class ServeServer:
             "schema": METRICS_SCHEMA,
             "uptime_s": round(self.recorder.now(), 6),
             "queue_depth": self._queue.qsize(),
+            "degraded": self._degraded.is_set(),
             "slow_threshold_ms": self.slow_ms,
             "hists": hists,
             "percentiles": percentiles,
@@ -473,15 +747,25 @@ class ServeServer:
     # -- R10 requires each to open a request span through the obs facade)
 
     def _dispatch(
-        self, op: str, message: dict[str, Any]
+        self, op: str, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         handler = getattr(self, f"_op_{op}", None)
         if handler is None:
             raise protocol.ProtocolError("unknown_op", f"unhandled op {op!r}")
-        return handler(message)
+        self._shed_if_past_deadline(deadline_at, "before dispatch")
+        return handler(message, deadline_at)
+
+    def _shed_if_past_deadline(
+        self, deadline_at: float | None, where: str
+    ) -> None:
+        if deadline_at is not None and self.recorder.now() > deadline_at:
+            obs.count("serve.deadline_sheds")
+            raise protocol.ProtocolError(
+                "deadline_exceeded", f"deadline expired {where}"
+            )
 
     def _op_hello(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.hello", cat="serve"):
             with self._lock:
@@ -495,67 +779,101 @@ class ServeServer:
             return body, True
 
     def _op_status(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.status", cat="serve"):
             with self._lock:
                 status = self.state.status()
             status["queue_depth"] = self._queue.qsize()
+            status["degraded"] = self._degraded.is_set()
             return protocol.ok_response(**status), True
 
     def _op_metrics(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.metrics", cat="serve"):
             return protocol.ok_response(**self.metrics_snapshot()), True
 
+    def _op_health(
+        self, message: dict[str, Any], deadline_at: float | None
+    ) -> tuple[dict[str, Any], bool]:
+        with obs.span("req.health", cat="serve"):
+            return protocol.ok_response(
+                degraded=self._degraded.is_set(),
+                degraded_reason=self.degraded_reason,
+                applier_alive=self._applier_alive(),
+                queue_depth=self._queue.qsize(),
+                draining=self._stop.is_set(),
+            ), True
+
     def _op_query(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.query", cat="serve"):
             obs.count("serve.queries")
-            return self._handle_query(message), True
+            return self._handle_query(message, deadline_at), True
 
     def _op_insert(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.insert", cat="serve"):
             record = {"id": message["id"], "residues": message["residues"]}
-            job = self._enqueue([record])
+            job = self._enqueue([record], deadline_at)
+            result = job.results[0] if job.results else None
+            if result is not None and result.get("code") == "read_only":
+                # Single-record insert: surface the degrade as the
+                # typed top-level error a retrying client expects.
+                raise protocol.ProtocolError(
+                    "read_only", str(result.get("error"))
+                )
             return protocol.ok_response(results=job.results), True
 
     def _op_insert_batch(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.insert_batch", cat="serve"):
             records = [
                 {"id": r["id"], "residues": r["residues"]}
                 for r in message["records"]
             ]
-            job = self._enqueue(records)
+            if len(records) > self.max_batch_records:
+                raise protocol.ProtocolError(
+                    "bad_request",
+                    f"insert_batch carries {len(records)} records; the "
+                    f"per-request cap is {self.max_batch_records}",
+                )
+            job = self._enqueue(records, deadline_at)
             return protocol.ok_response(results=job.results), True
 
     def _op_drain(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.drain", cat="serve"):
             # Journal stays open; every acknowledged insert is already
             # flushed, so drain is just a barrier.
-            self._queue.join()
+            if self._applier_alive():
+                self._queue.join()
+            else:
+                self._fail_pending_jobs("applier died; drain cannot apply")
             return protocol.ok_response(stopping=False), False
 
     def _op_shutdown(
-        self, message: dict[str, Any]
+        self, message: dict[str, Any], deadline_at: float | None
     ) -> tuple[dict[str, Any], bool]:
         with obs.span("req.shutdown", cat="serve"):
-            self._queue.join()
+            if self._applier_alive():
+                self._queue.join()
+            else:
+                self._fail_pending_jobs("daemon stopping with a dead applier")
             self.request_stop()
             return protocol.ok_response(stopping=True), False
 
     def _ids(self, indices: list[int]) -> list[str]:
         return [self.state.sequences[i].id for i in indices]
 
-    def _handle_query(self, message: dict[str, Any]) -> dict[str, Any]:
+    def _handle_query(
+        self, message: dict[str, Any], deadline_at: float | None
+    ) -> dict[str, Any]:
         seq_id = message.get("id")
         if isinstance(seq_id, str) and seq_id:
             with self._lock:
@@ -586,12 +904,17 @@ class ServeServer:
             with obs.span("candidates", cat="stage"):
                 candidates = self.state.rep_index.candidates(encoded)
         obs.count("serve.candidates", len(candidates))
-        contained_in, overlap_wits = self._classify_sweep(candidates, encoded)
+        contained_in, overlap_wits = self._classify_sweep(
+            candidates, encoded, deadline_at
+        )
         with self._lock:
             return self._classify_respond(contained_in, overlap_wits)
 
     def _classify_sweep(
-        self, candidates: list[int], encoded: np.ndarray
+        self,
+        candidates: list[int],
+        encoded: np.ndarray,
+        deadline_at: float | None = None,
     ) -> tuple[int | None, list[int]]:
         """Read-only classification sweeps of an unseen sequence.
 
@@ -609,7 +932,12 @@ class ServeServer:
         len_query = len(encoded)
         contained_in: int | None = None
         overlap_wits: list[int] = []
-        for rep in candidates:
+        for n_done, rep in enumerate(candidates):
+            # Shed between candidates, not mid-DP: the check is cheap
+            # and a partial sweep is never returned as an answer.
+            self._shed_if_past_deadline(
+                deadline_at, f"mid-sweep after {n_done} candidates"
+            )
             rep_enc = state.encoded(rep)
             if not myers_rejects_containment(
                 state, rep, encoded, len_query,

@@ -1,0 +1,236 @@
+"""CRC-framed, digest-validated ``ServeState`` snapshots.
+
+A long-lived daemon's ``serve_insert`` journal grows without bound and
+restart cost grows with it — every insert ever acknowledged is
+replayed through :func:`repro.serve.incremental.replay_insert`.  A
+*snapshot* captures the resulting state instead: the inserted
+sequences, the redundancy and centrality maps, and the family
+partition, framed line-by-line with the same CRC discipline as the
+checkpoint journal and stamped with the :meth:`ServeState.digest` the
+restored state must reproduce.  Startup then loads snapshot + journal
+tail; the applier compacts the covered journal prefix away in the
+background.
+
+Crash consistency mirrors ``checkpoint.py``: the snapshot is written
+to a temp file, fsynced, and ``os.replace``d into place, so the
+on-disk snapshot is always either the old complete generation or the
+new complete generation — a crash mid-write leaves a ``.tmp`` corpse
+the loader ignores.  Two generations are retained (the previous
+snapshot is rotated to ``serve_snapshot.jsonl.prev``) and the journal
+is only compacted below the *previous* generation's coverage, so even
+a corrupted current snapshot (torn tail, bit rot) falls back to the
+previous generation plus a longer journal tail with no acknowledged
+insert lost.  Representatives are deliberately *not* stored: they are
+a deterministic function of the partition/centrality/lengths
+(:func:`~repro.serve.representatives.select_representatives`), and
+recomputing them at load is what lets the stored digest double as a
+whole-file validity check.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from pathlib import Path
+from typing import Any
+
+from repro import obs
+from repro.core.checkpoint import CheckpointError, _frame, _parse_line
+from repro.core.config import PipelineConfig
+from repro.sequence.record import SequenceRecord, SequenceSet
+from repro.serve.state import ServeState
+
+#: Current snapshot generation next to the checkpoint journal.
+SNAPSHOT_NAME = "serve_snapshot.jsonl"
+
+#: Previous generation, rotated on every snapshot write; the loader's
+#: fallback when the current generation is damaged.
+SNAPSHOT_PREV_NAME = "serve_snapshot.jsonl.prev"
+
+#: Snapshot document schema tag.
+SNAPSHOT_SCHEMA = "repro-serve-snap/1"
+
+
+class SnapshotError(CheckpointError):
+    """A serve snapshot is malformed or fails its digest validation."""
+
+
+def snapshot_payload(state: ServeState) -> dict[str, Any]:
+    """The restorable document for ``state`` (JSON-able, canonical).
+
+    Safe to call from the applier thread without the server lock — the
+    applier is the state's only mutator, and this function only reads.
+    """
+    return {
+        "n_base": state.n_base,
+        "covered": len(state.inserted),
+        "inserted": [list(pair) for pair in state.inserted],
+        "redundant": sorted([k, v] for k, v in state.redundant.items()),
+        "centrality": sorted([k, n] for k, n in state.centrality.items()),
+        "members": state.partition(),
+        "digest": state.digest(),
+    }
+
+
+def write_snapshot(
+    run_dir: "str | Path",
+    state: ServeState,
+    *,
+    config_dig: str,
+    input_dig: str,
+) -> Path:
+    """Write (and rotate) a snapshot of ``state`` into ``run_dir``.
+
+    tmp + fsync + ``os.replace``: the current generation moves to
+    ``.prev``, the new one replaces it atomically.  Returns the
+    snapshot path.
+    """
+    run_path = Path(run_dir)
+    run_path.mkdir(parents=True, exist_ok=True)
+    payload = snapshot_payload(state)
+    meta = {
+        "type": "snapshot_meta",
+        "schema": SNAPSHOT_SCHEMA,
+        "config": config_dig,
+        "input": input_dig,
+        "n_base": payload["n_base"],
+        "covered": payload["covered"],
+        "digest": payload["digest"],
+    }
+    path = run_path / SNAPSHOT_NAME
+    tmp = run_path / (SNAPSHOT_NAME + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as out:
+        out.write(_frame(meta))
+        out.write(_frame({"type": "snapshot_state", "data": payload}))
+        out.flush()
+        os.fsync(out.fileno())
+    if path.exists():
+        os.replace(path, run_path / SNAPSHOT_PREV_NAME)
+    os.replace(tmp, path)
+    obs.count("serve.snapshots")
+    return path
+
+
+def _read_snapshot_file(
+    path: Path, *, config_dig: str, input_dig: str
+) -> dict[str, Any] | None:
+    """Parse + validate one snapshot file; None when missing/damaged.
+
+    Damage (torn line, digest field mismatch, foreign identity) is
+    reported with a warning rather than an exception — whether the
+    journal can cover for a lost snapshot is the caller's call.
+    """
+    if not path.exists():
+        return None
+
+    def _damaged(why: str) -> None:
+        warnings.warn(
+            f"serve snapshot {path} unusable: {why}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        obs.count("serve.snapshot_errors")
+
+    records: list[dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                record = _parse_line(line)
+                if record is None:
+                    break
+                records.append(record)
+    except OSError as exc:
+        _damaged(f"cannot read: {exc}")
+        return None
+    if len(records) < 2 or records[0].get("type") != "snapshot_meta" \
+            or records[1].get("type") != "snapshot_state":
+        _damaged("torn or incomplete record framing")
+        return None
+    meta = records[0]
+    if meta.get("schema") != SNAPSHOT_SCHEMA:
+        _damaged(f"schema {meta.get('schema')!r} is not {SNAPSHOT_SCHEMA!r}")
+        return None
+    if meta.get("config") != config_dig or meta.get("input") != input_dig:
+        _damaged("belongs to a different (config, input) pair")
+        return None
+    payload = records[1].get("data")
+    if not isinstance(payload, dict):
+        _damaged("snapshot_state record carries no payload object")
+        return None
+    if payload.get("digest") != meta.get("digest") \
+            or payload.get("covered") != meta.get("covered"):
+        _damaged("meta/state records disagree (mixed generations?)")
+        return None
+    return payload
+
+
+def load_snapshot(
+    run_dir: "str | Path", *, config_dig: str, input_dig: str
+) -> dict[str, Any] | None:
+    """Best usable snapshot payload in ``run_dir``, or None.
+
+    Tries the current generation first, then the rotated previous
+    generation — the fallback that makes a torn current snapshot
+    recoverable as long as the journal still holds the tail since the
+    previous generation (which compaction guarantees).
+    """
+    run_path = Path(run_dir)
+    payload = _read_snapshot_file(
+        run_path / SNAPSHOT_NAME,
+        config_dig=config_dig, input_dig=input_dig,
+    )
+    if payload is not None:
+        return payload
+    return _read_snapshot_file(
+        run_path / SNAPSHOT_PREV_NAME,
+        config_dig=config_dig, input_dig=input_dig,
+    )
+
+
+def restore_from_snapshot(  # repro-lint: thread=init
+    sequences: SequenceSet,
+    config: PipelineConfig,
+    payload: dict[str, Any],
+    *,
+    max_representatives: int,
+) -> ServeState:
+    """Rebuild a :class:`ServeState` from a snapshot payload.
+
+    ``sequences`` is the *base* input set (the batch run's FASTA); the
+    snapshot supplies everything else — inserted sequences, redundancy,
+    centrality, and the family partition.  Representatives are
+    re-selected deterministically, and the result's digest must equal
+    the one stored at snapshot time (:class:`SnapshotError` otherwise),
+    which validates the whole document end to end.
+    """
+    if payload["n_base"] != len(sequences):
+        raise SnapshotError(
+            f"snapshot covers {payload['n_base']} base sequences, "
+            f"input has {len(sequences)}"
+        )
+    state = ServeState(
+        sequences, config, max_representatives=max_representatives
+    )
+    for seq_id, residues in payload["inserted"]:
+        state.add_sequence(
+            SequenceRecord(id=str(seq_id), residues=str(residues))
+        )
+        state.inserted.append((str(seq_id), str(residues)))
+    for contained, container in payload["redundant"]:
+        state.redundant[int(contained)] = int(container)
+    for index, absorbed in payload["centrality"]:
+        state.centrality[int(index)] = int(absorbed)
+    for members in payload["members"]:
+        first = int(members[0])
+        for member in members[1:]:
+            state.union(first, int(member))
+    for root in sorted(state.partition_roots()):
+        state.update_representatives(root)
+    digest = state.digest()
+    if digest != payload["digest"]:
+        raise SnapshotError(
+            f"restored state digest {digest[:12]}… does not match the "
+            f"snapshot's {str(payload['digest'])[:12]}…; refusing to "
+            f"serve from a corrupt snapshot"
+        )
+    return state

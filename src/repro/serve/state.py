@@ -143,6 +143,18 @@ class ServeState:
     def n_families(self) -> int:
         return len(self.families())
 
+    def partition(self) -> list[list[int]]:
+        """Every component as a sorted member list (redundant members
+        *included*), ordered by first member — the restorable form of
+        the union–find that serve snapshots persist."""
+        out = [sorted(members) for members in self._members.values()]
+        out.sort(key=lambda m: m[0])
+        return out
+
+    def partition_roots(self) -> list[int]:
+        """Current union–find roots, sorted (one per component)."""
+        return sorted(self._members)
+
     # -- representatives ---------------------------------------------------
 
     def update_representatives(self, root: int) -> None:
@@ -256,6 +268,86 @@ def build_serve_state(  # repro-lint: thread=init
         replay_insert(state, decision)
         obs.count("serve.replays")
     return state
+
+
+def build_or_restore_serve_state(  # repro-lint: thread=init
+    sequences: SequenceSet,
+    config: PipelineConfig,
+    resume_state: ResumeState,
+    *,
+    run_dir: str | Path | None,
+    max_representatives: int = DEFAULT_MAX_REPRESENTATIVES,
+    use_snapshot: bool = True,
+) -> tuple[ServeState, dict[str, Any]]:
+    """Build serving state, preferring snapshot + journal tail.
+
+    The fast path restores the newest usable serve snapshot in
+    ``run_dir`` (current generation, else the rotated previous one) and
+    replays only the journal's ``serve_insert`` records at or past the
+    snapshot's coverage; the slow path is a full
+    :func:`build_serve_state` replay, which is only sound while the
+    journal still reaches back to insert #0 — once compaction has
+    pruned below a lost snapshot's coverage the gap is unrecoverable
+    and this raises :class:`CheckpointError` loudly instead of serving
+    a silently wrong partition.
+
+    Returns ``(state, info)`` where ``info`` reports
+    ``snapshot_covered`` (None on the full-replay path), ``replayed``,
+    and ``skipped`` — the journal records the snapshot already covered.
+    """
+    from repro.serve.incremental import replay_insert
+    from repro.serve.snapshot import load_snapshot, restore_from_snapshot
+
+    seqs = resume_state.serve_insert_seqs
+    payload = None
+    if use_snapshot and run_dir is not None:
+        payload = load_snapshot(
+            run_dir,
+            config_dig=config_digest(config),
+            input_dig=input_digest(sequences),
+        )
+    if payload is None:
+        if seqs and seqs[0] > 0:
+            raise CheckpointError(
+                f"journal was compacted below insert #{seqs[0]} and no "
+                f"usable serve snapshot covers inserts 0..{seqs[0] - 1}; "
+                f"serve state cannot be rebuilt"
+            )
+        state = build_serve_state(
+            sequences, config, resume_state,
+            max_representatives=max_representatives,
+        )
+        info = {
+            "snapshot_covered": None,
+            "replayed": len(resume_state.serve_inserts),
+            "skipped": 0,
+        }
+        return state, info
+    covered = int(payload["covered"])
+    if seqs and seqs[0] > covered:
+        raise CheckpointError(
+            f"journal tail starts at insert #{seqs[0]} but the snapshot "
+            f"only covers the first {covered}; inserts "
+            f"{covered}..{seqs[0] - 1} are lost"
+        )
+    state = restore_from_snapshot(
+        sequences, config, payload,
+        max_representatives=max_representatives,
+    )
+    replayed = skipped = 0
+    for seq, decision in zip(seqs, resume_state.serve_inserts):
+        if seq < covered:
+            skipped += 1
+            obs.count("serve.snapshot_skipped_replays")
+            continue
+        replay_insert(state, decision)
+        obs.count("serve.replays")
+        replayed += 1
+    return state, {
+        "snapshot_covered": covered,
+        "replayed": replayed,
+        "skipped": skipped,
+    }
 
 
 def load_serve_state(

@@ -346,10 +346,17 @@ class TestServerSocket:
                 for i, r in enumerate(list(held)[1:4])
             ])
             assert [r["ok"] for r in batch["results"]] == [True] * 3
+            # Retrying an acked insert is exactly-once: the (id,
+            # residues) idempotency key returns the original outcome.
             dup = client.call("insert", id="srv-one",
                               residues=held[0].residues)
-            assert dup["results"][0]["ok"] is False
-            assert "already present" in dup["results"][0]["error"]
+            assert dup["results"][0]["ok"] is True
+            assert dup["results"][0]["idempotent"] is True
+            # The same id with different residues stays a hard error.
+            clash = client.call("insert", id="srv-one",
+                                residues=held[1].residues)
+            assert clash["results"][0]["ok"] is False
+            assert "different residues" in clash["results"][0]["error"]
 
     def test_version_mismatch_refused(self, server):
         host, port = server.address
@@ -792,7 +799,9 @@ class TestServeErrorsAccounting:
         with ServeClient.connect(host, port) as client:
             out = client.call("insert", id="err-dup", residues="MKLVMKLV")
             assert out["results"][0]["ok"]
-            dup = client.call("insert", id="err-dup", residues="MKLVMKLV")
+            # Same id, different residues: a per-record hard error that
+            # still rides inside an ok envelope.
+            dup = client.call("insert", id="err-dup", residues="MKLVMKLVAA")
             assert dup["ok"] and dup["results"][0]["ok"] is False
             client.call("hello")
         assert self._errors(server) == base_errors
